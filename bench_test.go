@@ -1,0 +1,125 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (§VII), plus
+// the DESIGN.md ablations. Each wraps the corresponding experiment driver in
+// its quick configuration; `go run ./cmd/experiments -full` produces the
+// paper-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+// sharedEnv caches the quick-mode datasets across benchmarks so each bench
+// measures the experiment, not graph generation.
+func sharedEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.NewEnv(experiments.Quick())
+	})
+	return benchEnv
+}
+
+func benchExperiment(b *testing.B, id string) {
+	env := sharedEnv(b)
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the dataset caches outside the timed region.
+	if _, err := env.Yeast(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.DBLP(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := env.YouTube(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := r.Run(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced an empty table", id)
+		}
+	}
+}
+
+// Table III: top-5 3-way join on DBLP (triangle and chain).
+func BenchmarkTable3TriangleChain(b *testing.B) { benchExperiment(b, "table3") }
+
+// Figure 6(a): link-prediction ROC curves on the three datasets.
+func BenchmarkFig6aROC(b *testing.B) { benchExperiment(b, "fig6a") }
+
+// Figure 6(b): AUC vs λ on Yeast, DHTλ and DHTe.
+func BenchmarkFig6bAUCLambda(b *testing.B) { benchExperiment(b, "fig6b") }
+
+// Table IV: link- and 3-clique-prediction AUC on the three datasets.
+func BenchmarkTable4AUC(b *testing.B) { benchExperiment(b, "table4") }
+
+// Figure 7(a): Yeast n-way join running time vs n (NL, AP, PJ, PJ-i).
+func BenchmarkFig7aYeastVsN(b *testing.B) { benchExperiment(b, "fig7a") }
+
+// Figure 7(b): Yeast n-way join running time vs |E_Q|.
+func BenchmarkFig7bYeastVsEQ(b *testing.B) { benchExperiment(b, "fig7b") }
+
+// Figure 7(c): Yeast n-way join running time vs k.
+func BenchmarkFig7cYeastVsK(b *testing.B) { benchExperiment(b, "fig7c") }
+
+// Figure 7(d): Yeast n-way join running time vs m (PJ vs PJ-i).
+func BenchmarkFig7dYeastVsM(b *testing.B) { benchExperiment(b, "fig7d") }
+
+// Figure 8(a): DBLP n-way join running time vs n.
+func BenchmarkFig8aDBLPVsN(b *testing.B) { benchExperiment(b, "fig8a") }
+
+// Figure 8(b): DBLP n-way join running time vs |E_Q|.
+func BenchmarkFig8bDBLPVsEQ(b *testing.B) { benchExperiment(b, "fig8b") }
+
+// Figure 8(c): DBLP n-way join running time vs k.
+func BenchmarkFig8cDBLPVsK(b *testing.B) { benchExperiment(b, "fig8c") }
+
+// Figure 8(d): DBLP n-way join running time vs m.
+func BenchmarkFig8dDBLPVsM(b *testing.B) { benchExperiment(b, "fig8d") }
+
+// Figure 9(a): all five 2-way join algorithms on Yeast.
+func BenchmarkFig9a2WayAlgos(b *testing.B) { benchExperiment(b, "fig9a") }
+
+// Figure 9(b): Yeast 2-way join running time vs ε.
+func BenchmarkFig9bVsEpsilon(b *testing.B) { benchExperiment(b, "fig9b") }
+
+// Figure 9(c): Yeast 2-way join running time vs λ.
+func BenchmarkFig9cVsLambda(b *testing.B) { benchExperiment(b, "fig9c") }
+
+// Figure 9(d): Yeast 2-way join running time vs k.
+func BenchmarkFig9dVsK(b *testing.B) { benchExperiment(b, "fig9d") }
+
+// Figure 10(a): DBLP 2-way join running time vs λ.
+func BenchmarkFig10aDBLPVsLambda(b *testing.B) { benchExperiment(b, "fig10a") }
+
+// Figure 10(b): DBLP pruning fraction per iteration, B-IDJ-X vs B-IDJ-Y.
+func BenchmarkFig10bPruning(b *testing.B) { benchExperiment(b, "fig10b") }
+
+// Ablation: PBRJ corner bound on vs off.
+func BenchmarkAblationCornerBound(b *testing.B) { benchExperiment(b, "ablation-corner") }
+
+// Ablation: incremental F reuse vs from-scratch re-join.
+func BenchmarkAblationIncremental(b *testing.B) { benchExperiment(b, "ablation-incremental") }
+
+// Ablation: doubling vs linear deepening schedule.
+func BenchmarkAblationSchedule(b *testing.B) { benchExperiment(b, "ablation-schedule") }
+
+// Extension (§VIII): the same joins over Personalized PageRank.
+func BenchmarkExtensionPPR(b *testing.B) { benchExperiment(b, "ext-ppr") }
+
+// Extension (§VIII): SimRank joins via core.JoinLists.
+func BenchmarkExtensionSimRank(b *testing.B) { benchExperiment(b, "ext-simrank") }

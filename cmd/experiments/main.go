@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures (§VII) on
+// the synthetic dataset substitutes, printing each as an aligned text table.
+//
+// Usage:
+//
+//	experiments                 # run everything, quick sizing
+//	experiments -full           # paper-scale sizing (slow)
+//	experiments -exp fig9a      # one experiment
+//	experiments -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "run a single experiment by id (default: all)")
+		full  = flag.Bool("full", false, "paper-scale configuration (slow; quick sizing otherwise)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		seed  = flag.Int64("seed", 1, "dataset RNG seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-22s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Full()
+	}
+	cfg.Seed = *seed
+	env := experiments.NewEnv(cfg)
+
+	runners := experiments.All()
+	if *expID != "" {
+		r, err := experiments.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	mode := "quick"
+	if *full {
+		mode = "full"
+	}
+	fmt.Printf("# multi-way join over DHT — experiment suite (%s mode, seed %d)\n\n", mode, *seed)
+	for _, r := range runners {
+		start := time.Now()
+		tab, err := r.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("(%s finished in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

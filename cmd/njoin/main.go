@@ -1,0 +1,161 @@
+// Command njoin evaluates top-k multi-way joins over DHT on a graph file.
+//
+// The graph file (text format, see internal/graph) must declare the node
+// sets referenced by -sets. The query shape is chain, triangle, star, or
+// clique over those sets, in the order given.
+//
+// Usage:
+//
+//	gengraph -kind yeast -o yeast.graph
+//	njoin -graph yeast.graph -sets 3-U,8-D -k 10                  # 2-way
+//	njoin -graph yeast.graph -sets 3-U,5-F,8-D -shape triangle -k 5
+//	njoin -graph yeast.graph -sets 3-U,5-F,8-D -agg SUM -algo pj -m 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/graph"
+	"repro/internal/rankjoin"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file in text format (required)")
+		setNames  = flag.String("sets", "", "comma-separated node set names, in query order (required)")
+		shape     = flag.String("shape", "chain", "chain | triangle | star | clique")
+		k         = flag.Int("k", 50, "number of answers")
+		m         = flag.Int("m", 50, "per-edge 2-way join budget (PJ/PJ-i)")
+		algo      = flag.String("algo", "pji", "nl | ap | pj | pji")
+		aggName   = flag.String("agg", "MIN", "aggregate: SUM | MIN | MAX | AVG")
+		lambda    = flag.Float64("lambda", 0.2, "DHTλ decay factor")
+		useDHTE   = flag.Bool("dhte", false, "use the DHTe measure instead of DHTλ")
+		usePPR    = flag.Bool("ppr", false, "join over Personalized PageRank (reach measure) with -lambda as damping factor")
+		eps       = flag.Float64("eps", 1e-6, "truncation accuracy target (Lemma 1)")
+		limit     = flag.Int("limit", 0, "trim each node set to its first N members (0 = all)")
+		quiet     = flag.Bool("q", false, "print answers only, no timing")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *setNames, *shape, *k, *m, *algo, *aggName, *lambda, *useDHTE, *usePPR, *eps, *limit, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "njoin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, setNames, shape string, k, m int, algo, aggName string, lambda float64, useDHTE, usePPR bool, eps float64, limit int, quiet bool) error {
+	if graphPath == "" || setNames == "" {
+		return fmt.Errorf("-graph and -sets are required (see -h)")
+	}
+	f, err := os.Open(graphPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, sets, err := graph.ReadText(f)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]*graph.NodeSet, len(sets))
+	for _, s := range sets {
+		byName[s.Name] = s
+	}
+	var chosen []*graph.NodeSet
+	for _, name := range strings.Split(setNames, ",") {
+		s, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return fmt.Errorf("graph file declares no node set %q (has: %s)", name, names(sets))
+		}
+		if limit > 0 {
+			s = s.Take(limit)
+		}
+		chosen = append(chosen, s)
+	}
+
+	var q *core.QueryGraph
+	switch shape {
+	case "chain":
+		q = core.Chain(chosen...)
+	case "triangle":
+		if len(chosen) != 3 {
+			return fmt.Errorf("triangle needs exactly 3 sets, got %d", len(chosen))
+		}
+		q = core.Triangle(chosen[0], chosen[1], chosen[2])
+	case "star":
+		q = core.Star(chosen[0], chosen[1:]...)
+	case "clique":
+		q = core.Clique(chosen...)
+	default:
+		return fmt.Errorf("unknown shape %q", shape)
+	}
+
+	agg, err := rankjoin.ByName(aggName)
+	if err != nil {
+		return err
+	}
+	params := dht.DHTLambda(lambda)
+	measure := dht.FirstHit
+	switch {
+	case useDHTE && usePPR:
+		return fmt.Errorf("-dhte and -ppr are mutually exclusive")
+	case useDHTE:
+		params = dht.DHTE()
+	case usePPR:
+		params = dht.PPR(lambda)
+		measure = dht.Reach
+	}
+	spec := core.Spec{
+		Graph:   g,
+		Query:   q,
+		Params:  params,
+		D:       params.StepsForEpsilon(eps),
+		Agg:     agg,
+		K:       k,
+		Measure: measure,
+	}
+
+	var alg core.Algorithm
+	switch algo {
+	case "nl":
+		alg, err = core.NewNL(spec)
+	case "ap":
+		alg, err = core.NewAP(spec)
+	case "pj":
+		alg, err = core.NewPJ(spec, m)
+	case "pji":
+		alg, err = core.NewPJI(spec, m)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	answers, err := alg.Run()
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	for i, a := range answers {
+		fmt.Printf("%3d  %s\n", i+1, a.Format(g))
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "%s: %d answers in %v (d=%d, %s)\n",
+			alg.Name(), len(answers), elapsed, spec.D, params)
+	}
+	return nil
+}
+
+func names(sets []*graph.NodeSet) string {
+	out := make([]string, len(sets))
+	for i, s := range sets {
+		out[i] = s.Name
+	}
+	return strings.Join(out, ", ")
+}

@@ -1,0 +1,280 @@
+// Package dhtjoin is the public API of the multi-way join library over
+// discounted hitting time (DHT), reproducing Zhang, Cheng, and Kao,
+// "Evaluating Multi-Way Joins over Discounted Hitting Time", ICDE 2014.
+//
+// The library answers two query families over a directed weighted graph:
+//
+//   - Top-k 2-way joins: the k node pairs (p, q) ∈ P×Q with the highest DHT
+//     scores h(p, q), evaluated with the backward pruning algorithm B-IDJ-Y
+//     (or any of the four alternatives).
+//
+//   - Top-k n-way joins: given a query graph over n node sets and a
+//     monotonic aggregate f (MIN, SUM, …), the k n-tuples with the highest
+//     aggregate of per-edge DHT scores, evaluated with the incremental
+//     partial join PJ-i (or NL / AP / PJ).
+//
+// Quick start:
+//
+//	b := dhtjoin.NewBuilder(4, false)
+//	b.AddEdge(0, 1, 1)
+//	b.AddEdge(1, 2, 2)
+//	b.AddEdge(2, 3, 1)
+//	g := b.Build()
+//	P := dhtjoin.NewNodeSet("P", []dhtjoin.NodeID{0, 1})
+//	Q := dhtjoin.NewNodeSet("Q", []dhtjoin.NodeID{2, 3})
+//	pairs, _ := dhtjoin.TopKPairs(g, P, Q, 3, nil)
+//
+// See the examples/ directory for complete programs.
+package dhtjoin
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/graph"
+	"repro/internal/join2"
+	"repro/internal/rankjoin"
+	"repro/internal/simrank"
+)
+
+// Re-exported fundamental types. They alias the internal implementations, so
+// values flow between the facade and the lower layers without conversion.
+type (
+	// NodeID identifies a graph node (dense integers in [0, NumNodes)).
+	NodeID = graph.NodeID
+	// Graph is the immutable CSR graph.
+	Graph = graph.Graph
+	// Builder accumulates edges and produces a Graph.
+	Builder = graph.Builder
+	// NodeSet is a named set of nodes (the R_i of a join).
+	NodeSet = graph.NodeSet
+	// Params are the general-form DHT coefficients (α, β, λ).
+	Params = dht.Params
+	// QueryGraph arranges node sets for an n-way join.
+	QueryGraph = core.QueryGraph
+	// Answer is one n-way join result tuple.
+	Answer = core.Answer
+	// Pair is one 2-way join pair.
+	Pair = join2.Pair
+	// PairResult is a scored 2-way join pair.
+	PairResult = join2.Result
+	// Aggregate is a monotonic function over query-edge scores.
+	Aggregate = rankjoin.Aggregate
+)
+
+// Re-exported constructors.
+var (
+	// NewBuilder creates a graph builder (directed=false duplicates arcs).
+	NewBuilder = graph.NewBuilder
+	// NewNodeSet builds a named node set.
+	NewNodeSet = graph.NewNodeSet
+	// ReadText / WriteText serialize graphs in the line-oriented text format.
+	ReadText  = graph.ReadText
+	WriteText = graph.WriteText
+	// ReadBinary / WriteBinary serialize graphs with encoding/gob.
+	ReadBinary  = graph.ReadBinary
+	WriteBinary = graph.WriteBinary
+	// DHTE / DHTLambda are the two published DHT parameterizations.
+	DHTE      = dht.DHTE
+	DHTLambda = dht.DHTLambda
+	// Chain / Triangle / Star / Clique build the standard query graphs.
+	Chain    = core.Chain
+	Triangle = core.Triangle
+	Star     = core.Star
+	Clique   = core.Clique
+	// NewQueryGraph builds a custom query graph; add edges with AddEdge.
+	NewQueryGraph = core.NewQueryGraph
+	// Aggregates.
+	Sum Aggregate = rankjoin.Sum
+	Min Aggregate = rankjoin.Min
+	Max Aggregate = rankjoin.Max
+	Avg Aggregate = rankjoin.Avg
+)
+
+// Options tune a join. The zero value (or a nil pointer) means the paper's
+// defaults: DHTλ with λ = 0.2, accuracy ε = 1e-6 (d = 8), MIN aggregation,
+// per-edge budget m = 50, B-IDJ-Y / PJ-i algorithms.
+type Options struct {
+	// Params are the DHT coefficients; zero means DHTLambda(0.2).
+	Params Params
+	// Epsilon bounds the truncation error |h − h_d| (Lemma 1); zero means
+	// 1e-6. Ignored when D is set.
+	Epsilon float64
+	// D forces the truncation depth directly.
+	D int
+	// Agg is the n-way aggregate; nil means Min.
+	Agg Aggregate
+	// M is the initial per-edge 2-way join budget of PJ/PJ-i; zero means 50.
+	M int
+	// Distinct drops n-way answers that repeat a graph node across tuple
+	// positions. Useful when node sets overlap (e.g. an author active in
+	// two research areas), where the degenerate h(v,v)=0 self-pairs would
+	// otherwise dominate the ranking.
+	Distinct bool
+	// Measure selects the walk measure: MeasureDHT (first-hit, the paper's
+	// default) or MeasureReach (reach probabilities, for Personalized
+	// PageRank via the PPR params — the extension named in the paper's
+	// conclusion).
+	Measure Measure
+}
+
+// Measure selects the step probability the score folds.
+type Measure = dht.Kind
+
+// Measure values.
+const (
+	// MeasureDHT folds first-hit probabilities (discounted hitting time).
+	MeasureDHT = dht.FirstHit
+	// MeasureReach folds reach probabilities (e.g. Personalized PageRank).
+	MeasureReach = dht.Reach
+)
+
+// PPR returns the Personalized-PageRank parameters for damping factor c;
+// pair it with MeasureReach.
+func PPR(c float64) Params { return dht.PPR(c) }
+
+func (o *Options) resolve() (Params, int, Aggregate, int, error) {
+	opts := Options{}
+	if o != nil {
+		opts = *o
+	}
+	p := opts.Params
+	if p == (Params{}) {
+		p = dht.DHTLambda(0.2)
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, 0, nil, 0, err
+	}
+	d := opts.D
+	if d == 0 {
+		eps := opts.Epsilon
+		if eps == 0 {
+			eps = 1e-6
+		}
+		d = p.StepsForEpsilon(eps)
+	}
+	if d < 1 {
+		return Params{}, 0, nil, 0, fmt.Errorf("dhtjoin: depth d must be >= 1, got %d", d)
+	}
+	agg := opts.Agg
+	if agg == nil {
+		agg = rankjoin.Min
+	}
+	m := opts.M
+	if m == 0 {
+		m = 50
+	}
+	if m < 0 {
+		return Params{}, 0, nil, 0, fmt.Errorf("dhtjoin: m must be >= 0, got %d", m)
+	}
+	return p, d, agg, m, nil
+}
+
+// TopKPairs runs a top-k 2-way join from P to Q with B-IDJ-Y, returning the
+// k pairs with the highest DHT scores in descending order.
+func TopKPairs(g *Graph, p, q *NodeSet, k int, opts *Options) ([]PairResult, error) {
+	params, d, _, _, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	cfg := join2.Config{Graph: g, Params: params, D: d, P: p.Nodes(), Q: q.Nodes()}
+	if opts != nil {
+		cfg.Measure = opts.Measure
+	}
+	j, err := join2.NewBIDJY(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return j.TopK(k)
+}
+
+// Score computes the truncated DHT score h_d(u, v) directly.
+func Score(g *Graph, u, v NodeID, opts *Options) (float64, error) {
+	params, d, _, _, err := opts.resolve()
+	if err != nil {
+		return 0, err
+	}
+	e, err := dht.NewEngine(g, params, d)
+	if err != nil {
+		return 0, err
+	}
+	kind := MeasureDHT
+	if opts != nil {
+		kind = opts.Measure
+	}
+	return e.ForwardScoreKind(kind, u, v, d), nil
+}
+
+// ScoresFrom computes h_d(u, v) for every node u at once via one backward
+// walk to v; out must have length g.NumNodes() (or be nil to allocate).
+func ScoresFrom(g *Graph, v NodeID, opts *Options, out []float64) ([]float64, error) {
+	params, d, _, _, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	e, err := dht.NewEngine(g, params, d)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		out = make([]float64, g.NumNodes())
+	}
+	kind := MeasureDHT
+	if opts != nil {
+		kind = opts.Measure
+	}
+	e.BackWalkKind(kind, v, d, out)
+	return out, nil
+}
+
+// TopK runs a top-k n-way join over the query graph with PJ-i, returning the
+// k answers with the highest aggregate scores in descending order.
+func TopK(g *Graph, query *QueryGraph, k int, opts *Options) ([]Answer, error) {
+	params, d, agg, m, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	spec := core.Spec{Graph: g, Query: query, Params: params, D: d, Agg: agg, K: k}
+	if opts != nil {
+		spec.Distinct = opts.Distinct
+		spec.Measure = opts.Measure
+	}
+	alg, err := core.NewPJI(spec, m)
+	if err != nil {
+		return nil, err
+	}
+	return alg.Run()
+}
+
+// Steps exposes the Lemma-1 bound: the walk depth needed so that the
+// truncation error is at most eps under params.
+func Steps(params Params, eps float64) int { return params.StepsForEpsilon(eps) }
+
+// SimRank support (the second measure named in the paper's conclusion).
+// SimRank does not fit the walk form the join algorithms exploit, so it is
+// computed by dense fixed-point iteration and joined via JoinLists.
+type (
+	// SimRankMatrix holds converged all-pairs SimRank scores.
+	SimRankMatrix = simrank.Matrix
+	// SimRankOptions tune the fixed-point iteration.
+	SimRankOptions = simrank.Options
+)
+
+// ComputeSimRank runs the SimRank fixed point (graphs up to a few thousand
+// nodes; see the simrank package for the trade-off).
+func ComputeSimRank(g *Graph, opts *SimRankOptions) (*SimRankMatrix, error) {
+	return simrank.Compute(g, opts)
+}
+
+// JoinLists runs the top-k n-way rank join over externally supplied
+// descending per-edge rankings — one list per query edge. This is how
+// non-walk measures (e.g. SimRank via SimRankMatrix.EdgeList) reuse the
+// multi-way machinery.
+func JoinLists(query *QueryGraph, lists [][]PairResult, agg Aggregate, k int, distinct bool) ([]Answer, error) {
+	return core.JoinLists(query, lists, agg, k, distinct)
+}
+
+// LoadText reads a graph (and node sets) from the text format.
+func LoadText(r io.Reader) (*Graph, []*NodeSet, error) { return graph.ReadText(r) }

@@ -1,0 +1,70 @@
+package dhtjoin_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dhtjoin"
+)
+
+// square returns the 4-cycle 0-1-2-3 with one chord.
+func square() *dhtjoin.Graph {
+	b := dhtjoin.NewBuilder(4, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 0, 1)
+	b.AddEdge(0, 2, 1) // chord
+	return b.Build()
+}
+
+func ExampleScore() {
+	g := square()
+	s, err := dhtjoin.Score(g, 1, 3, nil) // defaults: DHTλ, λ=0.2, d=8
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("h(1,3) = %.4f\n", s)
+	// Output:
+	// h(1,3) = -1.2319
+}
+
+func ExampleTopKPairs() {
+	g := square()
+	p := dhtjoin.NewNodeSet("P", []dhtjoin.NodeID{0, 1})
+	q := dhtjoin.NewNodeSet("Q", []dhtjoin.NodeID{2, 3})
+	pairs, err := dhtjoin.TopKPairs(g, p, q, 2, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range pairs {
+		fmt.Printf("%d: (%d,%d) %.4f\n", i+1, r.Pair.P, r.Pair.Q, r.Score)
+	}
+	// Output:
+	// 1: (1,2) -1.1149
+	// 2: (0,2) -1.1486
+}
+
+func ExampleTopK() {
+	g := square()
+	p := dhtjoin.NewNodeSet("P", []dhtjoin.NodeID{0})
+	q := dhtjoin.NewNodeSet("Q", []dhtjoin.NodeID{1, 2})
+	r := dhtjoin.NewNodeSet("R", []dhtjoin.NodeID{3})
+	answers, err := dhtjoin.TopK(g, dhtjoin.Chain(p, q, r), 2, &dhtjoin.Options{Agg: dhtjoin.Sum})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, a := range answers {
+		fmt.Printf("%d: %v %.4f\n", i+1, a.Nodes, a.Score)
+	}
+	// Output:
+	// 1: [0 2 3] -2.3081
+	// 2: [0 1 3] -2.3913
+}
+
+func ExampleSteps() {
+	// The paper's §VII-A default: DHTλ with λ=0.2 and ε=1e-6 needs d=8.
+	fmt.Println(dhtjoin.Steps(dhtjoin.DHTLambda(0.2), 1e-6))
+	// Output:
+	// 8
+}

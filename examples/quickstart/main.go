@@ -1,0 +1,66 @@
+// Quickstart: build a small social graph in memory, score node closeness
+// with discounted hitting time, run a top-k 2-way join and a top-k 3-way
+// join — the minimal tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dhtjoin"
+)
+
+func main() {
+	// The example graph of the paper's Figure 1(a), loosely: two interest
+	// groups inside one friendship network.
+	//
+	//   soccer fans:     0 1 2
+	//   basketball fans: 6 7
+	//   connectors:      3 4 5
+	names := []string{"Ana", "Bo", "Cleo", "Dev", "Eli", "Fay", "Gus", "Hana"}
+	b := dhtjoin.NewBuilder(len(names), false) // undirected friendships
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {1, 2}, // soccer clique
+		{2, 3}, {3, 4}, {4, 5}, // connectors
+		{1, 4},                 // Bo knows Eli
+		{5, 6}, {6, 7}, {5, 7}, // basketball clique
+	}
+	for _, e := range edges {
+		b.AddEdge(dhtjoin.NodeID(e[0]), dhtjoin.NodeID(e[1]), 1)
+	}
+	g := b.Build()
+
+	soccer := dhtjoin.NewNodeSet("soccer", []dhtjoin.NodeID{0, 1, 2})
+	basket := dhtjoin.NewNodeSet("basketball", []dhtjoin.NodeID{6, 7})
+	bridge := dhtjoin.NewNodeSet("connectors", []dhtjoin.NodeID{3, 4, 5})
+
+	// One pairwise DHT score (defaults: DHTλ, λ=0.2, ε=1e-6 → d=8).
+	s, err := dhtjoin.Score(g, 1, 6, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("h(%s, %s) = %.4f\n\n", names[1], names[6], s)
+
+	// Top-3 2-way join: which soccer fan / basketball fan pairs are closest?
+	pairs, err := dhtjoin.TopKPairs(g, soccer, basket, 3, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top soccer–basketball pairs (friend suggestions):")
+	for i, r := range pairs {
+		fmt.Printf("  %d. %s – %s   h=%.4f\n", i+1, names[r.Pair.P], names[r.Pair.Q], r.Score)
+	}
+
+	// Top-3 3-way chain join: soccer → connector → basketball.
+	answers, err := dhtjoin.TopK(g, dhtjoin.Chain(soccer, bridge, basket), 3, &dhtjoin.Options{
+		Agg: dhtjoin.Sum, // rank by overall closeness along the chain
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop soccer → connector → basketball chains:")
+	for i, a := range answers {
+		fmt.Printf("  %d. %s – %s – %s   f=%.4f\n",
+			i+1, names[a.Nodes[0]], names[a.Nodes[1]], names[a.Nodes[2]], a.Score)
+	}
+}

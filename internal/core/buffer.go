@@ -1,0 +1,133 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/join2"
+)
+
+// buffer is the candidate buffer C_{Ri,Rj} of Algorithm 1: all node pairs
+// pulled so far for one query edge, indexed three ways so getCandidate can
+// look up by left node, right node, or exact pair.
+type buffer struct {
+	score map[join2.Pair]float64
+	byP   map[graph.NodeID][]join2.Pair
+	byQ   map[graph.NodeID][]join2.Pair
+}
+
+func newBuffer() *buffer {
+	return &buffer{
+		score: make(map[join2.Pair]float64),
+		byP:   make(map[graph.NodeID][]join2.Pair),
+		byQ:   make(map[graph.NodeID][]join2.Pair),
+	}
+}
+
+// add records a pulled pair with its DHT score.
+func (b *buffer) add(r join2.Result) {
+	if _, dup := b.score[r.Pair]; dup {
+		return
+	}
+	b.score[r.Pair] = r.Score
+	b.byP[r.Pair.P] = append(b.byP[r.Pair.P], r.Pair)
+	b.byQ[r.Pair.Q] = append(b.byQ[r.Pair.Q], r.Pair)
+}
+
+func (b *buffer) len() int { return len(b.score) }
+
+// expander implements getCandidate (Figure 4): starting from the freshly
+// pulled pair on one query edge, it walks the remaining query edges,
+// extending partial answers with every compatible buffered pair, and emits
+// the complete assignments.
+type expander struct {
+	q    *QueryGraph
+	bufs []*buffer
+
+	// per-expansion state
+	asg      []graph.NodeID // node per set position; -1 = unassigned (#)
+	done     []bool         // per query edge
+	escore   []float64      // per query edge DHT score
+	emit     func(nodes []graph.NodeID, edgeScores []float64)
+	genCount int64
+}
+
+func newExpander(q *QueryGraph, bufs []*buffer) *expander {
+	return &expander{
+		q:      q,
+		bufs:   bufs,
+		asg:    make([]graph.NodeID, q.NumSets()),
+		done:   make([]bool, len(q.Edges())),
+		escore: make([]float64, len(q.Edges())),
+	}
+}
+
+// expand enumerates all complete candidate answers that use the new pair pr
+// on edge ei, calling emit for each. Answers not yet completable (some
+// needed pair missing from the buffers) are silently dropped; they will be
+// regenerated when their missing pair arrives.
+func (x *expander) expand(ei int, pr join2.Pair, emit func(nodes []graph.NodeID, edgeScores []float64)) {
+	for i := range x.asg {
+		x.asg[i] = -1
+	}
+	for i := range x.done {
+		x.done[i] = false
+	}
+	x.emit = emit
+	e := x.q.Edges()[ei]
+	x.asg[e.From], x.asg[e.To] = pr.P, pr.Q
+	x.done[ei] = true
+	x.escore[ei] = x.bufs[ei].score[pr]
+	x.recurse(len(x.q.Edges()) - 1)
+}
+
+// recurse processes the remaining undone edges (remaining counts them).
+func (x *expander) recurse(remaining int) {
+	if remaining == 0 {
+		x.genCount++
+		x.emit(x.asg, x.escore)
+		return
+	}
+	// Pick an undone edge with at least one assigned endpoint; because the
+	// query graph is connected one always exists.
+	ei := -1
+	var e QEdge
+	for i, cand := range x.q.Edges() {
+		if x.done[i] {
+			continue
+		}
+		if x.asg[cand.From] >= 0 || x.asg[cand.To] >= 0 {
+			ei = i
+			e = cand
+			break
+		}
+	}
+	if ei < 0 {
+		// Unreachable for validated (connected) query graphs.
+		panic("core: candidate expansion stuck on a disconnected query graph")
+	}
+	x.done[ei] = true
+	defer func() { x.done[ei] = false }()
+
+	fromSet, toSet := x.asg[e.From] >= 0, x.asg[e.To] >= 0
+	switch {
+	case fromSet && toSet:
+		pr := join2.Pair{P: x.asg[e.From], Q: x.asg[e.To]}
+		if s, ok := x.bufs[ei].score[pr]; ok {
+			x.escore[ei] = s
+			x.recurse(remaining - 1)
+		}
+	case fromSet:
+		for _, pr := range x.bufs[ei].byP[x.asg[e.From]] {
+			x.asg[e.To] = pr.Q
+			x.escore[ei] = x.bufs[ei].score[pr]
+			x.recurse(remaining - 1)
+		}
+		x.asg[e.To] = -1
+	default: // toSet
+		for _, pr := range x.bufs[ei].byQ[x.asg[e.To]] {
+			x.asg[e.From] = pr.P
+			x.escore[ei] = x.bufs[ei].score[pr]
+			x.recurse(remaining - 1)
+		}
+		x.asg[e.From] = -1
+	}
+}

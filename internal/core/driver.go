@@ -1,0 +1,91 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/join2"
+	"repro/internal/pqueue"
+	"repro/internal/rankjoin"
+)
+
+// edgeSource streams the 2-way join results of one query edge in descending
+// score order. Implementations differ in how the stream is produced: a fully
+// materialized list (AP), repeated from-scratch top-(m+i) joins (PJ), or the
+// incremental F structure (PJ-i).
+type edgeSource interface {
+	next() (join2.Result, bool, error)
+}
+
+// driver runs the PBRJ loop of Algorithm 1 (steps 5–14) over per-edge
+// sources: round-robin pulls (HRJN), candidate buffers, getCandidate
+// expansion, and the corner-bound stopping threshold τ.
+type driver struct {
+	spec  *Spec
+	srcs  []edgeSource
+	stats *RunStats
+
+	// noBound disables the corner-bound early stop (τ is ignored and the
+	// sources are drained completely). Only the ablation benches set it.
+	noBound bool
+}
+
+func (d *driver) run() ([]Answer, error) {
+	k := d.spec.clampK()
+	edges := d.spec.Query.Edges()
+	bufs := make([]*buffer, len(edges))
+	for i := range bufs {
+		bufs[i] = newBuffer()
+	}
+	exp := newExpander(d.spec.Query, bufs)
+	bound := rankjoin.NewBound(d.spec.Agg, len(edges))
+	rr := rankjoin.NewRoundRobin(len(edges))
+	out := pqueue.NewTopK[Answer](k)
+	seen := make(map[string]struct{})
+
+	for {
+		if out.Full() && !d.noBound {
+			if min, _ := out.MinScore(); min >= bound.Tau() {
+				break
+			}
+		}
+		ei, ok := rr.Pick()
+		if !ok {
+			break // all sources exhausted
+		}
+		r, ok, err := d.srcs[ei].next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			rr.Exhaust(ei)
+			bound.Exhaust(ei)
+			continue
+		}
+		if d.stats != nil {
+			d.stats.PairsPulled++
+		}
+		bound.Observe(ei, r.Score)
+		bufs[ei].add(r)
+		exp.expand(ei, r.Pair, func(nodes []graph.NodeID, edgeScores []float64) {
+			if d.stats != nil {
+				d.stats.Candidates++
+			}
+			if !d.spec.keepTuple(nodes) {
+				return
+			}
+			key := answerKey(nodes)
+			if _, dup := seen[key]; dup {
+				return
+			}
+			seen[key] = struct{}{}
+			tuple := make([]graph.NodeID, len(nodes))
+			copy(tuple, nodes)
+			out.Add(Answer{Nodes: tuple}, d.spec.Agg.Combine(edgeScores))
+		})
+	}
+
+	answers, scores := out.Sorted()
+	for i := range answers {
+		answers[i].Score = scores[i]
+	}
+	return answers, nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/graph"
+	"repro/internal/join2"
+	"repro/internal/rankjoin"
+)
+
+func TestBufferIndexes(t *testing.T) {
+	b := newBuffer()
+	b.add(join2.Result{Pair: join2.Pair{P: 1, Q: 10}, Score: 0.5})
+	b.add(join2.Result{Pair: join2.Pair{P: 1, Q: 11}, Score: 0.4})
+	b.add(join2.Result{Pair: join2.Pair{P: 2, Q: 10}, Score: 0.3})
+	b.add(join2.Result{Pair: join2.Pair{P: 1, Q: 10}, Score: 0.9}) // dup ignored
+	if b.len() != 3 {
+		t.Fatalf("len = %d", b.len())
+	}
+	if s := b.score[join2.Pair{P: 1, Q: 10}]; s != 0.5 {
+		t.Fatalf("dup overwrote score: %v", s)
+	}
+	if len(b.byP[1]) != 2 || len(b.byQ[10]) != 2 {
+		t.Fatalf("indexes wrong: byP[1]=%d byQ[10]=%d", len(b.byP[1]), len(b.byQ[10]))
+	}
+}
+
+// TestExpanderBranching exercises the Figure-4 discussion: when a buffer
+// holds two pairs sharing the anchor node, two partial answers must branch.
+func TestExpanderBranching(t *testing.T) {
+	sets := []*graph.NodeSet{
+		graph.NewNodeSet("A", []graph.NodeID{0}),
+		graph.NewNodeSet("B", []graph.NodeID{1}),
+		graph.NewNodeSet("C", []graph.NodeID{2, 3}),
+	}
+	q := Chain(sets...) // A→B→C
+	bufs := []*buffer{newBuffer(), newBuffer()}
+	bufs[0].add(join2.Result{Pair: join2.Pair{P: 0, Q: 1}, Score: 0.9})
+	bufs[1].add(join2.Result{Pair: join2.Pair{P: 1, Q: 2}, Score: 0.8})
+	bufs[1].add(join2.Result{Pair: join2.Pair{P: 1, Q: 3}, Score: 0.7})
+
+	x := newExpander(q, bufs)
+	var got [][]graph.NodeID
+	x.expand(0, join2.Pair{P: 0, Q: 1}, func(nodes []graph.NodeID, edgeScores []float64) {
+		cp := make([]graph.NodeID, len(nodes))
+		copy(cp, nodes)
+		got = append(got, cp)
+		if len(edgeScores) != 2 {
+			t.Fatalf("edge scores = %v", edgeScores)
+		}
+	})
+	if len(got) != 2 {
+		t.Fatalf("expected 2 branched answers, got %v", got)
+	}
+}
+
+// TestExpanderIncompletePartialDropped: a partial answer whose remaining
+// edge has no compatible buffered pair must vanish silently.
+func TestExpanderIncompletePartial(t *testing.T) {
+	sets := []*graph.NodeSet{
+		graph.NewNodeSet("A", []graph.NodeID{0}),
+		graph.NewNodeSet("B", []graph.NodeID{1}),
+		graph.NewNodeSet("C", []graph.NodeID{2}),
+	}
+	q := Chain(sets...)
+	bufs := []*buffer{newBuffer(), newBuffer()}
+	bufs[0].add(join2.Result{Pair: join2.Pair{P: 0, Q: 1}, Score: 0.9})
+	// bufs[1] empty: no (B,C) pair yet.
+	x := newExpander(q, bufs)
+	count := 0
+	x.expand(0, join2.Pair{P: 0, Q: 1}, func([]graph.NodeID, []float64) { count++ })
+	if count != 0 {
+		t.Fatalf("incomplete partial emitted %d answers", count)
+	}
+}
+
+// failingSource checks error propagation through the PBRJ driver.
+type failingSource struct{ calls int }
+
+func (s *failingSource) next() (join2.Result, bool, error) {
+	s.calls++
+	return join2.Result{}, false, errors.New("stream broke")
+}
+
+func TestDriverPropagatesSourceError(t *testing.T) {
+	g, sets := testWorld(t, 1, 4, 4)
+	spec := Spec{
+		Graph:  g,
+		Query:  Chain(sets[:2]...),
+		Params: dht.DHTLambda(0.2),
+		D:      4,
+		Agg:    rankjoin.Min,
+		K:      3,
+	}
+	d := &driver{spec: &spec, srcs: []edgeSource{&failingSource{}}}
+	if _, err := d.run(); err == nil || err.Error() != "stream broke" {
+		t.Fatalf("driver error = %v", err)
+	}
+}
+
+// TestListSource covers the AP source.
+func TestListSource(t *testing.T) {
+	s := &listSource{list: []join2.Result{
+		{Pair: join2.Pair{P: 0, Q: 1}, Score: 2},
+		{Pair: join2.Pair{P: 0, Q: 2}, Score: 1},
+	}}
+	for i := 0; i < 2; i++ {
+		if _, ok, err := s.next(); !ok || err != nil {
+			t.Fatalf("next %d failed", i)
+		}
+	}
+	if _, ok, _ := s.next(); ok {
+		t.Fatal("exhausted source kept producing")
+	}
+}
+
+// TestRejoinSourceStreamsWholeSpace: the PJ source must eventually deliver
+// every pair exactly once, in descending order.
+func TestRejoinSourceStreamsWholeSpace(t *testing.T) {
+	g, sets := testWorld(t, 5, 5, 5)
+	cfg := join2.Config{
+		Graph:  g,
+		Params: dht.DHTLambda(0.2),
+		D:      8,
+		P:      sets[0].Nodes(),
+		Q:      sets[1].Nodes(),
+	}
+	j, err := join2.NewBIDJY(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refetches int64
+	s, err := newRejoinSource(j, 3, cfg.MaxPairs(), &refetches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[join2.Pair]bool)
+	prev := 1e18
+	for {
+		r, ok, err := s.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if seen[r.Pair] {
+			t.Fatalf("pair %v delivered twice", r.Pair)
+		}
+		seen[r.Pair] = true
+		if r.Score > prev+1e-9 {
+			t.Fatalf("stream not descending at %v", r)
+		}
+		prev = r.Score
+	}
+	if len(seen) != cfg.MaxPairs() {
+		t.Fatalf("delivered %d of %d pairs", len(seen), cfg.MaxPairs())
+	}
+	if refetches == 0 {
+		t.Fatal("no refetches counted")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/join2"
+	"repro/internal/rankjoin"
+)
+
+// JoinLists runs the PBRJ n-way join over externally supplied per-edge pair
+// rankings — the "bring your own similarity" entry point. lists[i] is the
+// complete descending ranking for query edge i; agg and k are as in Spec.
+// It lets measures that do not fit the Equation-4 walk form (e.g. SimRank)
+// reuse the whole multi-way machinery: candidate buffers, getCandidate
+// expansion, and the corner-bound threshold.
+func JoinLists(query *QueryGraph, lists [][]join2.Result, agg rankjoin.Aggregate, k int, distinct bool) ([]Answer, error) {
+	if query == nil {
+		return nil, fmt.Errorf("core: nil query graph")
+	}
+	if err := query.Validate(nil); err != nil {
+		return nil, err
+	}
+	if agg == nil {
+		return nil, fmt.Errorf("core: nil aggregate")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if len(lists) != len(query.Edges()) {
+		return nil, fmt.Errorf("core: %d lists for %d query edges", len(lists), len(query.Edges()))
+	}
+	srcs := make([]edgeSource, len(lists))
+	for i, list := range lists {
+		for j := 1; j < len(list); j++ {
+			if list[j].Score > list[j-1].Score+1e-12 {
+				return nil, fmt.Errorf("core: list %d not sorted descending at rank %d", i, j)
+			}
+		}
+		srcs[i] = &listSource{list: list}
+	}
+	// A synthetic spec carries the aggregate, k, and distinct flag; the
+	// graph and DHT parameters are unused on this path (scores come from
+	// the lists), so stand-ins keep Validate-independent fields consistent.
+	spec := &Spec{Query: query, Agg: agg, K: k, Distinct: distinct}
+	d := &driver{spec: spec, srcs: srcs}
+	return d.run()
+}

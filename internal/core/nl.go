@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/dht"
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// NL is the Nested Loop baseline (§III-B): it enumerates the full candidate
+// space Π|R_i| with n nested loops and evaluates every edge's DHT score with
+// a fresh forward walk for every candidate answer — no sharing, no pruning.
+// It exists to anchor the evaluation; it is infeasible beyond tiny inputs
+// (the paper could not complete it for n ≥ 3).
+type NL struct {
+	spec  Spec
+	Stats RunStats
+}
+
+// NewNL validates the spec and returns the algorithm.
+func NewNL(spec Spec) (*NL, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &NL{spec: spec}, nil
+}
+
+// Name implements Algorithm.
+func (a *NL) Name() string { return "NL" }
+
+// Run implements Algorithm.
+func (a *NL) Run() ([]Answer, error) {
+	e, err := dht.NewEngine(a.spec.Graph, a.spec.Params, a.spec.D)
+	if err != nil {
+		return nil, err
+	}
+	q := a.spec.Query
+	n := q.NumSets()
+	k := a.spec.clampK()
+	out := pqueue.NewTopK[Answer](k)
+
+	idx := make([]int, n) // odometer over the node sets
+	tuple := make([]graph.NodeID, n)
+	edgeScores := make([]float64, len(q.Edges()))
+	for {
+		for i := 0; i < n; i++ {
+			tuple[i] = q.Set(i).Nodes()[idx[i]]
+		}
+		if a.spec.keepTuple(tuple) {
+			for ei, qe := range q.Edges() {
+				edgeScores[ei] = e.ForwardScoreKind(a.spec.Measure, tuple[qe.From], tuple[qe.To], a.spec.D)
+			}
+			a.Stats.Candidates++
+			cp := make([]graph.NodeID, n)
+			copy(cp, tuple)
+			out.Add(Answer{Nodes: cp}, a.spec.Agg.Combine(edgeScores))
+		}
+
+		// Advance the odometer.
+		pos := n - 1
+		for pos >= 0 {
+			idx[pos]++
+			if idx[pos] < q.Set(pos).Len() {
+				break
+			}
+			idx[pos] = 0
+			pos--
+		}
+		if pos < 0 {
+			break
+		}
+	}
+	a.Stats.DHTWalks, a.Stats.DHTEdgeSweeps = e.Walks, e.EdgeSweeps
+
+	answers, scores := out.Sorted()
+	for i := range answers {
+		answers[i].Score = scores[i]
+	}
+	return answers, nil
+}

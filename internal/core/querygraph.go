@@ -1,0 +1,173 @@
+// Package core implements the paper's primary contribution: the top-k
+// multi-way (n-way) join over discounted hitting time (Definition 4) and its
+// four evaluation algorithms — the Nested Loop and All Pairs baselines
+// (§III-B) and the Partial Join family PJ / PJ-i (Algorithm 1, §VI-D).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// QEdge is a directed query-graph edge between node-set positions: the DHT
+// score h(r_From, r_To) of the joined tuple's nodes at those positions
+// contributes one input to the aggregate f.
+type QEdge struct {
+	From, To int
+}
+
+// QueryGraph is the unweighted directed graph Q of Definition 1: vertices are
+// the n node sets R_1..R_n (held by position), edges dictate which node pairs
+// of a candidate answer are scored.
+type QueryGraph struct {
+	sets  []*graph.NodeSet
+	edges []QEdge
+}
+
+// NewQueryGraph creates a query graph over the given node sets and no edges.
+func NewQueryGraph(sets ...*graph.NodeSet) *QueryGraph {
+	return &QueryGraph{sets: sets}
+}
+
+// AddEdge appends the directed edge (from, to); positions index the node-set
+// list. Self-loops and duplicates are rejected by Validate.
+func (q *QueryGraph) AddEdge(from, to int) *QueryGraph {
+	q.edges = append(q.edges, QEdge{from, to})
+	return q
+}
+
+// NumSets returns n, the number of node sets.
+func (q *QueryGraph) NumSets() int { return len(q.sets) }
+
+// Set returns the node set at position i.
+func (q *QueryGraph) Set(i int) *graph.NodeSet { return q.sets[i] }
+
+// Edges returns the query edges. The slice must not be modified.
+func (q *QueryGraph) Edges() []QEdge { return q.edges }
+
+// Validate checks Definition 1 plus the connectivity the candidate expansion
+// requires: at least two non-empty node sets, in-range distinct edge
+// endpoints, no duplicate edges, every set touched by an edge, and a
+// connected edge structure (treating edges as undirected).
+func (q *QueryGraph) Validate(g *graph.Graph) error {
+	if len(q.sets) < 2 {
+		return fmt.Errorf("core: query graph needs >= 2 node sets, got %d", len(q.sets))
+	}
+	if len(q.edges) == 0 {
+		return fmt.Errorf("core: query graph has no edges")
+	}
+	for i, s := range q.sets {
+		if s == nil || s.Len() == 0 {
+			return fmt.Errorf("core: node set %d is empty", i)
+		}
+		if g != nil {
+			if err := s.Validate(g); err != nil {
+				return err
+			}
+		}
+	}
+	seen := make(map[QEdge]struct{}, len(q.edges))
+	touched := make([]bool, len(q.sets))
+	for _, e := range q.edges {
+		if e.From < 0 || e.From >= len(q.sets) || e.To < 0 || e.To >= len(q.sets) {
+			return fmt.Errorf("core: query edge (%d,%d) out of range [0,%d)", e.From, e.To, len(q.sets))
+		}
+		if e.From == e.To {
+			return fmt.Errorf("core: query edge (%d,%d) is a self-loop", e.From, e.To)
+		}
+		if _, dup := seen[e]; dup {
+			return fmt.Errorf("core: duplicate query edge (%d,%d)", e.From, e.To)
+		}
+		seen[e] = struct{}{}
+		touched[e.From], touched[e.To] = true, true
+	}
+	for i, t := range touched {
+		if !t {
+			return fmt.Errorf("core: node set %d (%s) is not connected to any query edge", i, q.sets[i].Name)
+		}
+	}
+	// Connectivity over the undirected skeleton.
+	adj := make([][]int, len(q.sets))
+	for _, e := range q.edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	visited := make([]bool, len(q.sets))
+	stack := []int{0}
+	visited[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !visited[v] {
+				visited[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	if count != len(q.sets) {
+		return fmt.Errorf("core: query graph is disconnected (%d of %d sets reachable)", count, len(q.sets))
+	}
+	return nil
+}
+
+// MaxAnswers returns the candidate-space size Π|R_i|, saturating at MaxInt to
+// avoid overflow for large inputs.
+func (q *QueryGraph) MaxAnswers() int {
+	const maxInt = int(^uint(0) >> 1)
+	total := 1
+	for _, s := range q.sets {
+		if s.Len() != 0 && total > maxInt/s.Len() {
+			return maxInt
+		}
+		total *= s.Len()
+	}
+	return total
+}
+
+// Chain builds the paper's chain query graph (Figure 2(b)) over the sets:
+// R_1 → R_2 → … → R_n.
+func Chain(sets ...*graph.NodeSet) *QueryGraph {
+	q := NewQueryGraph(sets...)
+	for i := 0; i+1 < len(sets); i++ {
+		q.AddEdge(i, i+1)
+	}
+	return q
+}
+
+// Triangle builds the paper's triangle query graph (Figure 2(a)) over three
+// sets, with both directions on every side (the paper's single line denotes
+// two opposite edges).
+func Triangle(a, b, c *graph.NodeSet) *QueryGraph {
+	q := NewQueryGraph(a, b, c)
+	q.AddEdge(0, 1).AddEdge(1, 0)
+	q.AddEdge(1, 2).AddEdge(2, 1)
+	q.AddEdge(0, 2).AddEdge(2, 0)
+	return q
+}
+
+// Star builds the paper's star query graph (Figure 2(c)): directed edges from
+// every leaf to the centre set (position 0).
+func Star(centre *graph.NodeSet, leaves ...*graph.NodeSet) *QueryGraph {
+	sets := append([]*graph.NodeSet{centre}, leaves...)
+	q := NewQueryGraph(sets...)
+	for i := 1; i < len(sets); i++ {
+		q.AddEdge(i, 0)
+	}
+	return q
+}
+
+// Clique builds the complete directed query graph over the sets (both
+// directions between every pair).
+func Clique(sets ...*graph.NodeSet) *QueryGraph {
+	q := NewQueryGraph(sets...)
+	for i := range sets {
+		for j := i + 1; j < len(sets); j++ {
+			q.AddEdge(i, j).AddEdge(j, i)
+		}
+	}
+	return q
+}

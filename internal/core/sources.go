@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/join2"
+)
+
+// listSource streams a fully materialized, descending-sorted result list —
+// the AP strategy, where every pair of the edge's node sets has been scored
+// up front.
+type listSource struct {
+	list []join2.Result
+	pos  int
+}
+
+func (s *listSource) next() (join2.Result, bool, error) {
+	if s.pos >= len(s.list) {
+		return join2.Result{}, false, nil
+	}
+	r := s.list[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// rejoinSource is PJ's edge stream: an initial top-m join, then — whenever
+// the list runs dry — a from-scratch top-(m+1), top-(m+2), … join, keeping
+// only the newly exposed last pair (Algorithm 1, steps 9–10, implemented "by
+// simply running a top-(m+1) join"). Deliberately wasteful: this is the cost
+// PJ-i removes.
+type rejoinSource struct {
+	joiner    join2.Joiner
+	maxPairs  int
+	m         int
+	list      []join2.Result
+	pos       int
+	refetches *int64
+}
+
+func newRejoinSource(j join2.Joiner, m, maxPairs int, refetches *int64) (*rejoinSource, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("core: negative m %d", m)
+	}
+	s := &rejoinSource{joiner: j, maxPairs: maxPairs, m: m, refetches: refetches}
+	if m > 0 {
+		list, err := j.TopK(min(m, maxPairs))
+		if err != nil {
+			return nil, err
+		}
+		s.list = list
+	}
+	return s, nil
+}
+
+func (s *rejoinSource) next() (join2.Result, bool, error) {
+	if s.pos < len(s.list) {
+		r := s.list[s.pos]
+		s.pos++
+		return r, true, nil
+	}
+	if len(s.list) >= s.maxPairs {
+		return join2.Result{}, false, nil
+	}
+	// Re-run the 2-way join from scratch for one more result.
+	s.m = len(s.list) + 1
+	if s.refetches != nil {
+		*s.refetches++
+	}
+	list, err := s.joiner.TopK(s.m)
+	if err != nil {
+		return join2.Result{}, false, err
+	}
+	s.list = list
+	if s.pos >= len(s.list) {
+		return join2.Result{}, false, nil
+	}
+	r := s.list[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// incSource is PJ-i's edge stream: the initial top-m join populates the F
+// structure, after which each additional pair is produced incrementally
+// (§VI-D).
+type incSource struct {
+	inc       *join2.Incremental
+	list      []join2.Result
+	pos       int
+	refetches *int64
+}
+
+func newIncSource(inc *join2.Incremental, m int, refetches *int64) (*incSource, error) {
+	list, err := inc.Run(m)
+	if err != nil {
+		return nil, err
+	}
+	return &incSource{inc: inc, list: list, refetches: refetches}, nil
+}
+
+func (s *incSource) next() (join2.Result, bool, error) {
+	if s.pos < len(s.list) {
+		r := s.list[s.pos]
+		s.pos++
+		return r, true, nil
+	}
+	if s.refetches != nil {
+		*s.refetches++
+	}
+	r, ok, err := s.inc.Next()
+	if err != nil || !ok {
+		return join2.Result{}, ok, err
+	}
+	return r, true, nil
+}

@@ -1,0 +1,336 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDBLPShape(t *testing.T) {
+	d, err := DBLP(DBLPConfig{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sets) != 10 {
+		t.Fatalf("areas = %d, want 10", len(d.Sets))
+	}
+	for _, name := range []string{"DB", "AI", "SYS"} {
+		s, err := d.Set(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() == 0 {
+			t.Fatalf("area %s empty", name)
+		}
+	}
+	if !d.Graph.Labeled() {
+		t.Fatal("DBLP nodes should carry author names")
+	}
+	if d.Graph.Label(0) == "" {
+		t.Fatal("node 0 unlabeled")
+	}
+	// Undirected: arcs even; weights in 1..12.
+	if d.Graph.NumEdges()%2 != 0 {
+		t.Fatal("odd arc count for undirected graph")
+	}
+}
+
+func TestDBLPScaleOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale DBLP generation in -short mode")
+	}
+	d, err := DBLP(DBLPConfig{Scale: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(d.Graph)
+	if st.Nodes < 15000 || st.Nodes > 25000 {
+		t.Fatalf("nodes = %d, want ≈20k", st.Nodes)
+	}
+	// Undirected edges = arcs/2; target ≈ 100k–160k.
+	if e := st.Arcs / 2; e < 70000 || e > 200000 {
+		t.Fatalf("edges = %d, want ≈120k", e)
+	}
+	if st.Sinks != 0 {
+		t.Fatalf("%d sink nodes", st.Sinks)
+	}
+}
+
+func TestYeastShape(t *testing.T) {
+	d, err := Yeast(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(d.Graph)
+	if st.Nodes != 2400 {
+		t.Fatalf("nodes = %d, want 2400", st.Nodes)
+	}
+	if e := st.Arcs / 2; e < 5000 || e > 10000 {
+		t.Fatalf("edges = %d, want ≈7.2k", e)
+	}
+	if len(d.Sets) != 13 {
+		t.Fatalf("classes = %d, want 13", len(d.Sets))
+	}
+	u := d.MustSet("3-U")
+	dd := d.MustSet("8-D")
+	if u.Len() <= dd.Len() {
+		t.Fatalf("3-U (%d) should be the largest class, 8-D (%d) second", u.Len(), dd.Len())
+	}
+	if _, err := d.Set("5-F"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Set("nope"); err == nil {
+		t.Fatal("unknown set accepted")
+	}
+}
+
+func TestYouTubeShape(t *testing.T) {
+	d, err := YouTube(YouTubeConfig{Scale: 0.02, Seed: 4, Groups: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sets) != 10 {
+		t.Fatalf("groups = %d", len(d.Sets))
+	}
+	for _, s := range d.Sets {
+		if s.Len() < 10 {
+			t.Fatalf("group %s too small: %d", s.Name, s.Len())
+		}
+	}
+	if _, err := d.Set("1"); err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(d.Graph)
+	if st.Components != 1 {
+		t.Fatalf("YouTube graph disconnected: %d comps", st.Components)
+	}
+}
+
+func TestTopByDegree(t *testing.T) {
+	d, err := DBLP(DBLPConfig{Scale: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := d.TopByDegree("DB", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.Len() != 20 {
+		t.Fatalf("top = %d, want 20", top.Len())
+	}
+	// Members must come from DB and be sorted by weighted degree descending.
+	db := d.MustSet("DB")
+	wdeg := func(u graph.NodeID) float64 {
+		_, w, _ := d.Graph.OutEdges(u)
+		var s float64
+		for _, x := range w {
+			s += x
+		}
+		return s
+	}
+	prev := wdeg(top.Nodes()[0])
+	for _, u := range top.Nodes() {
+		if !db.Contains(u) {
+			t.Fatalf("node %d not in DB", u)
+		}
+		if w := wdeg(u); w > prev {
+			t.Fatalf("top list not degree-sorted")
+		} else {
+			prev = w
+		}
+	}
+	if _, err := d.TopByDegree("nope", 5); err == nil {
+		t.Fatal("unknown set accepted")
+	}
+	// Requesting more than the set size returns everything.
+	all, err := d.TopByDegree("BIO", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != d.MustSet("BIO").Len() {
+		t.Fatalf("oversized request returned %d of %d", all.Len(), d.MustSet("BIO").Len())
+	}
+}
+
+func TestEdgeYearDeterministicSymmetric(t *testing.T) {
+	for u := graph.NodeID(0); u < 50; u++ {
+		for v := u + 1; v < 50; v += 7 {
+			y1, y2 := EdgeYear(u, v), EdgeYear(v, u)
+			if y1 != y2 {
+				t.Fatalf("EdgeYear asymmetric for (%d,%d)", u, v)
+			}
+			if y1 < 1970 || y1 > 2012 {
+				t.Fatalf("year %d out of range", y1)
+			}
+		}
+	}
+}
+
+func TestSplitTemporal(t *testing.T) {
+	d, err := DBLP(DBLPConfig{Scale: 0.05, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testG, removed := SplitTemporal(d.Graph, 2010)
+	if len(removed) == 0 {
+		t.Fatal("no edges removed")
+	}
+	if testG.NumEdges() >= d.Graph.NumEdges() {
+		t.Fatal("test graph not smaller")
+	}
+	for _, e := range removed {
+		if EdgeYear(e[0], e[1]) < 2010 {
+			t.Fatalf("removed edge dated %d < 2010", EdgeYear(e[0], e[1]))
+		}
+		if testG.HasEdge(e[0], e[1]) || testG.HasEdge(e[1], e[0]) {
+			t.Fatalf("removed edge (%d,%d) still in T", e[0], e[1])
+		}
+	}
+	// Edges older than the cut must survive.
+	for u := 0; u < testG.NumNodes(); u++ {
+		to, _, _ := testG.OutEdges(graph.NodeID(u))
+		for _, v := range to {
+			if EdgeYear(graph.NodeID(u), v) >= 2010 {
+				t.Fatalf("edge (%d,%d) dated %d survived the cut", u, v, EdgeYear(graph.NodeID(u), v))
+			}
+		}
+	}
+}
+
+func TestSplitCross(t *testing.T) {
+	d, err := Yeast(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q := d.MustSet("3-U"), d.MustSet("8-D")
+	testG, removed := SplitCross(d.Graph, p, q, 0.5, 11)
+	if len(removed) == 0 {
+		t.Fatal("nothing removed")
+	}
+	for _, e := range removed {
+		if testG.HasEdge(e[0], e[1]) {
+			t.Fatalf("removed edge (%d,%d) still present", e[0], e[1])
+		}
+		if !d.Graph.HasEdge(e[0], e[1]) {
+			t.Fatalf("removed edge (%d,%d) not in true graph", e[0], e[1])
+		}
+		inP := p.Contains(e[0]) || p.Contains(e[1])
+		inQ := q.Contains(e[0]) || q.Contains(e[1])
+		if !inP || !inQ {
+			t.Fatalf("removed edge (%d,%d) does not span (P,Q)", e[0], e[1])
+		}
+	}
+	// Roughly half the cross edges removed.
+	_, all := SplitCross(d.Graph, p, q, 1.0, 11)
+	ratio := float64(len(removed)) / float64(len(all))
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("removed ratio = %v, want ≈0.5", ratio)
+	}
+}
+
+func TestCrossEdgeCount(t *testing.T) {
+	b := graph.NewBuilder(6, false)
+	b.AddEdge(0, 3, 1)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(0, 1, 1) // within P: not counted
+	b.AddEdge(4, 5, 1) // within Q: not counted
+	g := b.Build()
+	p := graph.NewNodeSet("P", []graph.NodeID{0, 1, 2})
+	q := graph.NewNodeSet("Q", []graph.NodeID{3, 4, 5})
+	if got := CrossEdgeCount(g, p, q); got != 2 {
+		t.Fatalf("CrossEdgeCount = %d, want 2", got)
+	}
+	// Symmetric.
+	if got := CrossEdgeCount(g, q, p); got != 2 {
+		t.Fatalf("reverse CrossEdgeCount = %d, want 2", got)
+	}
+}
+
+func TestBestLinkedPair(t *testing.T) {
+	b := graph.NewBuilder(9, false)
+	// Groups A={0,1,2}, B={3,4,5}, C={6,7,8}; A–B share 3 edges, A–C one.
+	b.AddEdge(0, 3, 1)
+	b.AddEdge(1, 4, 1)
+	b.AddEdge(2, 5, 1)
+	b.AddEdge(0, 6, 1)
+	g := b.Build()
+	d := newDataset("toy", g, []*graph.NodeSet{
+		graph.NewNodeSet("A", []graph.NodeID{0, 1, 2}),
+		graph.NewNodeSet("B", []graph.NodeID{3, 4, 5}),
+		graph.NewNodeSet("C", []graph.NodeID{6, 7, 8}),
+	})
+	x, y, err := BestLinkedPair(d, []string{"A", "B", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := x.Name + y.Name
+	if got != "AB" && got != "BA" {
+		t.Fatalf("BestLinkedPair = %s,%s; want A,B", x.Name, y.Name)
+	}
+	if _, _, err := BestLinkedPair(d, []string{"A"}); err == nil {
+		t.Fatal("single candidate accepted")
+	}
+	if _, _, err := BestLinkedPair(d, []string{"A", "nope"}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestDBLPDualAffiliationOverlap(t *testing.T) {
+	d, err := DBLP(DBLPConfig{Scale: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some author must belong to two areas (12% dual-affiliation rate).
+	member := make(map[graph.NodeID]int)
+	overlap := 0
+	for _, s := range d.Sets {
+		for _, u := range s.Nodes() {
+			member[u]++
+			if member[u] == 2 {
+				overlap++
+			}
+		}
+	}
+	if overlap == 0 {
+		t.Fatal("no dual-affiliation authors generated")
+	}
+}
+
+func TestTrianglesAndSplitCliques(t *testing.T) {
+	// Hand-built graph: triangle (0,10,20) and (1,11,21); sets A={0,1},
+	// B={10,11}, C={20,21}.
+	b := graph.NewBuilder(30, false)
+	b.AddEdge(0, 10, 1)
+	b.AddEdge(10, 20, 1)
+	b.AddEdge(20, 0, 1)
+	b.AddEdge(1, 11, 1)
+	b.AddEdge(11, 21, 1)
+	b.AddEdge(21, 1, 1)
+	b.AddEdge(0, 11, 1) // extra non-triangle edge
+	g := b.Build()
+	a := graph.NewNodeSet("A", []graph.NodeID{0, 1})
+	bb := graph.NewNodeSet("B", []graph.NodeID{10, 11})
+	c := graph.NewNodeSet("C", []graph.NodeID{20, 21})
+
+	tris := Triangles3Way(g, a, bb, c)
+	if len(tris) != 2 {
+		t.Fatalf("triangles = %v, want 2", tris)
+	}
+	testG, broken := SplitCliques(g, a, bb, c, 3)
+	if len(broken) != 2 {
+		t.Fatalf("broken = %d", len(broken))
+	}
+	// Every listed clique must be broken in T but whole in G.
+	for _, tri := range broken {
+		whole := testG.HasEdge(tri[0], tri[1]) && testG.HasEdge(tri[1], tri[2]) && testG.HasEdge(tri[2], tri[0])
+		if whole {
+			t.Fatalf("clique %v still whole in T", tri)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Areas of the synthetic DBLP graph. The first three match the paper's
+// running example (Table III); the rest pad the graph to a realistic mix of
+// research communities.
+var dblpAreas = []string{"DB", "AI", "SYS", "ML", "IR", "NET", "SEC", "THEORY", "HCI", "BIO"}
+
+// name fragments for generated author labels.
+var (
+	givenNames = []string{
+		"Ada", "Alan", "Barbara", "Claude", "Donald", "Edsger", "Frances", "Grace",
+		"John", "Judea", "Ken", "Leslie", "Niklaus", "Robin", "Shafi", "Tim",
+		"Vint", "Whitfield", "Yann", "Zohar",
+	}
+	surnames = []string{
+		"Chen", "Garcia", "Ivanov", "Johnson", "Kim", "Kumar", "Lee", "Li",
+		"Martin", "Mueller", "Nakamura", "Okafor", "Patel", "Rossi", "Santos",
+		"Silva", "Smith", "Tanaka", "Wang", "Zhang",
+	}
+)
+
+// DBLPConfig sizes the synthetic bibliographic graph.
+type DBLPConfig struct {
+	// Scale multiplies the default community sizes. Scale 1 yields roughly
+	// 20k authors / 120k co-author edges — a laptop-friendly stand-in for
+	// the real 188k/1.14M graph; the generators keep the same weighting and
+	// community structure at any scale.
+	Scale float64
+	Seed  int64
+}
+
+// DBLP builds the synthetic co-authorship graph: undirected, edge weights =
+// number of co-authored papers (geometric-ish, 1..12), one node set per
+// research area, author-name labels, and a deterministic pseudo "first
+// co-publication year" per edge used by SplitTemporal.
+func DBLP(cfg DBLPConfig) (*Dataset, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	// Base sizes sum to ~20k at scale 1, mildly skewed as real areas are.
+	base := []int{3600, 3200, 2800, 2400, 2000, 1800, 1500, 1200, 900, 600}
+	sizes := make([]int, len(base))
+	for i, b := range base {
+		sizes[i] = int(float64(b) * cfg.Scale)
+		if sizes[i] < 4 {
+			sizes[i] = 4
+		}
+	}
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes:      sizes,
+		PIn:        pinForMeanDegree(7, sizes), // ~7 within-area co-authors
+		POut:       0.002,                      // a couple of cross-area collaborations each
+		Seed:       cfg.Seed,
+		MaxWeight:  12,
+		MinOutLink: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Dual-affiliation authors: real research areas overlap heavily (an
+	// author publishing in both DB and AI), which is where cross-area link
+	// prediction gets its signal. ~12% of authors join a second, nearby area
+	// with a handful of extra co-author edges, and are counted as members of
+	// both areas' node sets.
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	members := make([][]graph.NodeID, len(sets))
+	for i, s := range sets {
+		members[i] = append([]graph.NodeID(nil), s.Nodes()...)
+	}
+	b := graph.NewBuilder(g.NumNodes(), true)
+	for u := 0; u < g.NumNodes(); u++ {
+		to, w, _ := g.OutEdges(graph.NodeID(u))
+		for j := range to {
+			b.AddEdge(graph.NodeID(u), to[j], w[j])
+		}
+		b.SetLabel(graph.NodeID(u), authorName(rng, u))
+	}
+	for area, s := range sets {
+		for _, u := range s.Nodes() {
+			if rng.Float64() >= 0.12 {
+				continue
+			}
+			// Prefer the neighboring area in the list (research areas form a
+			// loose topical chain), occasionally any other.
+			second := (area + 1) % len(sets)
+			if rng.Float64() < 0.3 {
+				second = rng.Intn(len(sets))
+			}
+			if second == area {
+				continue
+			}
+			peers := sets[second].Nodes()
+			links := 2 + rng.Intn(4)
+			for t := 0; t < links; t++ {
+				v := peers[rng.Intn(len(peers))]
+				if v == u {
+					continue
+				}
+				w := float64(1 + rng.Intn(4))
+				b.AddEdge(u, v, w)
+				b.AddEdge(v, u, w) // keep the co-authorship graph undirected
+			}
+			members[second] = append(members[second], u)
+		}
+	}
+	labeled := b.Build()
+	// Real co-authorship graphs are highly transitive (papers have >2
+	// authors); close wedges to add ≈30% more edges.
+	labeled = graph.CloseTriads(labeled, labeled.NumEdges()/6, cfg.Seed+13)
+	named := make([]*graph.NodeSet, len(sets))
+	for i := range sets {
+		named[i] = graph.NewNodeSet(dblpAreas[i], members[i])
+	}
+	return newDataset("DBLP", labeled, named), nil
+}
+
+// pinForMeanDegree chooses the within-community probability so that the mean
+// within-community degree is roughly target.
+func pinForMeanDegree(target float64, sizes []int) float64 {
+	// mean degree within a community of size s is pin*(s-1); use the
+	// size-weighted mean community size.
+	var tot, n float64
+	for _, s := range sizes {
+		tot += float64(s) * float64(s)
+		n += float64(s)
+	}
+	meanSize := tot / n
+	p := target / (meanSize - 1)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// authorName renders a deterministic unique author label.
+func authorName(rng *rand.Rand, id int) string {
+	g := givenNames[rng.Intn(len(givenNames))]
+	s := surnames[rng.Intn(len(surnames))]
+	return fmt.Sprintf("%s %s #%04d", g, s, id)
+}
+
+// EdgeYear returns the deterministic pseudo year (1970–2012) attached to the
+// undirected co-author edge {u, v}. It is a pure hash of the endpoint pair,
+// so both directions agree and no storage is needed.
+func EdgeYear(u, v graph.NodeID) int {
+	if u > v {
+		u, v = v, u
+	}
+	h := uint64(u)*0x9E3779B97F4A7C15 ^ uint64(v)*0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return 1970 + int(h%43) // 1970..2012
+}
+
+// SplitTemporal derives the test graph T by keeping only edges whose pseudo
+// year is strictly before cutYear — the paper's "co-authorship graph by
+// retaining only the edges before 1st January 2010" (§VII-B). It returns T
+// and the list of removed (future) undirected edges.
+func SplitTemporal(g *graph.Graph, cutYear int) (*graph.Graph, [][2]graph.NodeID) {
+	var removed [][2]graph.NodeID
+	for u := 0; u < g.NumNodes(); u++ {
+		to, _, _ := g.OutEdges(graph.NodeID(u))
+		for _, v := range to {
+			if graph.NodeID(u) < v && EdgeYear(graph.NodeID(u), v) >= cutYear {
+				removed = append(removed, [2]graph.NodeID{graph.NodeID(u), v})
+			}
+		}
+	}
+	return graph.RemoveEdges(g, removed), removed
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// SplitCross derives a test graph T by randomly removing the given fraction
+// of the undirected edges between P and Q — the paper's construction for
+// Yeast and YouTube link prediction ("randomly removing half of the edges
+// between the node pairs in (P,Q)", §VII-B). It returns T and the removed
+// edges, which are the positives the join should rediscover.
+func SplitCross(g *graph.Graph, p, q *graph.NodeSet, fraction float64, seed int64) (*graph.Graph, [][2]graph.NodeID) {
+	rng := rand.New(rand.NewSource(seed))
+	var candidates [][2]graph.NodeID
+	for _, u := range p.Nodes() {
+		to, _, _ := g.OutEdges(u)
+		for _, v := range to {
+			if q.Contains(v) {
+				candidates = append(candidates, [2]graph.NodeID{u, v})
+			}
+		}
+	}
+	// Dedup undirected duplicates: keep the u<v canonical form once.
+	seen := make(map[[2]graph.NodeID]struct{}, len(candidates))
+	uniq := candidates[:0]
+	for _, e := range candidates {
+		c := e
+		if c[0] > c[1] {
+			c[0], c[1] = c[1], c[0]
+		}
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		uniq = append(uniq, c)
+	}
+	rng.Shuffle(len(uniq), func(i, j int) { uniq[i], uniq[j] = uniq[j], uniq[i] })
+	nDrop := int(float64(len(uniq)) * fraction)
+	removed := uniq[:nDrop]
+	return graph.RemoveEdges(g, removed), removed
+}
+
+// CrossEdgeCount returns the number of distinct undirected edges spanning
+// (P, Q).
+func CrossEdgeCount(g *graph.Graph, p, q *graph.NodeSet) int {
+	seen := make(map[[2]graph.NodeID]struct{})
+	for _, u := range p.Nodes() {
+		to, _, _ := g.OutEdges(u)
+		for _, v := range to {
+			if !q.Contains(v) {
+				continue
+			}
+			c := [2]graph.NodeID{u, v}
+			if c[0] > c[1] {
+				c[0], c[1] = c[1], c[0]
+			}
+			seen[c] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// BestLinkedPair returns the two sets among candidates with the most
+// spanning edges — used to pick YouTube interest groups that actually
+// interface, since randomly grown groups on the scaled-down graph may be
+// disjoint (the real graph's group ids 1 and 5 happen to interface).
+func BestLinkedPair(d *Dataset, candidates []string) (*graph.NodeSet, *graph.NodeSet, error) {
+	var bestA, bestB *graph.NodeSet
+	best := -1
+	for i := 0; i < len(candidates); i++ {
+		a, err := d.Set(candidates[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		for j := i + 1; j < len(candidates); j++ {
+			b, err := d.Set(candidates[j])
+			if err != nil {
+				return nil, nil, err
+			}
+			if c := CrossEdgeCount(d.Graph, a, b); c > best {
+				best, bestA, bestB = c, a, b
+			}
+		}
+	}
+	if bestA == nil {
+		return nil, nil, fmt.Errorf("dataset %s: no candidate pairs", d.Name)
+	}
+	return bestA, bestB, nil
+}
+
+// Triangles3Way enumerates the 3-cliques of g with one node in each of the
+// three sets, in canonical (a∈A, b∈B, c∈C) orientation.
+func Triangles3Way(g *graph.Graph, a, b, c *graph.NodeSet) [][3]graph.NodeID {
+	var out [][3]graph.NodeID
+	seen := make(map[[3]graph.NodeID]struct{})
+	for _, u := range a.Nodes() {
+		to, _, _ := g.OutEdges(u)
+		for _, v := range to {
+			if !b.Contains(v) {
+				continue
+			}
+			to2, _, _ := g.OutEdges(v)
+			for _, w := range to2 {
+				if !c.Contains(w) || !g.HasEdge(w, u) {
+					continue
+				}
+				key := [3]graph.NodeID{u, v, w}
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				out = append(out, key)
+			}
+		}
+	}
+	return out
+}
+
+// SplitCliques derives a test graph for 3-clique prediction: one randomly
+// chosen edge is removed from each 3-clique spanning (A, B, C) — the paper's
+// construction for Yeast and YouTube (§VII-B.3). It returns T and the list
+// of broken cliques.
+func SplitCliques(g *graph.Graph, a, b, c *graph.NodeSet, seed int64) (*graph.Graph, [][3]graph.NodeID) {
+	rng := rand.New(rand.NewSource(seed))
+	tris := Triangles3Way(g, a, b, c)
+	var drop [][2]graph.NodeID
+	for _, tri := range tris {
+		switch rng.Intn(3) {
+		case 0:
+			drop = append(drop, [2]graph.NodeID{tri[0], tri[1]})
+		case 1:
+			drop = append(drop, [2]graph.NodeID{tri[1], tri[2]})
+		default:
+			drop = append(drop, [2]graph.NodeID{tri[2], tri[0]})
+		}
+	}
+	return graph.RemoveEdges(g, drop), tris
+}

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// YouTubeConfig sizes the synthetic social-sharing graph.
+type YouTubeConfig struct {
+	// Scale multiplies the default node count. Scale 1 yields ≈50k users /
+	// ≈150k friendship edges — a scaled-down stand-in for the real 1.1M/3M
+	// graph with the same preferential-attachment degree shape.
+	Scale float64
+	Seed  int64
+	// Groups is how many interest groups to extract (default 100). Group ids
+	// start at 1, matching the paper's anonymous "groups with ids 1, 5, 88".
+	Groups int
+}
+
+// YouTube builds the synthetic friendship graph with overlapping interest
+// groups. Groups are grown from random seed users by a short biased BFS, so
+// members are socially close — the way real interest groups look — and a
+// user may belong to several groups.
+func YouTube(cfg YouTubeConfig) (*Dataset, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Groups <= 0 {
+		cfg.Groups = 100
+	}
+	n := int(50000 * cfg.Scale)
+	if n < 100 {
+		n = 100
+	}
+	g, err := graph.GeneratePreferential(n, 3, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Preferential attachment alone has vanishing clustering; friendship
+	// graphs do not. Close wedges for ≈40% extra edges.
+	g = graph.CloseTriads(g, g.NumEdges()/5, cfg.Seed+13)
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	sets := make([]*graph.NodeSet, cfg.Groups)
+	for gi := 0; gi < cfg.Groups; gi++ {
+		size := 40 + rng.Intn(120)
+		sets[gi] = graph.NewNodeSet(fmt.Sprintf("%d", gi+1), growGroup(g, rng, size))
+	}
+	return newDataset("YouTube", g, sets), nil
+}
+
+// growGroup performs a randomized BFS from a random seed, collecting up to
+// size socially-near members.
+func growGroup(g *graph.Graph, rng *rand.Rand, size int) []graph.NodeID {
+	start := graph.NodeID(rng.Intn(g.NumNodes()))
+	members := []graph.NodeID{start}
+	in := map[graph.NodeID]struct{}{start: {}}
+	frontier := []graph.NodeID{start}
+	for len(members) < size && len(frontier) > 0 {
+		u := frontier[rng.Intn(len(frontier))]
+		to, _, _ := g.OutEdges(u)
+		added := false
+		for _, v := range to {
+			if _, dup := in[v]; dup {
+				continue
+			}
+			// Join probability decays with current size, giving groups a
+			// dense core and a sparse fringe.
+			if rng.Float64() < 0.6 {
+				in[v] = struct{}{}
+				members = append(members, v)
+				frontier = append(frontier, v)
+				added = true
+				if len(members) >= size {
+					break
+				}
+			}
+		}
+		if !added {
+			// Remove a stuck frontier node; if the frontier drains, restart
+			// from a fresh random member's neighborhood.
+			for i, f := range frontier {
+				if f == u {
+					frontier = append(frontier[:i], frontier[i+1:]...)
+					break
+				}
+			}
+			if len(frontier) == 0 && len(members) < size {
+				frontier = append(frontier, members[rng.Intn(len(members))])
+				// Avoid livelock: also admit one random global node.
+				v := graph.NodeID(rng.Intn(g.NumNodes()))
+				if _, dup := in[v]; !dup {
+					in[v] = struct{}{}
+					members = append(members, v)
+					frontier = append(frontier, v)
+				}
+			}
+		}
+	}
+	return members
+}

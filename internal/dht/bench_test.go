@@ -1,0 +1,85 @@
+package dht
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, _, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{800, 800, 800}, PIn: 0.01, POut: 0.01, Seed: 1, MinOutLink: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkBackWalk measures the §VI-A primitive: one d-step backward walk
+// scoring every source node against one target.
+func BenchmarkBackWalk(b *testing.B) {
+	g := benchGraph(b)
+	e, err := NewEngine(g, DHTLambda(0.2), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]float64, g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.BackWalk(graph.NodeID(i%g.NumNodes()), 8, out)
+	}
+}
+
+// BenchmarkForwardScore measures the per-pair forward absorbing walk (the
+// F-BJ primitive) for comparison against BackWalk: one forward walk scores a
+// single pair, one backward walk scores |V| pairs.
+func BenchmarkForwardScore(b *testing.B) {
+	g := benchGraph(b)
+	e, err := NewEngine(g, DHTLambda(0.2), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ForwardScore(graph.NodeID(i%100), graph.NodeID(1000+i%100))
+	}
+}
+
+// BenchmarkYBoundTable measures the Theorem-1 precomputation.
+func BenchmarkYBoundTable(b *testing.B) {
+	g := benchGraph(b)
+	e, err := NewEngine(g, DHTLambda(0.2), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]graph.NodeID, 100)
+	q := make([]graph.NodeID, 100)
+	for i := range p {
+		p[i] = graph.NodeID(i)
+		q[i] = graph.NodeID(1000 + i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewYBoundTable(e, p, q)
+	}
+}
+
+// BenchmarkExactColumn measures the dense ground-truth solver on a small
+// graph (it is O(n³) and exists only for verification).
+func BenchmarkExactColumn(b *testing.B) {
+	g, _, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{60, 60}, PIn: 0.1, POut: 0.05, Seed: 2, MinOutLink: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DHTLambda(0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExactColumn(g, p, graph.NodeID(i%g.NumNodes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

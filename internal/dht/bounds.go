@@ -1,0 +1,63 @@
+package dht
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// YBoundTable precomputes Y⁺ₗ(P, q) of Theorem 1 for every candidate target
+// q ∈ Q and every cut step l ∈ [0, d]:
+//
+//	Y⁺ₗ(P, q) = α · Σ_{i=l+1..d} λ^i · min( Σ_{p∈P} S_i(p, q), 1 )
+//
+// where S_i(p, q) is the probability a walk from p reaches q (not necessarily
+// for the first time) at step i. Building the table is one unabsorbed d-step
+// walk from all of P simultaneously — O(d·|E|) — after which Bound is O(1).
+type YBoundTable struct {
+	d     int
+	y     [][]float64 // y[qi][l], l in [0,d]
+	index map[graph.NodeID]int
+}
+
+// NewYBoundTable computes the table for source set P and target set Q.
+func NewYBoundTable(e *Engine, p, q []graph.NodeID) *YBoundTable {
+	d := e.D
+	reach := e.ReachProbs(p, q, d) // reach[i-1][qi] = Σ_p S_i(p, q_qi)
+	t := &YBoundTable{
+		d:     d,
+		y:     make([][]float64, len(q)),
+		index: make(map[graph.NodeID]int, len(q)),
+	}
+	for qi, node := range q {
+		t.index[node] = qi
+		row := make([]float64, d+1)
+		// Suffix accumulation: row[l] = α Σ_{i>l} λ^i min(mass_i, 1).
+		var suffix float64
+		pow := math.Pow(e.Params.Lambda, float64(d))
+		for i := d; i >= 1; i-- {
+			suffix += pow * math.Min(reach[i-1][qi], 1)
+			pow /= e.Params.Lambda
+			row[i-1] = e.Params.Alpha * suffix
+		}
+		// row[d] = 0: after d steps nothing can be added to h_d.
+		t.y[qi] = row
+	}
+	return t
+}
+
+// Bound returns Y⁺ₗ(P, q). It panics if q was not in the target set or l is
+// outside [0, d] — both indicate caller bugs.
+func (t *YBoundTable) Bound(q graph.NodeID, l int) float64 {
+	qi, ok := t.index[q]
+	if !ok {
+		panic("dht: YBoundTable.Bound called for a target outside the table")
+	}
+	if l < 0 || l > t.d {
+		panic("dht: YBoundTable.Bound cut step out of range")
+	}
+	return t.y[qi][l]
+}
+
+// Depth returns the truncation depth the table was built for.
+func (t *YBoundTable) Depth() int { return t.d }

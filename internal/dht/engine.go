@@ -1,0 +1,204 @@
+package dht
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Engine evaluates DHT scores over a fixed graph with fixed parameters and a
+// fixed truncation depth d. It owns scratch buffers sized to the graph, so a
+// single Engine must not be used concurrently; create one per goroutine.
+//
+// Counters record how much walk work was performed, which the experiment
+// harness reports alongside wall-clock times.
+type Engine struct {
+	G      *graph.Graph
+	Params Params
+	D      int
+
+	// scratch vectors, len = NumNodes
+	cur, next []float64
+
+	// Counters since the last ResetCounters call.
+	EdgeSweeps int64 // number of full O(|E|) relaxation sweeps
+	Walks      int64 // number of walk invocations (forward or backward)
+}
+
+// NewEngine builds an engine for g. d is the truncation depth (Equation 4);
+// use Params.StepsForEpsilon to derive it from an accuracy target.
+func NewEngine(g *graph.Graph, p Params, d int) (*Engine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("dht: depth d must be >= 1, got %d", d)
+	}
+	n := g.NumNodes()
+	return &Engine{
+		G:      g,
+		Params: p,
+		D:      d,
+		cur:    make([]float64, n),
+		next:   make([]float64, n),
+	}, nil
+}
+
+// ResetCounters zeroes the work counters.
+func (e *Engine) ResetCounters() { e.EdgeSweeps, e.Walks = 0, 0 }
+
+// ForwardHitProbs computes the first-hit probabilities P_1..P_steps(p, q) by
+// an absorbing forward walk from p (the F-BJ primitive, §V-B): a probability
+// vector is advanced one step at a time over out-edges, with the mass
+// arriving at q recorded and absorbed. Cost O(steps·|E|).
+func (e *Engine) ForwardHitProbs(p, q graph.NodeID, steps int) []float64 {
+	e.Walks++
+	probs := make([]float64, steps)
+	if p == q {
+		return probs // h(v,v) = 0 by definition; no first-hit mass
+	}
+	cur, next := e.cur, e.next
+	clearVec(cur)
+	cur[p] = 1
+	for i := 0; i < steps; i++ {
+		clearVec(next)
+		e.EdgeSweeps++
+		for u := 0; u < e.G.NumNodes(); u++ {
+			m := cur[u]
+			if m == 0 || graph.NodeID(u) == q {
+				continue
+			}
+			to, _, tp := e.G.OutEdges(graph.NodeID(u))
+			for j := range to {
+				next[to[j]] += m * tp[j]
+			}
+		}
+		probs[i] = next[q]
+		next[q] = 0 // absorb: mass that hit q stops walking
+		cur, next = next, cur
+	}
+	return probs
+}
+
+// ForwardScore computes h_d(p, q) with a forward absorbing walk.
+func (e *Engine) ForwardScore(p, q graph.NodeID) float64 {
+	return e.ForwardScoreAt(p, q, e.D)
+}
+
+// ForwardScoreAt computes the truncated score h_steps(p, q); the iterative
+// deepening algorithms call it with steps < d to obtain cheap lower bounds.
+func (e *Engine) ForwardScoreAt(p, q graph.NodeID, steps int) float64 {
+	if p == q {
+		return 0
+	}
+	return e.Params.Score(e.ForwardHitProbs(p, q, steps))
+}
+
+// BackWalk performs a backward random walk of the given number of steps from
+// q (Equation 5) and accumulates truncated DHT scores into out:
+// out[u] = h_steps(u, q) for every node u ≠ q, and out[q] = 0.
+//
+// One BackWalk costs O(steps·|E|) and yields scores for *all* source nodes at
+// once — the key advantage of backward processing (§VI-A). out must have
+// length NumNodes.
+func (e *Engine) BackWalk(q graph.NodeID, steps int, out []float64) {
+	e.backWalkProbs(q, steps, out, nil)
+}
+
+// BackWalkProbs is BackWalk but additionally records the per-step first-hit
+// probabilities P_i(u,q) for selected sources: for each s in sources,
+// hit[si][i-1] = P_i(sources[si], q). hit rows must have length steps.
+func (e *Engine) BackWalkProbs(q graph.NodeID, steps int, out []float64, sources []graph.NodeID, hit [][]float64) {
+	e.backWalkProbs(q, steps, out, func(i int, vec []float64) {
+		for si, s := range sources {
+			hit[si][i-1] = vec[s]
+		}
+	})
+}
+
+// backWalkProbs implements Equation 5. backProb starts as the indicator of q;
+// each iteration advances every node's probability of first-hitting q via its
+// out-neighbors, records the new P_i, then re-absorbs at q.
+func (e *Engine) backWalkProbs(q graph.NodeID, steps int, out []float64, record func(i int, vec []float64)) {
+	e.Walks++
+	if len(out) != e.G.NumNodes() {
+		panic(fmt.Sprintf("dht: BackWalk out has length %d, want %d", len(out), e.G.NumNodes()))
+	}
+	cur, next := e.cur, e.next
+	clearVec(cur)
+	clearVec(out)
+	cur[q] = 1
+	pow := 1.0
+	for i := 1; i <= steps; i++ {
+		pow *= e.Params.Lambda
+		clearVec(next)
+		e.EdgeSweeps++
+		// next[u] = Σ_{(u,v)∈E} p_uv · cur[v]; sweep in-edges of each v so we
+		// touch each arc exactly once using the in-CSR.
+		for v := 0; v < e.G.NumNodes(); v++ {
+			m := cur[v]
+			if m == 0 {
+				continue
+			}
+			from, _, fp := e.G.InEdges(graph.NodeID(v))
+			for j := range from {
+				next[from[j]] += fp[j] * m
+			}
+		}
+		// next[u] now equals P_i(u, q).
+		if record != nil {
+			record(i, next)
+		}
+		for u := range next {
+			out[u] += pow * next[u]
+		}
+		next[q] = 0 // walkers that reached q stop (Eq. 5 excludes v=q for i>1)
+		cur, next = next, cur
+	}
+	a, b := e.Params.Alpha, e.Params.Beta
+	for u := range out {
+		out[u] = a*out[u] + b
+	}
+	out[q] = 0 // h(q,q) = 0 by definition
+}
+
+// ReachProbs advances an unabsorbed walk from the seed set and reports, for
+// each step i = 1..steps, the total reach mass Σ_{p∈seeds} S_i(p, v) at the
+// selected targets: res[i-1][ti] = Σ_p S_i(p, targets[ti]). This is the
+// ingredient of the Y⁺ₗ bound (Theorem 1). Cost O(steps·|E|).
+func (e *Engine) ReachProbs(seeds, targets []graph.NodeID, steps int) [][]float64 {
+	e.Walks++
+	res := make([][]float64, steps)
+	cur, next := e.cur, e.next
+	clearVec(cur)
+	for _, s := range seeds {
+		cur[s] = 1
+	}
+	for i := 0; i < steps; i++ {
+		clearVec(next)
+		e.EdgeSweeps++
+		for u := 0; u < e.G.NumNodes(); u++ {
+			m := cur[u]
+			if m == 0 {
+				continue
+			}
+			to, _, tp := e.G.OutEdges(graph.NodeID(u))
+			for j := range to {
+				next[to[j]] += m * tp[j]
+			}
+		}
+		row := make([]float64, len(targets))
+		for ti, t := range targets {
+			row[ti] = next[t]
+		}
+		res[i] = row
+		cur, next = next, cur
+	}
+	return res
+}
+
+func clearVec(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

@@ -1,0 +1,102 @@
+// Package eval implements the paper's effectiveness metrics and experiments
+// (§VII-B): ROC curves and AUC over ranked join results, link prediction via
+// 2-way joins on a test graph, and 3-clique prediction via triangle 3-way
+// joins.
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sample is one ranked prediction: its join score and whether the predicted
+// link/clique actually exists in the true graph.
+type Sample struct {
+	Score    float64
+	Positive bool
+}
+
+// Point is one ROC coordinate.
+type Point struct {
+	FPR, TPR float64
+}
+
+// ROC sweeps the classification threshold across the (descending) score
+// order and returns the ROC polyline, beginning at (0,0) and ending at
+// (1,1). Ties are handled by moving through equal-score groups atomically,
+// as Fawcett (2006) prescribes.
+func ROC(samples []Sample) ([]Point, error) {
+	pos, neg := count(samples)
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("eval: ROC needs both positives and negatives (pos=%d neg=%d)", pos, neg)
+	}
+	s := append([]Sample(nil), samples...)
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Score > s[j].Score })
+	pts := []Point{{0, 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j].Score == s[i].Score {
+			if s[j].Positive {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		pts = append(pts, Point{FPR: float64(fp) / float64(neg), TPR: float64(tp) / float64(pos)})
+		i = j
+	}
+	return pts, nil
+}
+
+// AUC computes the area under the ROC curve with the rank-statistic
+// (Mann–Whitney) formulation, giving ties half credit. It equals the
+// probability that a random positive outranks a random negative.
+func AUC(samples []Sample) (float64, error) {
+	pos, neg := count(samples)
+	if pos == 0 || neg == 0 {
+		return 0, fmt.Errorf("eval: AUC needs both positives and negatives (pos=%d neg=%d)", pos, neg)
+	}
+	s := append([]Sample(nil), samples...)
+	sort.SliceStable(s, func(i, j int) bool { return s[i].Score < s[j].Score })
+	// Sum of mid-ranks of the positives (1-based ranks, ascending score).
+	var rankSum float64
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j].Score == s[i].Score {
+			j++
+		}
+		mid := float64(i+1+j) / 2 // average of ranks i+1 .. j
+		for t := i; t < j; t++ {
+			if s[t].Positive {
+				rankSum += mid
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg)), nil
+}
+
+// AUCFromROC integrates a ROC polyline with the trapezoid rule; used to
+// cross-check AUC in tests.
+func AUCFromROC(pts []Point) float64 {
+	var area float64
+	for i := 1; i < len(pts); i++ {
+		dx := pts[i].FPR - pts[i-1].FPR
+		area += dx * (pts[i].TPR + pts[i-1].TPR) / 2
+	}
+	return area
+}
+
+func count(samples []Sample) (pos, neg int) {
+	for _, s := range samples {
+		if s.Positive {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return pos, neg
+}

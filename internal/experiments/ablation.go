@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/join2"
+)
+
+// AblationCornerBound quantifies the PBRJ corner-bound threshold τ
+// (Algorithm 1, step 14): PJ-i with the early stop vs PJ-i forced to drain
+// its sources.
+func AblationCornerBound(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-corner",
+		Title:  "PBRJ corner bound: early stop vs full drain (Yeast 3-way chain)",
+		Header: []string{"corner bound", "time", "pairs pulled", "candidates"},
+	}
+	for _, disable := range []bool{false, true} {
+		spec, err := e.chainSpec("Yeast", 3, e.Cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := core.NewPJI(spec, e.Cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		alg.DisableCornerBound = disable
+		dur, err := timeIt(func() error {
+			_, err := alg.Run()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := "on"
+		if disable {
+			label = "off (drain)"
+		}
+		t.Rows = append(t.Rows, []string{
+			label, fmtDur(dur), fmt.Sprint(alg.Stats.PairsPulled), fmt.Sprint(alg.Stats.Candidates),
+		})
+	}
+	t.Notes = append(t.Notes, "expected: the bound cuts pulled pairs by orders of magnitude; both settings return the same top-k")
+	return t, nil
+}
+
+// AblationIncremental isolates §VI-D: the cost of getNextNodePair as re-join
+// (PJ) vs F-structure reuse (PJ-i) at a starvation-level m.
+func AblationIncremental(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "ablation-incremental",
+		Title:  "getNextNodePair: re-join (PJ) vs incremental (PJ-i), m=5 (Yeast 3-way chain)",
+		Header: []string{"algorithm", "time", "refetches"},
+	}
+	spec, err := e.chainSpec("Yeast", 3, e.Cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	pj, err := core.NewPJ(spec, 5)
+	if err != nil {
+		return nil, err
+	}
+	pjDur, err := timeIt(func() error {
+		_, err := pj.Run()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	pji, err := core.NewPJI(spec, 5)
+	if err != nil {
+		return nil, err
+	}
+	pjiDur, err := timeIt(func() error {
+		_, err := pji.Run()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"PJ", fmtDur(pjDur), fmt.Sprint(pj.Stats.Refetches)},
+		[]string{"PJ-i", fmtDur(pjiDur), fmt.Sprint(pji.Stats.Refetches)},
+	)
+	t.Notes = append(t.Notes, "expected: equal refetch counts, but each PJ refetch is a full 2-way join while each PJ-i refetch is a few heap operations")
+	return t, nil
+}
+
+// AblationSchedule compares the doubling deepening schedule (l = 1,2,4,…)
+// against a linear one (l = 1,2,3,…) inside B-IDJ-Y.
+func AblationSchedule(e *Env) (*Table, error) {
+	cfg, err := e.twoWayConfig("Yeast", e.Params(), e.D())
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "ablation-schedule",
+		Title:  "B-IDJ-Y deepening schedule: doubling vs linear (Yeast 2-way)",
+		Header: []string{"schedule", "time", "iterations"},
+	}
+	for _, linear := range []bool{false, true} {
+		j, err := join2.NewBIDJY(cfg)
+		if err != nil {
+			return nil, err
+		}
+		j.LinearSchedule = linear
+		dur, err := timeIt(func() error {
+			_, err := j.TopK(e.Cfg.K)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := "doubling"
+		if linear {
+			label = "linear"
+		}
+		t.Rows = append(t.Rows, []string{label, fmtDur(dur), fmt.Sprint(len(j.Stats))})
+	}
+	t.Notes = append(t.Notes, "expected: doubling needs O(log d) rounds vs O(d); linear pays more walk restarts for marginally earlier pruning")
+	return t, nil
+}

@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dht"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/rankjoin"
+)
+
+// Table3 reproduces Table III: the top-5 3-way join over the DBLP areas DB,
+// AI, and SYS, under the triangle and the chain query graph (AI→DB→SYS),
+// with MIN aggregation — run with PJ-i as in the paper.
+func Table3(e *Env) (*Table, error) {
+	d, err := e.DBLP()
+	if err != nil {
+		return nil, err
+	}
+	sets, err := e.sets(d, "DB", "AI", "SYS")
+	if err != nil {
+		return nil, err
+	}
+	db, ai, sys := sets[0], sets[1], sets[2]
+
+	run := func(q *core.QueryGraph) ([]core.Answer, error) {
+		spec := core.Spec{
+			Graph:  d.Graph,
+			Query:  q,
+			Params: e.Params(),
+			D:      e.D(),
+			Agg:    rankjoin.Min,
+			K:      5,
+			// The areas overlap (dual-affiliation authors); the paper's
+			// table lists three distinct people per row.
+			Distinct: true,
+		}
+		alg, err := core.NewPJI(spec, e.Cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		return alg.Run()
+	}
+	tri, err := run(core.Triangle(db, ai, sys))
+	if err != nil {
+		return nil, err
+	}
+	// Chain: AI → DB → SYS ("AI is linked to DB, which is connected to SYS").
+	chain, err := run(core.Chain(ai, db, sys))
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:     "table3",
+		Title:  "Top-5 3-way join on DBLP",
+		Header: []string{"rank", "triangle (DB, AI, SYS)", "f", "chain (AI→DB→SYS)", "f"},
+	}
+	name := func(id graph.NodeID) string { return d.Graph.Label(id) }
+	for i := 0; i < 5 && i < len(tri) && i < len(chain); i++ {
+		tr, ch := tri[i], chain[i]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("%s | %s | %s", name(tr.Nodes[0]), name(tr.Nodes[1]), name(tr.Nodes[2])),
+			fmt.Sprintf("%.4f", tr.Score),
+			fmt.Sprintf("%s | %s | %s", name(ch.Nodes[0]), name(ch.Nodes[1]), name(ch.Nodes[2])),
+			fmt.Sprintf("%.4f", ch.Score),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"author names are synthetic; the paper's observation to verify is that triangle and chain rankings differ",
+		overlapNote(tri, chain))
+	return t, nil
+}
+
+// overlapNote reports how many tuples the two rankings share.
+func overlapNote(a, b []core.Answer) string {
+	in := make(map[string]struct{}, len(a))
+	for _, x := range a {
+		in[fmt.Sprint(x.Nodes)] = struct{}{}
+	}
+	shared := 0
+	for _, y := range b {
+		if _, ok := in[fmt.Sprint(y.Nodes)]; ok {
+			shared++
+		}
+	}
+	return fmt.Sprintf("triangle and chain share %d of %d tuples", shared, len(a))
+}
+
+// linkPredictionWorld builds one dataset's (trueG, testG, P, Q) following
+// §VII-B.2: DBLP uses the temporal split, Yeast and YouTube remove half the
+// (P,Q) cross edges. Full node sets are used (as in the paper), not the
+// top-degree subsets of the timing workloads: the positives are edges that
+// span (P, Q), and trimming would wipe them out.
+func linkPredictionWorld(e *Env, which string) (trueG, testG *graph.Graph, p, q *graph.NodeSet, err error) {
+	switch which {
+	case "DBLP":
+		d, err := e.DBLP()
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		p, err := d.Set("DB")
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		q, err := d.Set("AI")
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		t, removed := dataset.SplitTemporal(d.Graph, 2010)
+		// Count removed edges spanning (P, Q); tiny quick-mode graphs may
+		// have too few, in which case we fall back to the random split the
+		// paper uses for the other two datasets.
+		spanning := 0
+		for _, ed := range removed {
+			if (p.Contains(ed[0]) && q.Contains(ed[1])) || (p.Contains(ed[1]) && q.Contains(ed[0])) {
+				spanning++
+			}
+		}
+		if spanning < 5 {
+			t, _ = dataset.SplitCross(d.Graph, p, q, 0.5, e.Cfg.Seed+2)
+		}
+		return d.Graph, t, p, q, nil
+	case "Yeast":
+		d, err := e.Yeast()
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		p, q := d.MustSet("3-U"), d.MustSet("8-D")
+		t, _ := dataset.SplitCross(d.Graph, p, q, 0.5, e.Cfg.Seed+2)
+		return d.Graph, t, p, q, nil
+	case "YouTube":
+		d, err := e.YouTube()
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		// The paper uses the anonymous groups with ids 1 and 5; on the
+		// scaled-down synthetic graph we pick the best-interfacing pair of
+		// the first ten groups (see DESIGN.md §4).
+		p, q, err := dataset.BestLinkedPair(d, []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		t, _ := dataset.SplitCross(d.Graph, p, q, 0.5, e.Cfg.Seed+3)
+		return d.Graph, t, p, q, nil
+	}
+	return nil, nil, nil, nil, fmt.Errorf("experiments: unknown dataset %q", which)
+}
+
+// Fig6a reproduces Figure 6(a): link-prediction ROC curves for the three
+// datasets, rendered as TPR sampled at fixed FPR grid points, plus AUC.
+func Fig6a(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "fig6a",
+		Title:  "Link prediction ROC (TPR at FPR grid)",
+		Header: []string{"dataset", "TPR@0.05", "TPR@0.1", "TPR@0.2", "TPR@0.5", "AUC"},
+	}
+	for _, which := range []string{"Yeast", "DBLP", "YouTube"} {
+		trueG, testG, p, q, err := linkPredictionWorld(e, which)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eval.LinkPrediction(trueG, testG, p, q, e.Params(), e.D())
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			which,
+			fmt.Sprintf("%.3f", tprAt(res.ROC, 0.05)),
+			fmt.Sprintf("%.3f", tprAt(res.ROC, 0.1)),
+			fmt.Sprintf("%.3f", tprAt(res.ROC, 0.2)),
+			fmt.Sprintf("%.3f", tprAt(res.ROC, 0.5)),
+			fmt.Sprintf("%.4f", res.AUC),
+		})
+	}
+	t.Notes = append(t.Notes, "paper's shape: TPR > 0.7 at FPR ≈ 0.1 and AUC > 0.9 on all three datasets")
+	return t, nil
+}
+
+// tprAt linearly interpolates the ROC polyline at the given FPR.
+func tprAt(roc []eval.Point, fpr float64) float64 {
+	for i := 1; i < len(roc); i++ {
+		if roc[i].FPR >= fpr {
+			a, b := roc[i-1], roc[i]
+			if b.FPR == a.FPR {
+				return b.TPR
+			}
+			frac := (fpr - a.FPR) / (b.FPR - a.FPR)
+			return a.TPR + frac*(b.TPR-a.TPR)
+		}
+	}
+	return 1
+}
+
+// Fig6b reproduces Figure 6(b): Yeast link-prediction AUC as λ varies for
+// DHTλ, with the DHTe AUC as the reference line.
+func Fig6b(e *Env) (*Table, error) {
+	d, err := e.Yeast()
+	if err != nil {
+		return nil, err
+	}
+	p3u, p8d := d.MustSet("3-U"), d.MustSet("8-D")
+	testG, _ := dataset.SplitCross(d.Graph, p3u, p8d, 0.5, e.Cfg.Seed+2)
+
+	t := &Table{
+		ID:     "fig6b",
+		Title:  "AUC vs λ (Yeast link prediction)",
+		Header: []string{"measure", "λ", "AUC"},
+	}
+	for _, lambda := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		p := dht.DHTLambda(lambda)
+		res, err := eval.LinkPrediction(d.Graph, testG, p3u, p8d, p, p.StepsForEpsilon(e.Cfg.Epsilon))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{"DHTλ", fmt.Sprintf("%.1f", lambda), fmt.Sprintf("%.4f", res.AUC)})
+	}
+	pe := dht.DHTE()
+	res, err := eval.LinkPrediction(d.Graph, testG, p3u, p8d, pe, pe.StepsForEpsilon(e.Cfg.Epsilon))
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"DHTe", "1/e", fmt.Sprintf("%.4f", res.AUC)})
+	t.Notes = append(t.Notes, "paper's shape: AUC consistently high across λ, with a mild peak at mid-range λ")
+	return t, nil
+}
+
+// Table4 reproduces Table IV: link-prediction and 3-clique-prediction AUC on
+// the three datasets.
+func Table4(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "table4",
+		Title:  "AUC for link- and 3-clique-prediction",
+		Header: []string{"dataset", "link-prediction", "3-clique-prediction"},
+	}
+	for _, which := range []string{"Yeast", "DBLP", "YouTube"} {
+		trueG, testG, p, q, err := linkPredictionWorld(e, which)
+		if err != nil {
+			return nil, err
+		}
+		link, err := eval.LinkPrediction(trueG, testG, p, q, e.Params(), e.D())
+		if err != nil {
+			return nil, err
+		}
+		cliqueAUC, err := cliqueAUCFor(e, which)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{which, fmt.Sprintf("%.4f", link.AUC), cliqueAUC})
+	}
+	t.Notes = append(t.Notes, "paper's shape: all AUC > 0.9; clique-prediction ≥ link-prediction per dataset")
+	return t, nil
+}
+
+// cliqueAUCFor runs the §VII-B.3 experiment for one dataset, returning the
+// rendered AUC (or a note when the synthetic world has no 3-way triangles).
+func cliqueAUCFor(e *Env, which string) (string, error) {
+	var (
+		g       *graph.Graph
+		a, b, c *graph.NodeSet
+	)
+	switch which {
+	case "DBLP":
+		d, err := e.DBLP()
+		if err != nil {
+			return "", err
+		}
+		g, a, b, c = d.Graph, d.MustSet("DB"), d.MustSet("AI"), d.MustSet("SYS")
+	case "Yeast":
+		d, err := e.Yeast()
+		if err != nil {
+			return "", err
+		}
+		g, a, b, c = d.Graph, d.MustSet("3-U"), d.MustSet("5-F"), d.MustSet("8-D")
+	case "YouTube":
+		d, err := e.YouTube()
+		if err != nil {
+			return "", err
+		}
+		// The paper uses groups 1, 5, and 88; the scaled-down graph uses the
+		// best-interfacing pair of the first ten plus one more.
+		p1, p2, err := dataset.BestLinkedPair(d, []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10"})
+		if err != nil {
+			return "", err
+		}
+		var p3 *graph.NodeSet
+		for _, name := range []string{"88", "11", "12", "13", "14", "15", "3", "4", "5", "6"} {
+			s, err := d.Set(name)
+			if err != nil || s == p1 || s == p2 || s.Name == p1.Name || s.Name == p2.Name {
+				continue
+			}
+			p3 = s
+			break
+		}
+		if p3 == nil {
+			return "n/a (too few groups)", nil
+		}
+		g, a, b, c = d.Graph, p1, p2, p3
+	default:
+		return "", fmt.Errorf("experiments: unknown dataset %q", which)
+	}
+	a, b, c = cliqueSubsets(g, a, b, c, 2*e.Cfg.SetSize)
+	testG, broken := dataset.SplitCliques(g, a, b, c, e.Cfg.Seed+4)
+	if len(broken) == 0 {
+		return "n/a (no 3-way cliques)", nil
+	}
+	res, err := eval.CliquePrediction(g, testG, a, b, c, e.Params(), e.D())
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%.4f", res.AUC), nil
+}
+
+// cliqueSubsets trims the three sets to at most limit nodes each while
+// keeping every node that participates in a 3-way triangle, so the clique
+// sweep stays tractable without destroying the positives.
+func cliqueSubsets(g *graph.Graph, a, b, c *graph.NodeSet, limit int) (*graph.NodeSet, *graph.NodeSet, *graph.NodeSet) {
+	if a.Len() <= limit && b.Len() <= limit && c.Len() <= limit {
+		return a, b, c
+	}
+	tris := dataset.Triangles3Way(g, a, b, c)
+	pick := func(base *graph.NodeSet, idx int) *graph.NodeSet {
+		ids := make([]graph.NodeID, 0, limit)
+		for _, tri := range tris {
+			ids = append(ids, tri[idx]) // NewNodeSet dedups
+		}
+		for _, n := range base.Nodes() {
+			if len(ids) >= limit {
+				break
+			}
+			ids = append(ids, n)
+		}
+		s := graph.NewNodeSet(base.Name, ids)
+		return s.Take(limit)
+	}
+	return pick(a, 0), pick(b, 1), pick(c, 2)
+}

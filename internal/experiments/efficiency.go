@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rankjoin"
+)
+
+// setsFor selects join node sets by dataset name.
+func (e *Env) setsFor(ds string, n int) ([]*graph.NodeSet, error) {
+	if ds == "DBLP" {
+		return e.dblpJoinSets(n)
+	}
+	return e.yeastJoinSets(n)
+}
+
+// graphFor selects the underlying graph by dataset name.
+func (e *Env) graphFor(ds string) (*graph.Graph, error) {
+	if ds == "DBLP" {
+		d, err := e.DBLP()
+		if err != nil {
+			return nil, err
+		}
+		return d.Graph, nil
+	}
+	d, err := e.Yeast()
+	if err != nil {
+		return nil, err
+	}
+	return d.Graph, nil
+}
+
+// chainSpec assembles the default chain-query spec of the timing sweeps.
+func (e *Env) chainSpec(ds string, n, k int) (core.Spec, error) {
+	g, err := e.graphFor(ds)
+	if err != nil {
+		return core.Spec{}, err
+	}
+	sets, err := e.setsFor(ds, n)
+	if err != nil {
+		return core.Spec{}, err
+	}
+	return core.Spec{
+		Graph:  g,
+		Query:  core.Chain(sets...),
+		Params: e.Params(),
+		D:      e.D(),
+		Agg:    rankjoin.Min,
+		K:      k,
+	}, nil
+}
+
+// runTimed executes one algorithm and renders its wall time (or the error).
+func runTimed(alg core.Algorithm) string {
+	dur, err := timeIt(func() error {
+		_, err := alg.Run()
+		return err
+	})
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return fmtDur(dur)
+}
+
+const skipped = "— (skipped: infeasible, see notes)"
+
+// figVsN is the shared driver of Fig 7(a)/8(a): chain n-way joins, n from 2
+// to MaxN, timing NL, AP, PJ, PJ-i. NL runs only where the paper could run
+// it (n = 2); AP is gated by RunAP on the larger DBLP graph.
+func figVsN(e *Env, ds, id string) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  ds + " n-way join: running time vs n (chain, k=" + fmt.Sprint(e.Cfg.K) + ")",
+		Header: []string{"n", "NL", "AP", "PJ", "PJ-i"},
+	}
+	for n := 2; n <= e.Cfg.MaxN; n++ {
+		spec, err := e.chainSpec(ds, n, e.Cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprint(n)}
+
+		if e.Cfg.RunNL && n == 2 && ds == "Yeast" {
+			nl, err := core.NewNL(spec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, runTimed(nl))
+		} else {
+			row = append(row, skipped)
+		}
+
+		runAP := e.Cfg.RunAP && (ds == "Yeast" || n <= 2)
+		if runAP {
+			ap, err := core.NewAP(spec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, runTimed(ap))
+		} else {
+			row = append(row, skipped)
+		}
+
+		pj, err := core.NewPJ(spec, e.Cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, runTimed(pj))
+
+		pji, err := core.NewPJI(spec, e.Cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, runTimed(pji))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"NL runs only at n=2 on Yeast — as in the paper, it cannot complete in reasonable time beyond that",
+		"AP on DBLP runs only at n=2 (its all-pairs F-BJ cost dominates the figure in the paper too)",
+		"paper's shape: time grows with n; PJ-i < PJ < AP < NL throughout")
+	return t, nil
+}
+
+// Fig7a reproduces Figure 7(a).
+func Fig7a(e *Env) (*Table, error) { return figVsN(e, "Yeast", "fig7a") }
+
+// Fig8a reproduces Figure 8(a).
+func Fig8a(e *Env) (*Table, error) { return figVsN(e, "DBLP", "fig8a") }
+
+// eqEdges is the |E_Q| progression of Fig 7(b)/8(b) over three node sets:
+// chain, 3-cycle, then progressively doubled directions up to the full
+// 6-edge triangle.
+var eqEdges = []core.QEdge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 1, To: 0}, {From: 0, To: 2}, {From: 2, To: 1}}
+
+// figVsEQ is the shared driver of Fig 7(b)/8(b): three node sets, growing
+// query-edge count, timing AP, PJ, PJ-i.
+func figVsEQ(e *Env, ds, id string) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  ds + " n-way join: running time vs |EQ| (3 sets)",
+		Header: []string{"|EQ|", "AP", "PJ", "PJ-i"},
+	}
+	g, err := e.graphFor(ds)
+	if err != nil {
+		return nil, err
+	}
+	sets, err := e.setsFor(ds, 3)
+	if err != nil {
+		return nil, err
+	}
+	for ne := 2; ne <= len(eqEdges); ne++ {
+		q := core.NewQueryGraph(sets...)
+		for _, qe := range eqEdges[:ne] {
+			q.AddEdge(qe.From, qe.To)
+		}
+		spec := core.Spec{Graph: g, Query: q, Params: e.Params(), D: e.D(), Agg: rankjoin.Min, K: e.Cfg.K}
+		row := []string{fmt.Sprint(ne)}
+		if e.Cfg.RunAP && ds == "Yeast" {
+			ap, err := core.NewAP(spec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, runTimed(ap))
+		} else {
+			row = append(row, skipped)
+		}
+		pj, err := core.NewPJ(spec, e.Cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, runTimed(pj))
+		pji, err := core.NewPJI(spec, e.Cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, runTimed(pji))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper's shape: time grows with |EQ|; AP worst, PJ-i best")
+	return t, nil
+}
+
+// Fig7b reproduces Figure 7(b).
+func Fig7b(e *Env) (*Table, error) { return figVsEQ(e, "Yeast", "fig7b") }
+
+// Fig8b reproduces Figure 8(b).
+func Fig8b(e *Env) (*Table, error) { return figVsEQ(e, "DBLP", "fig8b") }
+
+// figVsK is the shared driver of Fig 7(c)/8(c): 3-way chain, k sweep.
+func figVsK(e *Env, ds, id string) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  ds + " n-way join: running time vs k (3-way chain, m=" + fmt.Sprint(e.Cfg.M) + ")",
+		Header: []string{"k", "AP", "PJ", "PJ-i"},
+	}
+	for _, k := range []int{10, 50, 100, 200} {
+		spec, err := e.chainSpec(ds, 3, k)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprint(k)}
+		if e.Cfg.RunAP && ds == "Yeast" {
+			ap, err := core.NewAP(spec)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, runTimed(ap))
+		} else {
+			row = append(row, skipped)
+		}
+		pj, err := core.NewPJ(spec, e.Cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, runTimed(pj))
+		pji, err := core.NewPJI(spec, e.Cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, runTimed(pji))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper's shape: PJ grows sharply with k (getNextNodePair re-joins); PJ-i stays flat and wins by up to two orders of magnitude at k=200")
+	return t, nil
+}
+
+// Fig7c reproduces Figure 7(c).
+func Fig7c(e *Env) (*Table, error) { return figVsK(e, "Yeast", "fig7c") }
+
+// Fig8c reproduces Figure 8(c).
+func Fig8c(e *Env) (*Table, error) { return figVsK(e, "DBLP", "fig8c") }
+
+// figVsM is the shared driver of Fig 7(d)/8(d): 3-way chain, m sweep for PJ
+// and PJ-i.
+func figVsM(e *Env, ds, id string) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  ds + " n-way join: running time vs m (3-way chain, k=" + fmt.Sprint(e.Cfg.K) + ")",
+		Header: []string{"m", "PJ", "PJ refetches", "PJ-i", "PJ-i refetches"},
+	}
+	for _, m := range []int{10, 20, 50, 100, 200, 500} {
+		spec, err := e.chainSpec(ds, 3, e.Cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		pj, err := core.NewPJ(spec, m)
+		if err != nil {
+			return nil, err
+		}
+		pjTime := runTimed(pj)
+		pji, err := core.NewPJI(spec, m)
+		if err != nil {
+			return nil, err
+		}
+		pjiTime := runTimed(pji)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(m), pjTime, fmt.Sprint(pj.Stats.Refetches), pjiTime, fmt.Sprint(pji.Stats.Refetches),
+		})
+	}
+	t.Notes = append(t.Notes, "paper's shape: small m hurts PJ badly (constant re-joins), PJ-i mildly; both converge once m covers the needed pairs")
+	return t, nil
+}
+
+// Fig7d reproduces Figure 7(d).
+func Fig7d(e *Env) (*Table, error) { return figVsM(e, "Yeast", "fig7d") }
+
+// Fig8d reproduces Figure 8(d).
+func Fig8d(e *Env) (*Table, error) { return figVsM(e, "DBLP", "fig8d") }

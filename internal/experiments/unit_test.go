@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{1500 * time.Millisecond, "1.50s"},
+		{12 * time.Millisecond, "12.0ms"},
+		{250 * time.Microsecond, "250µs"},
+	}
+	for _, tc := range cases {
+		if got := fmtDur(tc.d); got != tc.want {
+			t.Fatalf("fmtDur(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestConfigsSane(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.SetSize >= f.SetSize {
+		t.Fatal("quick should be smaller than full")
+	}
+	if q.DBLPScale >= f.DBLPScale {
+		t.Fatal("quick DBLP should be smaller")
+	}
+	for _, c := range []Config{q, f} {
+		if c.K <= 0 || c.M <= 0 || c.Epsilon <= 0 || c.MaxN < 2 {
+			t.Fatalf("bad config %+v", c)
+		}
+		if c.Lambda <= 0 || c.Lambda >= 1 {
+			t.Fatalf("bad lambda %v", c.Lambda)
+		}
+	}
+}
+
+func TestEnvCachesDatasets(t *testing.T) {
+	env := NewEnv(Quick())
+	a, err := env.Yeast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Yeast()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Yeast dataset regenerated instead of cached")
+	}
+	if env.D() != 8 {
+		t.Fatalf("default depth = %d, want 8", env.D())
+	}
+}
+
+func TestTprAtInterpolates(t *testing.T) {
+	tab, err := Fig6a(NewEnv(Quick()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity on the rendered grid: TPR must be non-decreasing across the
+	// FPR columns of each row.
+	for _, row := range tab.Rows {
+		prev := -1.0
+		for _, cell := range row[1:5] {
+			v := parseFloat(t, cell)
+			if v < prev-1e-9 {
+				t.Fatalf("TPR not monotone across FPR grid: %v", row)
+			}
+			prev = v
+		}
+	}
+}
+
+func parseFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		t.Fatalf("bad cell %q: %v", cell, err)
+	}
+	return v
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Duplicate arcs are merged by summing their weights (matching the DBLP
+// convention where the weight of (u,v) is the number of co-authored papers).
+type Builder struct {
+	n        int
+	directed bool
+	us, vs   []NodeID
+	ws       []float64
+	labels   map[NodeID]string
+}
+
+// NewBuilder returns a Builder for a graph with n nodes. If directed is
+// false, AddEdge inserts both (u,v) and (v,u).
+func NewBuilder(n int, directed bool) *Builder {
+	return &Builder{n: n, directed: directed}
+}
+
+// Directed reports whether the builder inserts single arcs per AddEdge.
+func (b *Builder) Directed() bool { return b.directed }
+
+// NumNodes returns the node count the builder was created with.
+func (b *Builder) NumNodes() int { return b.n }
+
+// Grow ensures the builder has at least n nodes.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// AddEdge inserts an arc (u,v) with weight w; for undirected builders the
+// reverse arc is inserted too. Self-loops are allowed. It panics on invalid
+// endpoints or non-positive/non-finite weights: those indicate programming
+// errors in callers, not recoverable conditions.
+func (b *Builder) AddEdge(u, v NodeID, w float64) {
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) has invalid weight %v", u, v, w))
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+	if !b.directed && u != v {
+		b.us = append(b.us, v)
+		b.vs = append(b.vs, u)
+		b.ws = append(b.ws, w)
+	}
+}
+
+// SetLabel attaches a label to node u.
+func (b *Builder) SetLabel(u NodeID, label string) {
+	if b.labels == nil {
+		b.labels = make(map[NodeID]string)
+	}
+	b.labels[u] = label
+}
+
+// Build produces the immutable CSR graph. The builder may be reused
+// afterwards, but further edges do not affect the built graph.
+func (b *Builder) Build() *Graph {
+	type arc struct {
+		u, v NodeID
+		w    float64
+	}
+	arcs := make([]arc, len(b.us))
+	for i := range b.us {
+		arcs[i] = arc{b.us[i], b.vs[i], b.ws[i]}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].u != arcs[j].u {
+			return arcs[i].u < arcs[j].u
+		}
+		return arcs[i].v < arcs[j].v
+	})
+	// Merge duplicates by summing weights.
+	merged := arcs[:0]
+	for _, a := range arcs {
+		if len(merged) > 0 {
+			last := &merged[len(merged)-1]
+			if last.u == a.u && last.v == a.v {
+				last.w += a.w
+				continue
+			}
+		}
+		merged = append(merged, a)
+	}
+
+	g := &Graph{n: b.n}
+	g.outIndex = make([]int64, b.n+1)
+	g.outTo = make([]NodeID, len(merged))
+	g.outW = make([]float64, len(merged))
+	g.outP = make([]float64, len(merged))
+	for _, a := range merged {
+		g.outIndex[a.u+1]++
+	}
+	for u := 0; u < b.n; u++ {
+		g.outIndex[u+1] += g.outIndex[u]
+	}
+	{
+		next := make([]int64, b.n)
+		for u := 0; u < b.n; u++ {
+			next[u] = g.outIndex[u]
+		}
+		for _, a := range merged {
+			j := next[a.u]
+			g.outTo[j] = a.v
+			g.outW[j] = a.w
+			next[a.u]++
+		}
+	}
+	// Transition probabilities.
+	for u := 0; u < b.n; u++ {
+		lo, hi := g.outIndex[u], g.outIndex[u+1]
+		var sum float64
+		for j := lo; j < hi; j++ {
+			sum += g.outW[j]
+		}
+		if sum > 0 {
+			for j := lo; j < hi; j++ {
+				g.outP[j] = g.outW[j] / sum
+			}
+		}
+	}
+	// In-adjacency.
+	g.inIndex = make([]int64, b.n+1)
+	g.inFrom = make([]NodeID, len(merged))
+	g.inW = make([]float64, len(merged))
+	g.inP = make([]float64, len(merged))
+	for _, a := range merged {
+		g.inIndex[a.v+1]++
+	}
+	for u := 0; u < b.n; u++ {
+		g.inIndex[u+1] += g.inIndex[u]
+	}
+	{
+		next := make([]int64, b.n)
+		for u := 0; u < b.n; u++ {
+			next[u] = g.inIndex[u]
+		}
+		// Walk out-CSR in order so in-lists are sorted by source.
+		for u := 0; u < b.n; u++ {
+			for j := g.outIndex[u]; j < g.outIndex[u+1]; j++ {
+				v := g.outTo[j]
+				i := next[v]
+				g.inFrom[i] = NodeID(u)
+				g.inW[i] = g.outW[j]
+				g.inP[i] = g.outP[j]
+				next[v]++
+			}
+		}
+	}
+	if b.labels != nil {
+		g.labels = make([]string, b.n)
+		for u, l := range b.labels {
+			g.labels[u] = l
+		}
+	}
+	return g
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestCloseTriadsAddsTriangles(t *testing.T) {
+	// Path 0-1-2: one wedge at node 1; closing it yields the triangle.
+	g := mustGrid(t, 3, 1)
+	closed := CloseTriads(g, 1, 5)
+	if closed.NumEdges() != g.NumEdges()+2 {
+		t.Fatalf("arcs = %d, want %d", closed.NumEdges(), g.NumEdges()+2)
+	}
+	if !closed.HasEdge(0, 2) || !closed.HasEdge(2, 0) {
+		t.Fatal("wedge 0-1-2 not closed symmetrically")
+	}
+	if err := closed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseTriadsNoOp(t *testing.T) {
+	g := mustGrid(t, 3, 3)
+	if got := CloseTriads(g, 0, 1); got != g {
+		t.Fatal("extra=0 should return the input graph")
+	}
+	empty := NewBuilder(3, true).Build()
+	if got := CloseTriads(empty, 5, 1); got != empty {
+		t.Fatal("edgeless graph should be returned unchanged")
+	}
+}
+
+func TestCloseTriadsOnCliqueTerminates(t *testing.T) {
+	// A complete graph has no open wedges; the attempt cap must stop it.
+	b := NewBuilder(5, false)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(NodeID(i), NodeID(j), 1)
+		}
+	}
+	g := b.Build()
+	closed := CloseTriads(g, 100, 3)
+	if closed.NumEdges() != g.NumEdges() {
+		t.Fatalf("clique gained edges: %d vs %d", closed.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestCloseTriadsPreservesLabels(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.SetLabel(0, "zero")
+	g := b.Build()
+	closed := CloseTriads(g, 1, 7)
+	if closed.Label(0) != "zero" {
+		t.Fatalf("label lost: %q", closed.Label(0))
+	}
+}
+
+func TestCloseTriadsRaisesClustering(t *testing.T) {
+	g, _, err := GenerateCommunity(CommunityConfig{
+		Sizes: []int{100, 100}, PIn: 0.05, POut: 0.02, Seed: 4, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := CloseTriads(g, g.NumEdges()/4, 9)
+	before, after := triangleCount(g), triangleCount(closed)
+	if after <= before {
+		t.Fatalf("triangles %d → %d; closure had no effect", before, after)
+	}
+}
+
+// triangleCount counts closed directed triangles u<v<w with all six arcs.
+func triangleCount(g *Graph) int {
+	count := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		to, _, _ := g.OutEdges(NodeID(u))
+		for i, v := range to {
+			if v <= NodeID(u) {
+				continue
+			}
+			for _, w := range to[i+1:] {
+				if w > v && g.HasEdge(v, w) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeSet is a named subset of a graph's nodes, the R_i of the paper's query
+// model. Membership tests are O(1); iteration follows Nodes order.
+type NodeSet struct {
+	Name  string
+	nodes []NodeID
+	in    map[NodeID]struct{}
+}
+
+// NewNodeSet builds a node set from ids, dropping duplicates while keeping
+// first-occurrence order.
+func NewNodeSet(name string, ids []NodeID) *NodeSet {
+	s := &NodeSet{Name: name, in: make(map[NodeID]struct{}, len(ids))}
+	for _, id := range ids {
+		if _, dup := s.in[id]; dup {
+			continue
+		}
+		s.in[id] = struct{}{}
+		s.nodes = append(s.nodes, id)
+	}
+	return s
+}
+
+// Nodes returns the member ids in insertion order. The slice must not be
+// modified.
+func (s *NodeSet) Nodes() []NodeID { return s.nodes }
+
+// Len returns the number of members.
+func (s *NodeSet) Len() int { return len(s.nodes) }
+
+// Contains reports whether id is a member.
+func (s *NodeSet) Contains(id NodeID) bool {
+	_, ok := s.in[id]
+	return ok
+}
+
+// Sorted returns a new slice of the member ids in ascending order.
+func (s *NodeSet) Sorted() []NodeID {
+	out := make([]NodeID, len(s.nodes))
+	copy(out, s.nodes)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks that all members are valid node ids of g.
+func (s *NodeSet) Validate(g *Graph) error {
+	for _, id := range s.nodes {
+		if id < 0 || int(id) >= g.NumNodes() {
+			return fmt.Errorf("nodeset %q: node %d out of range [0,%d)", s.Name, id, g.NumNodes())
+		}
+	}
+	return nil
+}
+
+// Intersect returns the members of s that are also in t, preserving s's order.
+func (s *NodeSet) Intersect(t *NodeSet) *NodeSet {
+	var ids []NodeID
+	for _, id := range s.nodes {
+		if t.Contains(id) {
+			ids = append(ids, id)
+		}
+	}
+	return NewNodeSet(s.Name+"∩"+t.Name, ids)
+}
+
+// Take returns a node set with the first n members of s (or all of them when
+// n exceeds the size).
+func (s *NodeSet) Take(n int) *NodeSet {
+	if n > len(s.nodes) {
+		n = len(s.nodes)
+	}
+	return NewNodeSet(s.Name, s.nodes[:n])
+}

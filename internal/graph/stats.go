@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats summarizes structural properties of a graph. It is reported by the
+// cmd/gengraph tool and used by dataset tests to check that synthetic graphs
+// land near their target shapes.
+type Stats struct {
+	Nodes        int
+	Arcs         int // directed arcs stored
+	MinOutDeg    int
+	MaxOutDeg    int
+	MeanOutDeg   float64
+	MedianOutDeg int
+	Sinks        int // nodes with no out-edges
+	Sources      int // nodes with no in-edges
+	SelfLoops    int
+	MeanWeight   float64
+	Components   int // weakly connected components
+	LargestComp  int // size of the largest weak component
+}
+
+// ComputeStats scans g once (plus a union-find pass) and fills a Stats.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Nodes: g.NumNodes(), Arcs: g.NumEdges(), MinOutDeg: math.MaxInt}
+	if g.NumNodes() == 0 {
+		s.MinOutDeg = 0
+		return s
+	}
+	degs := make([]int, g.NumNodes())
+	var wsum float64
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.OutDegree(NodeID(u))
+		degs[u] = d
+		if d < s.MinOutDeg {
+			s.MinOutDeg = d
+		}
+		if d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+		if d == 0 {
+			s.Sinks++
+		}
+		if g.InDegree(NodeID(u)) == 0 {
+			s.Sources++
+		}
+		to, w, _ := g.OutEdges(NodeID(u))
+		for j := range to {
+			if int(to[j]) == u {
+				s.SelfLoops++
+			}
+			wsum += w[j]
+		}
+	}
+	s.MeanOutDeg = float64(g.NumEdges()) / float64(g.NumNodes())
+	sort.Ints(degs)
+	s.MedianOutDeg = degs[len(degs)/2]
+	if g.NumEdges() > 0 {
+		s.MeanWeight = wsum / float64(g.NumEdges())
+	}
+	s.Components, s.LargestComp = weakComponents(g)
+	return s
+}
+
+// String renders the stats as a compact single-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d arcs=%d deg[min=%d med=%d mean=%.2f max=%d] sinks=%d sources=%d loops=%d meanW=%.2f comps=%d largest=%d",
+		s.Nodes, s.Arcs, s.MinOutDeg, s.MedianOutDeg, s.MeanOutDeg, s.MaxOutDeg,
+		s.Sinks, s.Sources, s.SelfLoops, s.MeanWeight, s.Components, s.LargestComp)
+}
+
+// weakComponents returns the number of weakly connected components and the
+// size of the largest, via union-find over all arcs.
+func weakComponents(g *Graph) (count, largest int) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, 0
+	}
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+		size[i] = 1
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+	for u := 0; u < n; u++ {
+		to, _, _ := g.OutEdges(NodeID(u))
+		for _, v := range to {
+			union(int32(u), v)
+		}
+	}
+	seen := make(map[int32]struct{})
+	for u := 0; u < n; u++ {
+		r := find(int32(u))
+		if _, ok := seen[r]; ok {
+			continue
+		}
+		seen[r] = struct{}{}
+		count++
+		if int(size[r]) > largest {
+			largest = int(size[r])
+		}
+	}
+	return count, largest
+}
+
+// Subgraph returns the induced subgraph over keep (a set of node ids) plus a
+// mapping from new ids to original ids. Node sets can be remapped with the
+// returned translation.
+func Subgraph(g *Graph, keep []NodeID) (*Graph, []NodeID) {
+	newID := make(map[NodeID]NodeID, len(keep))
+	orig := make([]NodeID, 0, len(keep))
+	for _, u := range keep {
+		if _, dup := newID[u]; dup {
+			continue
+		}
+		newID[u] = NodeID(len(orig))
+		orig = append(orig, u)
+	}
+	b := NewBuilder(len(orig), true)
+	for nu, ou := range orig {
+		to, w, _ := g.OutEdges(ou)
+		for j := range to {
+			if nv, ok := newID[to[j]]; ok {
+				b.AddEdge(NodeID(nu), nv, w[j])
+			}
+		}
+		if l := g.Label(ou); l != "" {
+			b.SetLabel(NodeID(nu), l)
+		}
+	}
+	return b.Build(), orig
+}
+
+// RemoveEdges returns a copy of g without the given undirected edges (both
+// arc directions are removed). Missing edges are ignored. Used to build the
+// paper's "test graph" T from the true graph G (§VII-B).
+func RemoveEdges(g *Graph, drop [][2]NodeID) *Graph {
+	type key struct{ u, v NodeID }
+	dropSet := make(map[key]struct{}, 2*len(drop))
+	for _, e := range drop {
+		dropSet[key{e[0], e[1]}] = struct{}{}
+		dropSet[key{e[1], e[0]}] = struct{}{}
+	}
+	b := NewBuilder(g.NumNodes(), true)
+	for u := 0; u < g.NumNodes(); u++ {
+		to, w, _ := g.OutEdges(NodeID(u))
+		for j := range to {
+			if _, gone := dropSet[key{NodeID(u), to[j]}]; gone {
+				continue
+			}
+			b.AddEdge(NodeID(u), to[j], w[j])
+		}
+		if l := g.Label(NodeID(u)); l != "" {
+			b.SetLabel(NodeID(u), l)
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,117 @@
+package join2
+
+import (
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/graph"
+)
+
+// benchConfig: a Yeast-scale community graph with 100-node join sets.
+func benchConfig(b *testing.B) Config {
+	b.Helper()
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{800, 800, 800}, PIn: 0.008, POut: 0.008, Seed: 3, MinOutLink: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Config{
+		Graph:  g,
+		Params: dht.DHTLambda(0.2),
+		D:      8,
+		P:      sets[0].Nodes()[:100],
+		Q:      sets[1].Nodes()[:100],
+	}
+}
+
+func benchJoiner(b *testing.B, mk func(Config) (Joiner, error), k int) {
+	cfg := benchConfig(b)
+	j, err := mk(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.TopK(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBBJTop50(b *testing.B) {
+	benchJoiner(b, func(c Config) (Joiner, error) { return NewBBJ(c) }, 50)
+}
+
+func BenchmarkBIDJXTop50(b *testing.B) {
+	benchJoiner(b, func(c Config) (Joiner, error) { return NewBIDJX(c) }, 50)
+}
+
+func BenchmarkBIDJYTop50(b *testing.B) {
+	benchJoiner(b, func(c Config) (Joiner, error) { return NewBIDJY(c) }, 50)
+}
+
+// BenchmarkIncrementalNext isolates getNextNodePair on the F structure: one
+// initial top-m join (untimed), then streaming further pairs. When b.N
+// outgrows the candidate space, a fresh join state is prepared off the
+// clock.
+func BenchmarkIncrementalNext(b *testing.B) {
+	cfg := benchConfig(b)
+	fresh := func() *Incremental {
+		inc, err := NewIncremental(cfg, BoundY)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := inc.Run(50); err != nil {
+			b.Fatal(err)
+		}
+		return inc
+	}
+	inc := fresh()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := inc.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.StopTimer()
+			inc = fresh()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkParallelBBJ measures the worker-pool backward join against
+// BenchmarkBBJTop50.
+func BenchmarkParallelBBJ(b *testing.B) {
+	cfg := benchConfig(b)
+	j, err := NewParallelBBJ(cfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.TopK(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRejoinNext is the PJ-style alternative: every additional pair is
+// a from-scratch top-(m+1) join. Compare with BenchmarkIncrementalNext.
+func BenchmarkRejoinNext(b *testing.B) {
+	cfg := benchConfig(b)
+	j, err := NewBIDJY(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := j.TopK(51 + i%10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res[len(res)-1]
+	}
+}

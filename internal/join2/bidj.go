@@ -1,0 +1,191 @@
+package join2
+
+import (
+	"math"
+
+	"repro/internal/dht"
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// BoundVariant selects the upper-bound function U⁺ₗ of the B-IDJ framework
+// (§VI-C).
+type BoundVariant int
+
+const (
+	// BoundX uses X⁺ₗ = α·λ^(l+1)/(1−λ) (Lemma 2): graph-independent, O(1),
+	// but loose — it assumes a walker could hit q with probability 1 at every
+	// remaining step.
+	BoundX BoundVariant = iota
+	// BoundY uses Y⁺ₗ(P, q) (Theorem 1): per-target reach probabilities make
+	// it tighter (Lemma 5: Y⁺ₗ ≤ X⁺ₗ) at the cost of one extra O(d·|E|)
+	// precomputation walk.
+	BoundY
+)
+
+// String names the variant as in the paper.
+func (v BoundVariant) String() string {
+	if v == BoundY {
+		return "Y"
+	}
+	return "X"
+}
+
+// IterStat records one deepening round of B-IDJ for analysis (Figure 10(b)).
+type IterStat struct {
+	L           int // walk length this round
+	AliveBefore int // |Q| candidates entering the round
+	Pruned      int // candidates discarded by the bound test
+}
+
+// BIDJ is the Backward Iterative Deepening Join (Algorithm 2). Each round
+// performs an l-step backward walk per surviving q ∈ Q (l = 1, 2, 4, …),
+// maintains the top-k lower bounds B, and prunes q when
+// max_p h_l(p,q) + U⁺ₗ < T_k. A final d-step walk scores the survivors
+// exactly. Complexity O(|Q|·d·|E|) worst case, far less when pruning bites.
+type BIDJ struct {
+	cfg     Config
+	variant BoundVariant
+
+	// LinearSchedule advances the deepening walk length by +1 per round
+	// instead of doubling it. Exists for the schedule ablation bench; the
+	// paper (and the default) use l = 1, 2, 4, ….
+	LinearSchedule bool
+
+	// Stats describes the most recent TopK run.
+	Stats []IterStat
+
+	// record, when non-nil, receives every (pair, lower, upper, l) bound
+	// observation; the incremental join uses it to populate its F structure.
+	record func(pr Pair, lower, upper float64, l int)
+}
+
+// NewBIDJ validates the config and returns the joiner with the given bound
+// variant.
+func NewBIDJ(cfg Config, variant BoundVariant) (*BIDJ, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &BIDJ{cfg: cfg, variant: variant}, nil
+}
+
+// NewBIDJX returns the B-IDJ-X joiner.
+func NewBIDJX(cfg Config) (*BIDJ, error) { return NewBIDJ(cfg, BoundX) }
+
+// NewBIDJY returns the B-IDJ-Y joiner.
+func NewBIDJY(cfg Config) (*BIDJ, error) { return NewBIDJ(cfg, BoundY) }
+
+// Name implements Joiner.
+func (b *BIDJ) Name() string { return "B-IDJ-" + b.variant.String() }
+
+// TopK implements Joiner.
+func (b *BIDJ) TopK(k int) ([]Result, error) {
+	k, err := b.cfg.clampK(k)
+	if err != nil {
+		return nil, err
+	}
+	e, err := b.cfg.engine()
+	if err != nil {
+		return nil, err
+	}
+	return b.run(e, k), nil
+}
+
+// run executes Algorithm 2. It assumes k is already clamped.
+func (b *BIDJ) run(e *dht.Engine, k int) []Result {
+	d := b.cfg.D
+	b.Stats = b.Stats[:0]
+
+	// U⁺ₗ provider. The Y table is built once over the full Q (its bound only
+	// depends on P, q, and l, not on which q's remain alive).
+	var ubound func(q graph.NodeID, l int) float64
+	switch b.variant {
+	case BoundY:
+		yt := dht.NewYBoundTable(e, b.cfg.P, b.cfg.Q)
+		ubound = yt.Bound
+	default:
+		ubound = func(_ graph.NodeID, l int) float64 { return b.cfg.Params.XBound(l) }
+	}
+
+	alive := make([]graph.NodeID, len(b.cfg.Q))
+	copy(alive, b.cfg.Q)
+	scores := make([]float64, b.cfg.Graph.NumNodes())
+	beta := b.cfg.Params.Beta
+
+	advance := func(l int) int {
+		if b.LinearSchedule {
+			return l + 1
+		}
+		return l * 2
+	}
+	for l := 1; l < d; l = advance(l) {
+		lower := pqueue.NewTopK[struct{}](k)
+		qUpper := make([]float64, len(alive))
+		for qi, q := range alive {
+			e.BackWalkKind(b.cfg.Measure, q, l, scores)
+			pMax := math.Inf(-1)
+			for _, p := range b.cfg.P {
+				s := scores[p]
+				if s > beta || p == q { // p==q is exact: h(v,v)=0
+					lower.Add(struct{}{}, s)
+				}
+				if s > pMax {
+					pMax = s
+				}
+			}
+			up := pMax + ubound(q, l)
+			qUpper[qi] = up
+			if b.record != nil {
+				for _, p := range b.cfg.P {
+					b.record(Pair{p, q}, scores[p], scores[p]+ubound(q, l), l)
+				}
+			}
+		}
+		st := IterStat{L: l, AliveBefore: len(alive)}
+		if tk, full := lower.MinScore(); full {
+			kept := alive[:0]
+			for qi, q := range alive {
+				if qUpper[qi] < tk {
+					st.Pruned++
+					continue
+				}
+				kept = append(kept, q)
+			}
+			alive = kept
+		}
+		b.Stats = append(b.Stats, st)
+	}
+
+	// Final exact round over the survivors.
+	top := pqueue.NewTopK[Pair](k)
+	for _, q := range alive {
+		e.BackWalkKind(b.cfg.Measure, q, d, scores)
+		for _, p := range b.cfg.P {
+			pr := Pair{p, q}
+			top.AddTie(pr, scores[p], pairTie(pr))
+			if b.record != nil {
+				b.record(pr, scores[p], scores[p], d)
+			}
+		}
+	}
+	return collect(top)
+}
+
+// PrunedFractionPerIter reports, for the latest TopK run, the cumulative
+// fraction of Q discarded after each deepening round — the series plotted in
+// Figure 10(b).
+func (b *BIDJ) PrunedFractionPerIter() []float64 {
+	out := make([]float64, len(b.Stats))
+	total := 0
+	if len(b.Stats) > 0 {
+		total = b.Stats[0].AliveBefore
+	}
+	cum := 0
+	for i, st := range b.Stats {
+		cum += st.Pruned
+		if total > 0 {
+			out[i] = float64(cum) / float64(total)
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package join2
+
+import (
+	"repro/internal/pqueue"
+)
+
+// FBJ is the Forward Basic Join (§V-B): it evaluates h_d(p, q) for every pair
+// with a per-pair forward absorbing walk and keeps the k best. Complexity
+// O(|P|·|Q|·d·|E|) — the baseline every other algorithm is measured against.
+type FBJ struct {
+	cfg Config
+}
+
+// NewFBJ validates the config and returns the joiner.
+func NewFBJ(cfg Config) (*FBJ, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FBJ{cfg: cfg}, nil
+}
+
+// Name implements Joiner.
+func (f *FBJ) Name() string { return "F-BJ" }
+
+// TopK implements Joiner.
+func (f *FBJ) TopK(k int) ([]Result, error) {
+	k, err := f.cfg.clampK(k)
+	if err != nil {
+		return nil, err
+	}
+	e, err := f.cfg.engine()
+	if err != nil {
+		return nil, err
+	}
+	top := pqueue.NewTopK[Pair](k)
+	for _, p := range f.cfg.P {
+		for _, q := range f.cfg.Q {
+			pr := Pair{p, q}
+			top.AddTie(pr, e.ForwardScoreKind(f.cfg.Measure, p, q, f.cfg.D), pairTie(pr))
+		}
+	}
+	return collect(top), nil
+}
+
+// AllPairs evaluates every pair and returns the full descending ranking. The
+// AP multi-way algorithm uses this to materialize its per-edge lists.
+func (f *FBJ) AllPairs() ([]Result, error) {
+	return f.TopK(f.cfg.MaxPairs())
+}
+
+// collect drains a TopK into the Result slice ordered by descending score.
+func collect(top *pqueue.TopK[Pair]) []Result {
+	pairs, scores := top.Sorted()
+	out := make([]Result, len(pairs))
+	for i := range pairs {
+		out[i] = Result{Pair: pairs[i], Score: scores[i]}
+	}
+	return out
+}

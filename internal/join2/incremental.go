@@ -1,0 +1,163 @@
+package join2
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dht"
+	"repro/internal/graph"
+	"repro/internal/pqueue"
+)
+
+// fentry is one F-structure record (§VI-D): the tightest known bounds on
+// h_d(p, q) and the walk length l they were computed with. The upper bound is
+// stored as the heap priority, the rest here.
+type fentry struct {
+	lower float64
+	l     int
+}
+
+// Incremental is the PJ-i join state for one (P, Q) pair: it runs an initial
+// top-m B-IDJ while recording every bound observation into the mutable
+// priority queue F (keyed by pair, ordered by upper bound), then serves
+// getNextNodePair requests by refining only the pairs that contend for the
+// next rank — instead of re-running a top-(m+1) join from scratch.
+type Incremental struct {
+	cfg     Config
+	variant BoundVariant
+	e       *dht.Engine
+	f       *pqueue.Indexed[Pair, fentry]
+	ubound  func(q graph.NodeID, l int) float64
+	scores  []float64 // backwalk buffer
+	started bool
+
+	// Refines counts backward walks performed by Next calls; the ablation
+	// bench compares it against from-scratch re-join costs.
+	Refines int
+}
+
+// NewIncremental validates the config and returns an idle join state; call
+// Run to execute the initial top-m join.
+func NewIncremental(cfg Config, variant BoundVariant) (*Incremental, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := dht.NewEngine(cfg.Graph, cfg.Params, cfg.D)
+	if err != nil {
+		return nil, err
+	}
+	return &Incremental{
+		cfg:     cfg,
+		variant: variant,
+		e:       e,
+		f:       pqueue.NewIndexed[Pair, fentry](),
+		scores:  make([]float64, cfg.Graph.NumNodes()),
+	}, nil
+}
+
+// Run executes the initial top-m 2-way join (B-IDJ with the configured bound
+// variant), populating F, and returns the top-m results. It must be called
+// exactly once, before any Next.
+func (inc *Incremental) Run(m int) ([]Result, error) {
+	if inc.started {
+		return nil, fmt.Errorf("join2: Incremental.Run called twice")
+	}
+	inc.started = true
+	m, err := inc.cfg.clampK(m)
+	if err != nil {
+		return nil, err
+	}
+	b, err := NewBIDJ(inc.cfg, inc.variant)
+	if err != nil {
+		return nil, err
+	}
+	// Bound provider shared with Next; for Y it is built once here over the
+	// full P and Q.
+	switch inc.variant {
+	case BoundY:
+		yt := dht.NewYBoundTable(inc.e, inc.cfg.P, inc.cfg.Q)
+		inc.ubound = yt.Bound
+	default:
+		inc.ubound = func(_ graph.NodeID, l int) float64 { return inc.cfg.Params.XBound(l) }
+	}
+	b.record = func(pr Pair, lower, upper float64, l int) {
+		if old, _, ok := inc.f.Get(pr); ok && old.l >= l {
+			return // keep the tighter (longer-walk) bounds
+		}
+		inc.f.Set(pr, upper, fentry{lower: lower, l: l})
+	}
+	res := b.run(inc.e, m)
+	// Entries already emitted must not be served again by Next.
+	for _, r := range res {
+		inc.f.Remove(r.Pair)
+	}
+	return res, nil
+}
+
+// Next returns the next-best pair after everything already emitted, with its
+// exact truncated score. ok is false when the candidate space is exhausted.
+//
+// It repeatedly inspects the entry e1 with the highest upper bound: if e1's
+// lower bound already dominates the second-highest upper bound, e1 must be
+// the answer and only its exact value is still needed (one d-step walk);
+// otherwise e1's target q is refined with a min(2l, d)-step walk, tightening
+// every pair of that q at once.
+func (inc *Incremental) Next() (Result, bool, error) {
+	if !inc.started {
+		return Result{}, false, fmt.Errorf("join2: Incremental.Next before Run")
+	}
+	d := inc.cfg.D
+	for {
+		pr, _, ent, ok := inc.f.Max()
+		if !ok {
+			return Result{}, false, nil
+		}
+		second, hasSecond := inc.f.SecondMax()
+		if !hasSecond {
+			second = math.Inf(-1)
+		}
+		if ent.l >= d {
+			// Exact and holding the highest upper bound: upper == lower ==
+			// h_d, so it dominates every other entry's true score.
+			inc.f.Remove(pr)
+			return Result{Pair: pr, Score: ent.lower}, true, nil
+		}
+		if ent.lower >= second {
+			// Winner decided by bounds; fetch its exact score.
+			inc.refine(pr.Q, d)
+			v, _, stillThere := inc.f.Get(pr)
+			if !stillThere {
+				return Result{}, false, fmt.Errorf("join2: F entry for %v vanished during refinement", pr)
+			}
+			inc.f.Remove(pr)
+			return Result{Pair: pr, Score: v.lower}, true, nil
+		}
+		// Not separated yet: tighten e1's target.
+		next := ent.l * 2
+		if next > d {
+			next = d
+		}
+		inc.refine(pr.Q, next)
+	}
+}
+
+// refine re-walks q at depth l and tightens every still-pending pair of q.
+func (inc *Incremental) refine(q graph.NodeID, l int) {
+	inc.Refines++
+	inc.e.BackWalkKind(inc.cfg.Measure, q, l, inc.scores)
+	for _, p := range inc.cfg.P {
+		pr := Pair{P: p, Q: q}
+		old, _, ok := inc.f.Get(pr)
+		if !ok || old.l >= l {
+			continue
+		}
+		up := inc.scores[p]
+		if l < inc.cfg.D {
+			up += inc.ubound(q, l)
+		}
+		inc.f.Set(pr, up, fentry{lower: inc.scores[p], l: l})
+	}
+}
+
+// Pending returns the number of pairs still held in F.
+func (inc *Incremental) Pending() int { return inc.f.Len() }

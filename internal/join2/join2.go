@@ -1,0 +1,109 @@
+// Package join2 implements the paper's 2-way join algorithms over discounted
+// hitting time (§V–§VI): the forward-processing F-BJ and F-IDJ, the backward
+// B-BJ and the pruning B-IDJ framework with its X⁺ₗ (Lemma 2) and Y⁺ₗ
+// (Theorem 1) bound variants, and the incremental join state of §VI-D that
+// lets PJ-i pull the (m+1)-th pair without a from-scratch top-(m+1) join.
+//
+// Given node sets P and Q, a top-k 2-way join returns the k pairs
+// (p, q) ∈ P×Q with the highest truncated DHT scores h_d(p, q), sorted
+// descending.
+package join2
+
+import (
+	"fmt"
+
+	"repro/internal/dht"
+	"repro/internal/graph"
+)
+
+// Pair is an ordered (p, q) node pair; p is drawn from the source set P and q
+// from the target set Q of the join.
+type Pair struct {
+	P, Q graph.NodeID
+}
+
+// Result is a scored pair.
+type Result struct {
+	Pair  Pair
+	Score float64
+}
+
+// Config carries everything a 2-way join needs. P and Q must be non-empty
+// subsets of the graph's nodes.
+type Config struct {
+	Graph  *graph.Graph
+	Params dht.Params
+	D      int // truncation depth (Equation 4)
+	P, Q   []graph.NodeID
+
+	// Measure selects the step probability the score folds: the zero value
+	// is the paper's first-hit DHT; dht.Reach joins over reach-based
+	// measures such as Personalized PageRank (the paper's §VIII extension).
+	Measure dht.Kind
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("join2: nil graph")
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.D < 1 {
+		return fmt.Errorf("join2: depth d must be >= 1, got %d", c.D)
+	}
+	if len(c.P) == 0 || len(c.Q) == 0 {
+		return fmt.Errorf("join2: node sets must be non-empty (|P|=%d |Q|=%d)", len(c.P), len(c.Q))
+	}
+	n := c.Graph.NumNodes()
+	for _, u := range c.P {
+		if u < 0 || int(u) >= n {
+			return fmt.Errorf("join2: P contains out-of-range node %d", u)
+		}
+	}
+	for _, u := range c.Q {
+		if u < 0 || int(u) >= n {
+			return fmt.Errorf("join2: Q contains out-of-range node %d", u)
+		}
+	}
+	return nil
+}
+
+// engine builds a DHT engine for the config.
+func (c *Config) engine() (*dht.Engine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return dht.NewEngine(c.Graph, c.Params, c.D)
+}
+
+// pairTie is the canonical tie key used when two pairs have equal scores:
+// smaller (p, q) wins. It makes every top-m selection a prefix of the
+// top-(m+1) selection, which PJ's re-join stream depends on.
+func pairTie(pr Pair) int64 {
+	return int64(pr.P)<<32 | int64(uint32(pr.Q))
+}
+
+// Joiner is a top-k 2-way join algorithm.
+type Joiner interface {
+	// Name identifies the algorithm (e.g. "B-IDJ-Y") in reports.
+	Name() string
+	// TopK returns the k highest-scoring pairs in descending score order.
+	// Fewer than k results are returned when |P|·|Q| < k.
+	TopK(k int) ([]Result, error)
+}
+
+// MaxPairs returns |P|·|Q|, the size of the join's candidate space.
+func (c *Config) MaxPairs() int { return len(c.P) * len(c.Q) }
+
+// clampK limits k to the candidate space and rejects non-positive k.
+func (c *Config) clampK(k int) (int, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("join2: k must be positive, got %d", k)
+	}
+	if m := c.MaxPairs(); k > m {
+		k = m
+	}
+	return k, nil
+}

@@ -1,0 +1,86 @@
+package join2
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dht"
+	"repro/internal/pqueue"
+)
+
+// ParallelBBJ is B-BJ with the per-target backward walks spread across a
+// worker pool — a production extension beyond the paper's single-threaded
+// evaluation. Each worker owns its own DHT engine (the engine's scratch
+// buffers are not safe for concurrent use); partial top-k heaps are merged
+// at the end. Because ties are broken by the canonical pair key, the result
+// is bit-identical to the serial B-BJ regardless of scheduling.
+type ParallelBBJ struct {
+	cfg     Config
+	workers int
+}
+
+// NewParallelBBJ validates the config. workers ≤ 0 selects GOMAXPROCS.
+func NewParallelBBJ(cfg Config, workers int) (*ParallelBBJ, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelBBJ{cfg: cfg, workers: workers}, nil
+}
+
+// Name implements Joiner.
+func (b *ParallelBBJ) Name() string { return "B-BJ-par" }
+
+// TopK implements Joiner.
+func (b *ParallelBBJ) TopK(k int) ([]Result, error) {
+	k, err := b.cfg.clampK(k)
+	if err != nil {
+		return nil, err
+	}
+	workers := b.workers
+	if workers > len(b.cfg.Q) {
+		workers = len(b.cfg.Q)
+	}
+	type partial struct {
+		top *pqueue.TopK[Pair]
+		err error
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e, err := dht.NewEngine(b.cfg.Graph, b.cfg.Params, b.cfg.D)
+			if err != nil {
+				parts[w].err = err
+				return
+			}
+			top := pqueue.NewTopK[Pair](k)
+			scores := make([]float64, b.cfg.Graph.NumNodes())
+			for qi := w; qi < len(b.cfg.Q); qi += workers {
+				q := b.cfg.Q[qi]
+				e.BackWalkKind(b.cfg.Measure, q, b.cfg.D, scores)
+				for _, p := range b.cfg.P {
+					pr := Pair{p, q}
+					top.AddTie(pr, scores[p], pairTie(pr))
+				}
+			}
+			parts[w].top = top
+		}(w)
+	}
+	wg.Wait()
+	merged := pqueue.NewTopK[Pair](k)
+	for _, part := range parts {
+		if part.err != nil {
+			return nil, part.err
+		}
+		pairs, scores := part.top.Sorted()
+		for i := range pairs {
+			merged.AddTie(pairs[i], scores[i], pairTie(pairs[i]))
+		}
+	}
+	return collect(merged), nil
+}

@@ -1,0 +1,90 @@
+package join2
+
+import (
+	"testing"
+
+	"repro/internal/dht"
+)
+
+// TestParallelBBJMatchesSerial: the worker pool must be invisible in the
+// results — identical ranking (including tie order) to serial B-BJ.
+func TestParallelBBJMatchesSerial(t *testing.T) {
+	cfg := testConfig(t, 61, 0.3)
+	serial, err := NewBBJ(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.TopK(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		par, err := NewParallelBBJ(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.TopK(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d rank %d: %v vs %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParallelBBJMoreWorkersThanTargets(t *testing.T) {
+	cfg := testConfig(t, 2, 0.2)
+	cfg.Q = cfg.Q[:3]
+	par, err := NewParallelBBJ(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := par.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("got %d results", len(res))
+	}
+}
+
+func TestParallelBBJReachMeasure(t *testing.T) {
+	cfg := testConfig(t, 9, 0.2)
+	cfg.Params = dht.PPR(0.5)
+	cfg.Measure = dht.Reach
+	serial, err := NewBBJ(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallelBBJ(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParallelBBJValidates(t *testing.T) {
+	cfg := testConfig(t, 2, 0.2)
+	cfg.D = 0
+	if _, err := NewParallelBBJ(cfg, 2); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

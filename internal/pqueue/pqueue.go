@@ -1,0 +1,281 @@
+// Package pqueue provides the priority-queue substrate used across the join
+// algorithms: a bounded top-k collector (the paper's B and O buffers) and an
+// indexed mutable max-heap (the incremental-join F structure of §VI-D, which
+// needs key lookup, priority updates, and peeking at the two best entries).
+package pqueue
+
+import "sort"
+
+// TopK keeps the k items with the largest scores. Equal scores are broken by
+// an optional caller-supplied tie key (lower wins), then by insertion order
+// (earlier wins), so results are deterministic — and, crucially for the PJ
+// re-join stream, a top-m selection is always a prefix of the top-(m+1)
+// selection when callers pass canonical tie keys.
+type TopK[T any] struct {
+	k     int
+	items []scored[T]
+	seq   int
+}
+
+type scored[T any] struct {
+	item  T
+	score float64
+	tie   int64
+	seq   int
+}
+
+// beats reports whether a ranks strictly ahead of b.
+func (a scored[T]) beats(b scored[T]) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.tie != b.tie {
+		return a.tie < b.tie
+	}
+	return a.seq < b.seq
+}
+
+// NewTopK returns a collector for the k best items. k must be positive.
+func NewTopK[T any](k int) *TopK[T] {
+	if k <= 0 {
+		panic("pqueue: TopK needs k > 0")
+	}
+	return &TopK[T]{k: k}
+}
+
+// Len returns the current number of retained items (≤ k).
+func (t *TopK[T]) Len() int { return len(t.items) }
+
+// Full reports whether k items are retained.
+func (t *TopK[T]) Full() bool { return len(t.items) == t.k }
+
+// MinScore returns the smallest retained score, or -Inf semantics via ok=false
+// when fewer than k items are held (meaning any item would still be admitted).
+func (t *TopK[T]) MinScore() (float64, bool) {
+	if len(t.items) < t.k {
+		return 0, false
+	}
+	return t.items[0].score, true
+}
+
+// Threshold returns the score an item must exceed to change the result set:
+// the k-th best score once full, otherwise negative infinity is conceptually
+// right but we signal "not full" with ok=false.
+func (t *TopK[T]) Threshold() (float64, bool) { return t.MinScore() }
+
+// Add offers an item; it is retained only if it beats the current k-th best
+// (or the collector is not yet full). Reports whether the item was retained.
+// Equal scores do not displace (earlier wins).
+func (t *TopK[T]) Add(item T, score float64) bool {
+	return t.AddTie(item, score, 0)
+}
+
+// AddTie is Add with an explicit tie key: among equal scores, lower tie keys
+// rank ahead and may displace retained items with higher tie keys.
+func (t *TopK[T]) AddTie(item T, score float64, tie int64) bool {
+	s := scored[T]{item: item, score: score, tie: tie, seq: t.seq}
+	if len(t.items) < t.k {
+		t.seq++
+		t.items = append(t.items, s)
+		t.up(len(t.items) - 1)
+		return true
+	}
+	if !s.beats(t.items[0]) {
+		return false
+	}
+	t.seq++
+	t.items[0] = s
+	t.down(0)
+	return true
+}
+
+// Sorted returns the retained items ordered by descending score (stable by
+// insertion order for ties). The collector is unchanged.
+func (t *TopK[T]) Sorted() ([]T, []float64) {
+	tmp := make([]scored[T], len(t.items))
+	copy(tmp, t.items)
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i].beats(tmp[j]) })
+	items := make([]T, len(tmp))
+	scores := make([]float64, len(tmp))
+	for i, s := range tmp {
+		items[i] = s.item
+		scores[i] = s.score
+	}
+	return items, scores
+}
+
+// The heap is a min-heap under beats: the root is the worst retained item.
+func (t *TopK[T]) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.items[p].beats(t.items[i]) {
+			return
+		}
+		t.items[p], t.items[i] = t.items[i], t.items[p]
+		i = p
+	}
+}
+
+func (t *TopK[T]) down(i int) {
+	n := len(t.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && t.items[worst].beats(t.items[l]) {
+			worst = l
+		}
+		if r < n && t.items[worst].beats(t.items[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.items[i], t.items[worst] = t.items[worst], t.items[i]
+		i = worst
+	}
+}
+
+// Indexed is a max-heap of entries addressed by comparable keys. It supports
+// priority updates and removal by key, plus peeking at the best and
+// second-best entries — exactly what the incremental join's F structure
+// requires to decide whether the top pair is already separated from the rest.
+type Indexed[K comparable, V any] struct {
+	keys  []K
+	prio  []float64
+	vals  []V
+	index map[K]int
+}
+
+// NewIndexed returns an empty indexed heap.
+func NewIndexed[K comparable, V any]() *Indexed[K, V] {
+	return &Indexed[K, V]{index: make(map[K]int)}
+}
+
+// Len returns the number of entries.
+func (h *Indexed[K, V]) Len() int { return len(h.keys) }
+
+// Get returns the value and priority stored under key.
+func (h *Indexed[K, V]) Get(key K) (V, float64, bool) {
+	if i, ok := h.index[key]; ok {
+		return h.vals[i], h.prio[i], true
+	}
+	var zero V
+	return zero, 0, false
+}
+
+// Set inserts or replaces the entry under key with the given priority.
+func (h *Indexed[K, V]) Set(key K, prio float64, val V) {
+	if i, ok := h.index[key]; ok {
+		old := h.prio[i]
+		h.prio[i] = prio
+		h.vals[i] = val
+		if prio > old {
+			h.up(i)
+		} else if prio < old {
+			h.down(i)
+		}
+		return
+	}
+	h.keys = append(h.keys, key)
+	h.prio = append(h.prio, prio)
+	h.vals = append(h.vals, val)
+	h.index[key] = len(h.keys) - 1
+	h.up(len(h.keys) - 1)
+}
+
+// Max returns the key, priority, and value of the best entry without
+// removing it.
+func (h *Indexed[K, V]) Max() (K, float64, V, bool) {
+	if len(h.keys) == 0 {
+		var zk K
+		var zv V
+		return zk, 0, zv, false
+	}
+	return h.keys[0], h.prio[0], h.vals[0], true
+}
+
+// SecondMax returns the priority of the second-best entry. ok is false when
+// fewer than two entries exist.
+func (h *Indexed[K, V]) SecondMax() (float64, bool) {
+	switch len(h.keys) {
+	case 0, 1:
+		return 0, false
+	case 2:
+		return h.prio[1], true
+	default:
+		if h.prio[1] >= h.prio[2] {
+			return h.prio[1], true
+		}
+		return h.prio[2], true
+	}
+}
+
+// PopMax removes and returns the best entry.
+func (h *Indexed[K, V]) PopMax() (K, float64, V, bool) {
+	k, p, v, ok := h.Max()
+	if !ok {
+		return k, p, v, false
+	}
+	h.Remove(k)
+	return k, p, v, true
+}
+
+// Remove deletes the entry under key, reporting whether it existed.
+func (h *Indexed[K, V]) Remove(key K) bool {
+	i, ok := h.index[key]
+	if !ok {
+		return false
+	}
+	last := len(h.keys) - 1
+	h.swap(i, last)
+	h.keys = h.keys[:last]
+	h.prio = h.prio[:last]
+	h.vals = h.vals[:last]
+	delete(h.index, key)
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	return true
+}
+
+func (h *Indexed[K, V]) swap(i, j int) {
+	if i == j {
+		return
+	}
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
+	h.index[h.keys[i]] = i
+	h.index[h.keys[j]] = j
+}
+
+func (h *Indexed[K, V]) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.prio[p] >= h.prio[i] {
+			return
+		}
+		h.swap(p, i)
+		i = p
+	}
+}
+
+func (h *Indexed[K, V]) down(i int) {
+	n := len(h.keys)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.prio[l] > h.prio[big] {
+			big = l
+		}
+		if r < n && h.prio[r] > h.prio[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.swap(i, big)
+		i = big
+	}
+}

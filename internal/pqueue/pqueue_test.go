@@ -1,0 +1,269 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKBasic(t *testing.T) {
+	tk := NewTopK[string](3)
+	tk.Add("a", 1)
+	tk.Add("b", 5)
+	tk.Add("c", 3)
+	tk.Add("d", 4) // evicts a
+	tk.Add("e", 0) // rejected
+	items, scores := tk.Sorted()
+	if len(items) != 3 || items[0] != "b" || items[1] != "d" || items[2] != "c" {
+		t.Fatalf("Sorted = %v %v", items, scores)
+	}
+	if scores[0] != 5 || scores[2] != 3 {
+		t.Fatalf("scores = %v", scores)
+	}
+}
+
+func TestTopKMinScore(t *testing.T) {
+	tk := NewTopK[int](2)
+	if _, full := tk.MinScore(); full {
+		t.Fatal("empty reports full")
+	}
+	tk.Add(1, 10)
+	if _, full := tk.MinScore(); full {
+		t.Fatal("half-full reports full")
+	}
+	tk.Add(2, 20)
+	if min, full := tk.MinScore(); !full || min != 10 {
+		t.Fatalf("MinScore = %v,%v", min, full)
+	}
+}
+
+func TestTopKTieKeepsEarlier(t *testing.T) {
+	tk := NewTopK[string](1)
+	tk.Add("first", 7)
+	if tk.Add("second", 7) {
+		t.Fatal("equal score displaced earlier item")
+	}
+	items, _ := tk.Sorted()
+	if items[0] != "first" {
+		t.Fatalf("got %v", items)
+	}
+}
+
+func TestTopKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 accepted")
+		}
+	}()
+	NewTopK[int](0)
+}
+
+// Property: TopK(k) over any input equals sort-descending-take-k by scores.
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(seed int64, rawK uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + int(rawK)%10
+		n := 30
+		scores := make([]float64, n)
+		tk := NewTopK[int](k)
+		for i := 0; i < n; i++ {
+			scores[i] = rng.NormFloat64()
+			tk.Add(i, scores[i])
+		}
+		want := append([]float64(nil), scores...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		if k > n {
+			k = n
+		}
+		_, got := tk.Sorted()
+		if len(got) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopKPrefixProperty checks the invariant PJ's re-join stream depends
+// on: with distinct tie keys, the top-m selection is always a prefix of the
+// top-(m+1) selection over the same input — even with heavy score ties.
+func TestTopKPrefixProperty(t *testing.T) {
+	f := func(seed int64, rawM uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40
+		type item struct {
+			score float64
+			tie   int64
+		}
+		items := make([]item, n)
+		for i := range items {
+			// Coarse scores force ties; distinct tie keys break them.
+			items[i] = item{score: float64(rng.Intn(5)), tie: int64(i)}
+		}
+		m := 1 + int(rawM)%(n-1)
+		run := func(k int) []int64 {
+			tk := NewTopK[int64](k)
+			for _, it := range items {
+				tk.AddTie(it.tie, it.score, it.tie)
+			}
+			ids, _ := tk.Sorted()
+			return ids
+		}
+		small, big := run(m), run(m+1)
+		for i := range small {
+			if small[i] != big[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddTieDisplacesHigherTie(t *testing.T) {
+	tk := NewTopK[string](1)
+	tk.AddTie("late-key", 5, 10)
+	if !tk.AddTie("early-key", 5, 2) {
+		t.Fatal("lower tie key failed to displace equal score")
+	}
+	items, _ := tk.Sorted()
+	if items[0] != "early-key" {
+		t.Fatalf("got %v", items)
+	}
+	// But a higher tie key must not displace.
+	if tk.AddTie("later-key", 5, 7) {
+		t.Fatal("higher tie key displaced")
+	}
+}
+
+func TestIndexedBasic(t *testing.T) {
+	h := NewIndexed[string, int]()
+	h.Set("a", 3, 30)
+	h.Set("b", 5, 50)
+	h.Set("c", 1, 10)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	k, p, v, ok := h.Max()
+	if !ok || k != "b" || p != 5 || v != 50 {
+		t.Fatalf("Max = %v %v %v %v", k, p, v, ok)
+	}
+	if s, ok := h.SecondMax(); !ok || s != 3 {
+		t.Fatalf("SecondMax = %v %v", s, ok)
+	}
+	if v, p, ok := h.Get("c"); !ok || v != 10 || p != 1 {
+		t.Fatalf("Get(c) = %v %v %v", v, p, ok)
+	}
+}
+
+func TestIndexedUpdate(t *testing.T) {
+	h := NewIndexed[string, int]()
+	h.Set("a", 1, 0)
+	h.Set("b", 2, 0)
+	h.Set("a", 10, 1) // raise a above b
+	if k, _, v, _ := h.Max(); k != "a" || v != 1 {
+		t.Fatalf("Max after raise = %v %v", k, v)
+	}
+	h.Set("a", 0, 2) // lower below b
+	if k, _, _, _ := h.Max(); k != "b" {
+		t.Fatalf("Max after lower = %v", k)
+	}
+	if h.Len() != 2 {
+		t.Fatalf("Len changed on update: %d", h.Len())
+	}
+}
+
+func TestIndexedRemove(t *testing.T) {
+	h := NewIndexed[int, struct{}]()
+	for i := 0; i < 10; i++ {
+		h.Set(i, float64(i), struct{}{})
+	}
+	if !h.Remove(9) || h.Remove(9) {
+		t.Fatal("Remove semantics wrong")
+	}
+	if k, _, _, _ := h.Max(); k != 8 {
+		t.Fatalf("Max after remove = %v", k)
+	}
+	if h.Len() != 9 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+}
+
+func TestIndexedPopMaxDrains(t *testing.T) {
+	h := NewIndexed[int, struct{}]()
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = rng.Float64()
+		h.Set(i, vals[i], struct{}{})
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	for i := 0; i < len(vals); i++ {
+		_, p, _, ok := h.PopMax()
+		if !ok || p != vals[i] {
+			t.Fatalf("pop %d = %v, want %v", i, p, vals[i])
+		}
+	}
+	if _, _, _, ok := h.PopMax(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+	if _, ok := h.SecondMax(); ok {
+		t.Fatal("SecondMax on empty succeeded")
+	}
+}
+
+// Property: SecondMax equals the second-largest priority under random
+// inserts, updates, and removes.
+func TestIndexedSecondMaxProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewIndexed[int, struct{}]()
+		ref := make(map[int]float64)
+		for op := 0; op < 200; op++ {
+			key := rng.Intn(20)
+			switch rng.Intn(3) {
+			case 0, 1:
+				p := rng.Float64()
+				h.Set(key, p, struct{}{})
+				ref[key] = p
+			case 2:
+				h.Remove(key)
+				delete(ref, key)
+			}
+			// Check invariants.
+			if h.Len() != len(ref) {
+				return false
+			}
+			if len(ref) == 0 {
+				continue
+			}
+			var ps []float64
+			for _, p := range ref {
+				ps = append(ps, p)
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(ps)))
+			if _, p, _, _ := h.Max(); p != ps[0] {
+				return false
+			}
+			if len(ps) >= 2 {
+				if s, ok := h.SecondMax(); !ok || s != ps[1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package rankjoin
+
+import (
+	"math"
+)
+
+// Bound tracks the HRJN corner-bound threshold τ across an n-ary rank join
+// (Ilyas et al., VLDB'04; used as the PBRJ bounding scheme in Algorithm 1).
+//
+// For each input i it remembers top[i] (the first, i.e. highest, score
+// delivered) and last[i] (the most recent score delivered). The threshold is
+//
+//	τ = max_i f( last_i at position i, top_j elsewhere )
+//
+// — the best score any not-yet-seen combination can still reach, because
+// inputs are sorted descending. Until every input has delivered at least one
+// item, τ = +Inf. Exhausting input i pins last[i] to −Inf, disabling its
+// corner.
+type Bound struct {
+	f    Aggregate
+	top  []float64
+	last []float64
+	seen []bool
+	buf  []float64
+}
+
+// NewBound creates a threshold tracker for n inputs under f.
+func NewBound(f Aggregate, n int) *Bound {
+	b := &Bound{
+		f:    f,
+		top:  make([]float64, n),
+		last: make([]float64, n),
+		seen: make([]bool, n),
+		buf:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		b.last[i] = math.Inf(1)
+	}
+	return b
+}
+
+// Observe records that input i delivered score s (scores must arrive in
+// non-increasing order per input; this is validated loosely with a small
+// tolerance for accumulated floating-point error in callers' scores).
+func (b *Bound) Observe(i int, s float64) {
+	if !b.seen[i] {
+		b.seen[i] = true
+		b.top[i] = s
+	}
+	b.last[i] = s
+}
+
+// Exhaust marks input i as fully consumed.
+func (b *Bound) Exhaust(i int) {
+	b.last[i] = math.Inf(-1)
+	if !b.seen[i] {
+		// An input that never delivered anything cannot contribute at all.
+		b.seen[i] = true
+		b.top[i] = math.Inf(-1)
+	}
+}
+
+// Tau returns the current threshold.
+func (b *Bound) Tau() float64 {
+	for i := range b.seen {
+		if !b.seen[i] {
+			return math.Inf(1)
+		}
+	}
+	tau := math.Inf(-1)
+	for i := range b.top {
+		copy(b.buf, b.top)
+		b.buf[i] = b.last[i]
+		if t := b.f.Combine(b.buf); t > tau {
+			tau = t
+		}
+	}
+	return tau
+}
+
+// RoundRobin cycles over n inputs, skipping exhausted ones — the HRJN pull
+// strategy of Algorithm 1, Step 7.
+type RoundRobin struct {
+	n       int
+	next    int
+	done    []bool
+	numDone int
+}
+
+// NewRoundRobin creates a scheduler over n inputs.
+func NewRoundRobin(n int) *RoundRobin {
+	return &RoundRobin{n: n, done: make([]bool, n)}
+}
+
+// Pick returns the next live input index, or ok=false when all inputs are
+// exhausted.
+func (r *RoundRobin) Pick() (int, bool) {
+	if r.numDone == r.n {
+		return 0, false
+	}
+	for {
+		i := r.next
+		r.next = (r.next + 1) % r.n
+		if !r.done[i] {
+			return i, true
+		}
+	}
+}
+
+// Exhaust removes input i from rotation.
+func (r *RoundRobin) Exhaust(i int) {
+	if !r.done[i] {
+		r.done[i] = true
+		r.numDone++
+	}
+}
+
+// Live reports whether input i is still in rotation.
+func (r *RoundRobin) Live(i int) bool { return !r.done[i] }

@@ -1,0 +1,249 @@
+package rankjoin
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggregates(t *testing.T) {
+	s := []float64{1, -2, 3}
+	if got := Sum.Combine(s); got != 2 {
+		t.Fatalf("Sum = %v", got)
+	}
+	if got := Min.Combine(s); got != -2 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max.Combine(s); got != 3 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := Avg.Combine(s); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Avg = %v", got)
+	}
+	if Avg.Combine(nil) != 0 {
+		t.Fatal("Avg(nil) != 0")
+	}
+	for _, a := range []Aggregate{Sum, Min, Max, Avg} {
+		if a.Name() == "" {
+			t.Fatal("empty name")
+		}
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	w, err := WeightedSum([]float64{2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Combine([]float64{1, 4}); got != 4 {
+		t.Fatalf("WSUM = %v", got)
+	}
+	if _, err := WeightedSum([]float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := WeightedSum([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not detected")
+		}
+	}()
+	w.Combine([]float64{1})
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"SUM", "min", "MAX", "avg"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("median"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+// Monotonicity property of all built-in aggregates: raising one input never
+// lowers the output (Definition 2).
+func TestAggregateMonotonicityProperty(t *testing.T) {
+	aggs := []Aggregate{Sum, Min, Max, Avg}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		base := make([]float64, n)
+		for i := range base {
+			base[i] = rng.NormFloat64()
+		}
+		for _, a := range aggs {
+			before := a.Combine(base)
+			i := rng.Intn(n)
+			raised := append([]float64(nil), base...)
+			raised[i] += rng.Float64()
+			if a.Combine(raised) < before-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundLifecycle(t *testing.T) {
+	b := NewBound(Sum, 2)
+	if !math.IsInf(b.Tau(), 1) {
+		t.Fatal("tau should be +Inf before any observation")
+	}
+	b.Observe(0, 10)
+	if !math.IsInf(b.Tau(), 1) {
+		t.Fatal("tau should remain +Inf until every input observed")
+	}
+	b.Observe(1, 8)
+	// Corners: f(last0=10, top1=8)=18; f(top0=10, last1=8)=18 → 18.
+	if tau := b.Tau(); tau != 18 {
+		t.Fatalf("tau = %v, want 18", tau)
+	}
+	b.Observe(0, 4)
+	// Corners: f(4, 8)=12; f(10, 8)=18 → 18.
+	if tau := b.Tau(); tau != 18 {
+		t.Fatalf("tau = %v, want 18", tau)
+	}
+	b.Observe(1, 1)
+	// Corners: f(4,8)=12; f(10,1)=11 → 12.
+	if tau := b.Tau(); tau != 12 {
+		t.Fatalf("tau = %v, want 12", tau)
+	}
+	b.Exhaust(0)
+	// Corner 0 is -Inf; corner 1: f(10,1)=11.
+	if tau := b.Tau(); tau != 11 {
+		t.Fatalf("tau after exhaust = %v, want 11", tau)
+	}
+}
+
+func TestBoundExhaustUnseen(t *testing.T) {
+	b := NewBound(Sum, 2)
+	b.Observe(0, 5)
+	b.Exhaust(1) // never delivered anything
+	if !math.IsInf(b.Tau(), -1) {
+		// corner 0 = f(5, -inf) = -inf; corner 1 = f(5, -inf) = -inf
+		t.Fatalf("tau = %v, want -Inf", b.Tau())
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	rr := NewRoundRobin(3)
+	var order []int
+	for i := 0; i < 6; i++ {
+		j, ok := rr.Pick()
+		if !ok {
+			t.Fatal("live scheduler reported done")
+		}
+		order = append(order, j)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	rr.Exhaust(1)
+	if rr.Live(1) {
+		t.Fatal("exhausted input reported live")
+	}
+	for i := 0; i < 4; i++ {
+		j, ok := rr.Pick()
+		if !ok || j == 1 {
+			t.Fatalf("picked exhausted input %d (ok=%v)", j, ok)
+		}
+	}
+	rr.Exhaust(0)
+	rr.Exhaust(2)
+	if _, ok := rr.Pick(); ok {
+		t.Fatal("all-exhausted scheduler still picks")
+	}
+}
+
+func bruteTwoList(left, right []Tuple, f Aggregate, k int) []JoinedPair {
+	var all []JoinedPair
+	for _, l := range left {
+		for _, r := range right {
+			if l.Key == r.Key {
+				all = append(all, JoinedPair{l, r, f.Combine([]float64{l.Score, r.Score})})
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+func randomLists(rng *rand.Rand, n int) ([]Tuple, []Tuple) {
+	mk := func() []Tuple {
+		list := make([]Tuple, n)
+		for i := range list {
+			list[i] = Tuple{
+				Key:   fmt.Sprintf("k%d", rng.Intn(5)),
+				ID:    i,
+				Score: rng.NormFloat64(),
+			}
+		}
+		sort.SliceStable(list, func(i, j int) bool { return list[i].Score > list[j].Score })
+		return list
+	}
+	return mk(), mk()
+}
+
+func TestTwoListJoinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		left, right := randomLists(rng, 12)
+		for _, f := range []Aggregate{Sum, Min} {
+			k := 1 + rng.Intn(8)
+			got, err := TwoListJoin(left, right, f, k)
+			if err != nil {
+				t.Fatalf("TwoListJoin: %v", err)
+			}
+			want := bruteTwoList(left, right, f, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d (%s, k=%d): got %d pairs, want %d", trial, f.Name(), k, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+					t.Fatalf("trial %d rank %d: score %v, want %v", trial, i, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestTwoListJoinValidatesInput(t *testing.T) {
+	unsorted := []Tuple{{Key: "a", Score: 1}, {Key: "a", Score: 2}}
+	sorted := []Tuple{{Key: "a", Score: 2}, {Key: "a", Score: 1}}
+	if _, err := TwoListJoin(unsorted, sorted, Sum, 1); err == nil {
+		t.Fatal("unsorted left accepted")
+	}
+	if _, err := TwoListJoin(sorted, unsorted, Sum, 1); err == nil {
+		t.Fatal("unsorted right accepted")
+	}
+	if _, err := TwoListJoin(sorted, sorted, Sum, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestTwoListJoinEmptyInputs(t *testing.T) {
+	out, err := TwoListJoin(nil, nil, Sum, 3)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty join = %v, %v", out, err)
+	}
+	one := []Tuple{{Key: "a", Score: 1}}
+	out, err = TwoListJoin(one, nil, Min, 3)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("half-empty join = %v, %v", out, err)
+	}
+}

@@ -1,0 +1,90 @@
+package rankjoin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tuple is an item of a sorted input list in the standalone two-list join:
+// Key is the join attribute, Score the ranking score.
+type Tuple struct {
+	Key   string
+	ID    int
+	Score float64
+}
+
+// JoinedPair is an output of TwoListJoin.
+type JoinedPair struct {
+	Left, Right Tuple
+	Score       float64
+}
+
+// TwoListJoin is a self-contained PBRJ over two descending score-sorted
+// lists with an equality join predicate on Key. It exists to exercise the
+// Bound/RoundRobin machinery independently of graphs: tests compare it
+// against a brute-force join. Returns the top-k joined pairs by f(l, r).
+func TwoListJoin(left, right []Tuple, f Aggregate, k int) ([]JoinedPair, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("rankjoin: k must be positive, got %d", k)
+	}
+	for i := 1; i < len(left); i++ {
+		if left[i].Score > left[i-1].Score+1e-12 {
+			return nil, fmt.Errorf("rankjoin: left list not sorted descending at %d", i)
+		}
+	}
+	for i := 1; i < len(right); i++ {
+		if right[i].Score > right[i-1].Score+1e-12 {
+			return nil, fmt.Errorf("rankjoin: right list not sorted descending at %d", i)
+		}
+	}
+
+	bound := NewBound(f, 2)
+	rr := NewRoundRobin(2)
+	pos := [2]int{}
+	lists := [2][]Tuple{left, right}
+	// Buffers indexed by key.
+	byKey := [2]map[string][]Tuple{make(map[string][]Tuple), make(map[string][]Tuple)}
+
+	var out []JoinedPair
+	worst := func() float64 {
+		// Smallest score among the current top-k (out is kept sorted).
+		return out[len(out)-1].Score
+	}
+	insert := func(p JoinedPair) {
+		i := sort.Search(len(out), func(i int) bool { return out[i].Score < p.Score })
+		out = append(out, JoinedPair{})
+		copy(out[i+1:], out[i:])
+		out[i] = p
+		if len(out) > k {
+			out = out[:k]
+		}
+	}
+
+	for {
+		if len(out) >= k && worst() >= bound.Tau() {
+			break
+		}
+		side, ok := rr.Pick()
+		if !ok {
+			break
+		}
+		if pos[side] >= len(lists[side]) {
+			rr.Exhaust(side)
+			bound.Exhaust(side)
+			continue
+		}
+		t := lists[side][pos[side]]
+		pos[side]++
+		bound.Observe(side, t.Score)
+		byKey[side][t.Key] = append(byKey[side][t.Key], t)
+		other := 1 - side
+		for _, o := range byKey[other][t.Key] {
+			l, r := t, o
+			if side == 1 {
+				l, r = o, t
+			}
+			insert(JoinedPair{Left: l, Right: r, Score: f.Combine([]float64{l.Score, r.Score})})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+// Package simrank implements SimRank (Jeh & Widom, KDD 2002), the second
+// proximity measure the paper's conclusion names as future work for the
+// multi-way join. SimRank does not fit the Equation-4 single-walk form the
+// IDJ machinery exploits — it recurses over *pairs* of in-neighbors — so
+// this package computes it by the classic fixed-point iteration and feeds
+// the n-way join through core.JoinLists.
+//
+//	s(a, a) = 1
+//	s(a, b) = C / (|I(a)|·|I(b)|) · Σ_{i∈I(a)} Σ_{j∈I(b)} s(i, j)
+//
+// The iteration stores the full n×n similarity matrix, so it is limited to
+// graphs of a few thousand nodes (the Yeast scale); that is the documented
+// trade-off of exact SimRank and the reason the paper's framework prefers
+// walk measures.
+package simrank
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/join2"
+	"repro/internal/pqueue"
+)
+
+// maxNodes bounds the dense similarity matrix (n² float64).
+const maxNodes = 4096
+
+// Options tune the fixed-point iteration.
+type Options struct {
+	// C is the decay constant in (0,1); 0 means the customary 0.8.
+	C float64
+	// Iterations caps the fixed-point rounds; 0 means 10.
+	Iterations int
+	// Tolerance stops early when the largest per-entry change falls below
+	// it; 0 means 1e-4.
+	Tolerance float64
+}
+
+func (o *Options) resolve() (float64, int, float64, error) {
+	c, iters, tol := 0.8, 10, 1e-4
+	if o != nil {
+		if o.C != 0 {
+			c = o.C
+		}
+		if o.Iterations != 0 {
+			iters = o.Iterations
+		}
+		if o.Tolerance != 0 {
+			tol = o.Tolerance
+		}
+	}
+	if c <= 0 || c >= 1 {
+		return 0, 0, 0, fmt.Errorf("simrank: C must lie in (0,1), got %g", c)
+	}
+	if iters < 1 {
+		return 0, 0, 0, fmt.Errorf("simrank: iterations must be >= 1, got %d", iters)
+	}
+	if tol <= 0 {
+		return 0, 0, 0, fmt.Errorf("simrank: tolerance must be positive, got %g", tol)
+	}
+	return c, iters, tol, nil
+}
+
+// Matrix holds the converged all-pairs SimRank scores.
+type Matrix struct {
+	n     int
+	s     []float64 // row-major n×n
+	Iters int       // rounds actually performed
+}
+
+// Compute runs the fixed-point iteration to (near) convergence.
+func Compute(g *graph.Graph, opts *Options) (*Matrix, error) {
+	c, iters, tol, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("simrank: empty graph")
+	}
+	if n > maxNodes {
+		return nil, fmt.Errorf("simrank: dense iteration limited to %d nodes, got %d", maxNodes, n)
+	}
+	cur := make([]float64, n*n)
+	next := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		cur[i*n+i] = 1
+	}
+	m := &Matrix{n: n}
+	for round := 0; round < iters; round++ {
+		var maxDelta float64
+		for a := 0; a < n; a++ {
+			ia, _, _ := g.InEdges(graph.NodeID(a))
+			next[a*n+a] = 1
+			for b := a + 1; b < n; b++ {
+				ib, _, _ := g.InEdges(graph.NodeID(b))
+				var v float64
+				if len(ia) > 0 && len(ib) > 0 {
+					var sum float64
+					for _, i := range ia {
+						row := int(i) * n
+						for _, j := range ib {
+							sum += cur[row+int(j)]
+						}
+					}
+					v = c * sum / float64(len(ia)*len(ib))
+				}
+				next[a*n+b] = v
+				next[b*n+a] = v
+				if d := math.Abs(v - cur[a*n+b]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		cur, next = next, cur
+		m.Iters = round + 1
+		if maxDelta < tol {
+			break
+		}
+	}
+	m.s = cur
+	return m, nil
+}
+
+// Score returns s(a, b).
+func (m *Matrix) Score(a, b graph.NodeID) float64 {
+	return m.s[int(a)*m.n+int(b)]
+}
+
+// TopKPairs returns the k highest-SimRank pairs (p, q) ∈ P×Q, descending,
+// with the same canonical tie order as the DHT joins.
+func (m *Matrix) TopKPairs(p, q []graph.NodeID, k int) ([]join2.Result, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("simrank: k must be positive, got %d", k)
+	}
+	if space := len(p) * len(q); k > space {
+		k = space
+	}
+	top := pqueue.NewTopK[join2.Pair](k)
+	for _, a := range p {
+		for _, b := range q {
+			pr := join2.Pair{P: a, Q: b}
+			top.AddTie(pr, m.Score(a, b), int64(pr.P)<<32|int64(uint32(pr.Q)))
+		}
+	}
+	pairs, scores := top.Sorted()
+	out := make([]join2.Result, len(pairs))
+	for i := range pairs {
+		out[i] = join2.Result{Pair: pairs[i], Score: scores[i]}
+	}
+	return out, nil
+}
+
+// EdgeList materializes the full descending ranking for one query edge —
+// the input core.JoinLists expects.
+func (m *Matrix) EdgeList(p, q []graph.NodeID) ([]join2.Result, error) {
+	return m.TopKPairs(p, q, len(p)*len(q))
+}

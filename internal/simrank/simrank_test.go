@@ -1,0 +1,307 @@
+package simrank
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/join2"
+	"repro/internal/rankjoin"
+)
+
+// univGraph: Univ → {ProfA, ProfB}, ProfA → StudentA, ProfB → StudentB,
+// StudentA → Univ, StudentB → Univ.
+// Nodes: 0 Univ, 1 ProfA, 2 ProfB, 3 StudentA, 4 StudentB.
+func univGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(5, true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(2, 4, 1)
+	b.AddEdge(3, 0, 1)
+	b.AddEdge(4, 0, 1)
+	return b.Build()
+}
+
+// TestSimRankHandComputed checks fixed points derivable by hand.
+func TestSimRankHandComputed(t *testing.T) {
+	const c = 0.8
+	// (1) Fan-out: 0→1, 0→2. I(1)=I(2)={0} ⇒ s(1,2) = C·s(0,0) = C.
+	b := graph.NewBuilder(3, true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 2, 1)
+	m, err := Compute(b.Build(), &Options{C: c, Iterations: 30, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Score(1, 2); math.Abs(got-c) > 1e-10 {
+		t.Fatalf("fan-out s(1,2) = %v, want %v", got, c)
+	}
+
+	// (2) Shared audience: 0→2, 1→2, 0→3, 1→3 with sourceless 0, 1:
+	// s(0,1)=0 ⇒ s(2,3) = C/4 · (s(0,0)+s(1,1)) = C/2.
+	b = graph.NewBuilder(4, true)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 3, 1)
+	b.AddEdge(1, 3, 1)
+	m, err = Compute(b.Build(), &Options{C: c, Iterations: 30, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Score(2, 3); math.Abs(got-c/2) > 1e-10 {
+		t.Fatalf("shared-audience s(2,3) = %v, want %v", got, c/2)
+	}
+	if got := m.Score(0, 1); got != 0 {
+		t.Fatalf("sourceless s(0,1) = %v, want 0", got)
+	}
+
+	// (3) Univ example: I(ProfA)=I(ProfB)={Univ} ⇒ s(ProfA,ProfB) = C;
+	// s(StudA,StudB) = C·s(ProfA,ProfB) = C²; and the cycle closes with
+	// s(Univ,Univ) = 1.
+	m, err = Compute(univGraph(t), &Options{C: c, Iterations: 60, Tolerance: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Score(1, 2); math.Abs(got-c) > 1e-9 {
+		t.Fatalf("s(ProfA,ProfB) = %v, want %v", got, c)
+	}
+	if got := m.Score(3, 4); math.Abs(got-c*c) > 1e-9 {
+		t.Fatalf("s(StudA,StudB) = %v, want %v", got, c*c)
+	}
+	if m.Score(1, 2) != m.Score(2, 1) {
+		t.Fatal("SimRank not symmetric")
+	}
+	for i := graph.NodeID(0); i < 5; i++ {
+		if m.Score(i, i) != 1 {
+			t.Fatalf("s(%d,%d) = %v, want 1", i, i, m.Score(i, i))
+		}
+	}
+}
+
+// naiveSimRank is an independent reference: the same recurrence written
+// directly over maps, used to cross-check the optimized iteration.
+func naiveSimRank(g *graph.Graph, c float64, iters int) map[[2]graph.NodeID]float64 {
+	n := g.NumNodes()
+	cur := make(map[[2]graph.NodeID]float64)
+	for i := 0; i < n; i++ {
+		cur[[2]graph.NodeID{graph.NodeID(i), graph.NodeID(i)}] = 1
+	}
+	get := func(m map[[2]graph.NodeID]float64, a, b graph.NodeID) float64 { return m[[2]graph.NodeID{a, b}] }
+	for it := 0; it < iters; it++ {
+		next := make(map[[2]graph.NodeID]float64)
+		for a := 0; a < n; a++ {
+			next[[2]graph.NodeID{graph.NodeID(a), graph.NodeID(a)}] = 1
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				ia, _, _ := g.InEdges(graph.NodeID(a))
+				ib, _, _ := g.InEdges(graph.NodeID(b))
+				if len(ia) == 0 || len(ib) == 0 {
+					continue
+				}
+				var sum float64
+				for _, i := range ia {
+					for _, j := range ib {
+						sum += get(cur, i, j)
+					}
+				}
+				v := c * sum / float64(len(ia)*len(ib))
+				if v != 0 {
+					next[[2]graph.NodeID{graph.NodeID(a), graph.NodeID(b)}] = v
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+func TestSimRankMatchesNaiveReference(t *testing.T) {
+	g, _, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{10, 10}, PIn: 0.3, POut: 0.15, Seed: 17, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c, iters = 0.7, 6
+	m, err := Compute(g, &Options{C: c, Iterations: iters, Tolerance: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := naiveSimRank(g, c, iters)
+	for a := 0; a < g.NumNodes(); a++ {
+		for b := 0; b < g.NumNodes(); b++ {
+			want := ref[[2]graph.NodeID{graph.NodeID(a), graph.NodeID(b)}]
+			if got := m.Score(graph.NodeID(a), graph.NodeID(b)); math.Abs(got-want) > 1e-10 {
+				t.Fatalf("s(%d,%d) = %v, reference %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSimRankRangeAndMonotoneIterations(t *testing.T) {
+	g, _, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{20, 20}, PIn: 0.3, POut: 0.1, Seed: 5, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compute(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < g.NumNodes(); a++ {
+		for b := 0; b < g.NumNodes(); b++ {
+			s := m.Score(graph.NodeID(a), graph.NodeID(b))
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				t.Fatalf("s(%d,%d) = %v out of [0,1]", a, b, s)
+			}
+		}
+	}
+	// More iterations must not decrease scores (monotone convergence from
+	// the identity start).
+	one, err := Compute(g, &Options{Iterations: 1, Tolerance: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := Compute(g, &Options{Iterations: 5, Tolerance: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < g.NumNodes(); a++ {
+		for b := 0; b < g.NumNodes(); b++ {
+			if five.Score(graph.NodeID(a), graph.NodeID(b)) < one.Score(graph.NodeID(a), graph.NodeID(b))-1e-12 {
+				t.Fatalf("scores shrank between iterations at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestSimRankOptionsValidation(t *testing.T) {
+	g := univGraph(t)
+	if _, err := Compute(g, &Options{C: 1.5}); err == nil {
+		t.Fatal("C>1 accepted")
+	}
+	if _, err := Compute(g, &Options{Iterations: -1}); err == nil {
+		t.Fatal("negative iterations accepted")
+	}
+	if _, err := Compute(g, &Options{Tolerance: -1}); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+	empty := graph.NewBuilder(0, true).Build()
+	if _, err := Compute(empty, nil); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestTopKPairsDescending(t *testing.T) {
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{15, 15}, PIn: 0.3, POut: 0.1, Seed: 8, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compute(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.TopKPairs(sets[0].Nodes(), sets[1].Nodes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("got %d pairs", len(res))
+	}
+	if !sort.SliceIsSorted(res, func(i, j int) bool { return res[i].Score >= res[j].Score }) {
+		t.Fatal("not descending")
+	}
+	if _, err := m.TopKPairs(sets[0].Nodes(), sets[1].Nodes(), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestSimRankNWayJoin drives the full multi-way machinery over SimRank via
+// core.JoinLists and checks against brute force.
+func TestSimRankNWayJoin(t *testing.T) {
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{8, 8, 8}, PIn: 0.35, POut: 0.15, Seed: 11, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Compute(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Chain(sets...)
+	lists := make([][]join2.Result, len(q.Edges()))
+	for i, e := range q.Edges() {
+		lists[i], err = m.EdgeList(q.Set(e.From).Nodes(), q.Set(e.To).Nodes())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := core.JoinLists(q, lists, rankjoin.Min, 6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Brute force over the matrix.
+	type ans struct {
+		a, b, c graph.NodeID
+		f       float64
+	}
+	var all []ans
+	for _, a := range sets[0].Nodes() {
+		for _, b := range sets[1].Nodes() {
+			for _, c := range sets[2].Nodes() {
+				f := math.Min(m.Score(a, b), m.Score(b, c))
+				all = append(all, ans{a, b, c, f})
+			}
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].f > all[j].f })
+	if len(got) != 6 {
+		t.Fatalf("got %d answers", len(got))
+	}
+	for i := range got {
+		if math.Abs(got[i].Score-all[i].f) > 1e-12 {
+			t.Fatalf("rank %d: %v vs brute %v", i, got[i].Score, all[i].f)
+		}
+	}
+}
+
+func TestJoinListsValidation(t *testing.T) {
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{5, 5}, PIn: 0.4, POut: 0.2, Seed: 2, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g
+	q := core.Chain(sets[:2]...)
+	if _, err := core.JoinLists(q, nil, rankjoin.Min, 3, false); err == nil {
+		t.Fatal("list count mismatch accepted")
+	}
+	unsorted := [][]join2.Result{{
+		{Pair: join2.Pair{P: 0, Q: 5}, Score: 0.1},
+		{Pair: join2.Pair{P: 1, Q: 5}, Score: 0.9},
+	}}
+	if _, err := core.JoinLists(q, unsorted, rankjoin.Min, 3, false); err == nil {
+		t.Fatal("unsorted list accepted")
+	}
+	if _, err := core.JoinLists(q, [][]join2.Result{{}}, nil, 3, false); err == nil {
+		t.Fatal("nil aggregate accepted")
+	}
+	if _, err := core.JoinLists(q, [][]join2.Result{{}}, rankjoin.Min, 0, false); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := core.JoinLists(nil, nil, rankjoin.Min, 3, false); err == nil {
+		t.Fatal("nil query accepted")
+	}
+}
