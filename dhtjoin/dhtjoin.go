@@ -118,6 +118,12 @@ type Options struct {
 	// PageRank via the PPR params — the extension named in the paper's
 	// conclusion).
 	Measure Measure
+	// Workers enables the worker-pool extensions: per-edge 2-way joins run
+	// concurrently and each backward join spreads its per-target walks over
+	// that many goroutines. 0 (the default) and 1 evaluate serially, as in
+	// the paper; a negative value selects GOMAXPROCS. Results are identical
+	// at any setting — ties are broken by the canonical pair key.
+	Workers int
 }
 
 // Measure selects the step probability the score folds.
@@ -182,6 +188,7 @@ func TopKPairs(g *Graph, p, q *NodeSet, k int, opts *Options) ([]PairResult, err
 	cfg := join2.Config{Graph: g, Params: params, D: d, P: p.Nodes(), Q: q.Nodes()}
 	if opts != nil {
 		cfg.Measure = opts.Measure
+		cfg.Workers = opts.Workers
 	}
 	j, err := join2.NewBIDJY(cfg)
 	if err != nil {
@@ -240,6 +247,7 @@ func TopK(g *Graph, query *QueryGraph, k int, opts *Options) ([]Answer, error) {
 	if opts != nil {
 		spec.Distinct = opts.Distinct
 		spec.Measure = opts.Measure
+		spec.Workers = opts.Workers
 	}
 	alg, err := core.NewPJI(spec, m)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/dht"
 	"repro/internal/graph"
 	"repro/internal/join2"
 )
@@ -60,15 +61,18 @@ func (t TwoWayKind) newJoiner(cfg join2.Config) (join2.Joiner, error) {
 	return nil, fmt.Errorf("core: unknown two-way kind %d", int(t))
 }
 
-// edgeConfig derives the 2-way join config for one query edge.
-func edgeConfig(spec *Spec, e QEdge) join2.Config {
+// edgeConfig derives the 2-way join config for one query edge. counters,
+// when non-nil, aggregates the edge's engine work (shared across edges).
+func edgeConfig(spec *Spec, e QEdge, counters *dht.Counters) join2.Config {
 	return join2.Config{
-		Graph:   spec.Graph,
-		Params:  spec.Params,
-		D:       spec.D,
-		P:       spec.Query.Set(e.From).Nodes(),
-		Q:       spec.Query.Set(e.To).Nodes(),
-		Measure: spec.Measure,
+		Graph:    spec.Graph,
+		Params:   spec.Params,
+		D:        spec.D,
+		P:        spec.Query.Set(e.From).Nodes(),
+		Q:        spec.Query.Set(e.To).Nodes(),
+		Measure:  spec.Measure,
+		Workers:  spec.Workers,
+		Counters: counters,
 	}
 }
 
@@ -103,10 +107,8 @@ func (a *AP) Name() string { return "AP" }
 // Run implements Algorithm.
 func (a *AP) Run() ([]Answer, error) {
 	a.Stats = RunStats{}
-	edges := a.spec.Query.Edges()
-	srcs := make([]edgeSource, len(edges))
-	for ei, e := range edges {
-		cfg := edgeConfig(&a.spec, e)
+	ctrs := &dht.Counters{}
+	srcs, err := buildSources(&a.spec, ctrs, func(cfg join2.Config) (edgeSource, error) {
 		j, err := a.twoWay.newJoiner(cfg)
 		if err != nil {
 			return nil, err
@@ -115,10 +117,15 @@ func (a *AP) Run() ([]Answer, error) {
 		if err != nil {
 			return nil, err
 		}
-		srcs[ei] = &listSource{list: list}
+		return &listSource{list: list}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	d := &driver{spec: &a.spec, srcs: srcs, stats: &a.Stats}
-	return d.run()
+	answers, err := d.run()
+	a.Stats.addCounters(ctrs)
+	return answers, err
 }
 
 // bruteForceJoin recomputes the join exactly from fully materialized edge
@@ -128,7 +135,7 @@ func bruteForceJoin(spec *Spec, k int) ([]Answer, error) {
 	edges := spec.Query.Edges()
 	scoreOf := make([]map[join2.Pair]float64, len(edges))
 	for ei, e := range edges {
-		cfg := edgeConfig(spec, e)
+		cfg := edgeConfig(spec, e, nil)
 		j, err := join2.NewBBJ(cfg)
 		if err != nil {
 			return nil, err

@@ -69,7 +69,7 @@ func (a *NL) Run() ([]Answer, error) {
 			break
 		}
 	}
-	a.Stats.DHTWalks, a.Stats.DHTEdgeSweeps = e.Walks, e.EdgeSweeps
+	a.Stats.DHTWalks, a.Stats.DHTEdgeSweeps, a.Stats.DHTFrontierEdges = e.Walks, e.EdgeSweeps, e.FrontierEdges
 
 	answers, scores := out.Sorted()
 	for i := range answers {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/dht"
 	"repro/internal/join2"
 )
 
@@ -41,22 +42,21 @@ func (a *PJ) Name() string { return "PJ" }
 // Run implements Algorithm.
 func (a *PJ) Run() ([]Answer, error) {
 	a.Stats = RunStats{}
-	edges := a.spec.Query.Edges()
-	srcs := make([]edgeSource, len(edges))
-	for ei, e := range edges {
-		cfg := edgeConfig(&a.spec, e)
+	ctrs := &dht.Counters{}
+	srcs, err := buildSources(&a.spec, ctrs, func(cfg join2.Config) (edgeSource, error) {
 		j, err := a.twoWay.newJoiner(cfg)
 		if err != nil {
 			return nil, err
 		}
-		src, err := newRejoinSource(j, a.m, cfg.MaxPairs(), &a.Stats.Refetches)
-		if err != nil {
-			return nil, err
-		}
-		srcs[ei] = src
+		return newRejoinSource(j, a.m, cfg.MaxPairs(), &a.Stats.Refetches)
+	})
+	if err != nil {
+		return nil, err
 	}
 	d := &driver{spec: &a.spec, srcs: srcs, stats: &a.Stats}
-	return d.run()
+	answers, err := d.run()
+	a.Stats.addCounters(ctrs)
+	return answers, err
 }
 
 // PJI is the Incremental Partial Join (PJ-i, §VI-D): identical to PJ except
@@ -99,10 +99,8 @@ func (a *PJI) Name() string { return "PJ-i" }
 // Run implements Algorithm.
 func (a *PJI) Run() ([]Answer, error) {
 	a.Stats = RunStats{}
-	edges := a.spec.Query.Edges()
-	srcs := make([]edgeSource, len(edges))
-	for ei, e := range edges {
-		cfg := edgeConfig(&a.spec, e)
+	ctrs := &dht.Counters{}
+	srcs, err := buildSources(&a.spec, ctrs, func(cfg join2.Config) (edgeSource, error) {
 		inc, err := join2.NewIncremental(cfg, a.variant)
 		if err != nil {
 			return nil, err
@@ -111,12 +109,13 @@ func (a *PJI) Run() ([]Answer, error) {
 		if m == 0 {
 			m = 1 // Incremental.Run needs a positive initial budget
 		}
-		src, err := newIncSource(inc, m, &a.Stats.Refetches)
-		if err != nil {
-			return nil, err
-		}
-		srcs[ei] = src
+		return newIncSource(inc, m, &a.Stats.Refetches)
+	})
+	if err != nil {
+		return nil, err
 	}
 	d := &driver{spec: &a.spec, srcs: srcs, stats: &a.Stats, noBound: a.DisableCornerBound}
-	return d.run()
+	answers, err := d.run()
+	a.Stats.addCounters(ctrs)
+	return answers, err
 }

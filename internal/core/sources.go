@@ -2,9 +2,56 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
+	"repro/internal/dht"
 	"repro/internal/join2"
 )
+
+// buildSources constructs one edgeSource per query edge via build, running
+// the constructions concurrently when the spec enables workers — the initial
+// top-m joins of PJ/PJ-i and the all-pairs materialization of AP are the
+// dominant per-edge costs, and they are independent across edges. The
+// edge-level fan-out is bounded by the resolved worker count (a semaphore),
+// so Spec.Workers caps this level's goroutines too. counters is threaded
+// into every edge's join config.
+func buildSources(spec *Spec, counters *dht.Counters, build func(cfg join2.Config) (edgeSource, error)) ([]edgeSource, error) {
+	edges := spec.Query.Edges()
+	srcs := make([]edgeSource, len(edges))
+	errs := make([]error, len(edges))
+	mk := func(ei int) {
+		srcs[ei], errs[ei] = build(edgeConfig(spec, edges[ei], counters))
+	}
+	w := spec.Workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > 1 && len(edges) > 1 {
+		sem := make(chan struct{}, w)
+		var wg sync.WaitGroup
+		for ei := range edges {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ei int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				mk(ei)
+			}(ei)
+		}
+		wg.Wait()
+	} else {
+		for ei := range edges {
+			mk(ei)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return srcs, nil
+}
 
 // listSource streams a fully materialized, descending-sorted result list —
 // the AP strategy, where every pair of the edge's node sets has been scored

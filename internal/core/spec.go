@@ -30,6 +30,13 @@ type Spec struct {
 	// is the paper's first-hit DHT; dht.Reach joins over reach measures
 	// such as Personalized PageRank (the paper's §VIII extension).
 	Measure dht.Kind
+
+	// Workers caps the goroutines the n-way algorithms may use: the
+	// per-edge 2-way joins (and their initial top-m runs) execute
+	// concurrently, and each backward joiner may spread its per-target
+	// walks further. 0 and 1 run serially as in the paper; a negative
+	// value selects GOMAXPROCS. Results are identical at any setting.
+	Workers int
 }
 
 // keepTuple applies the Distinct filter.
@@ -125,9 +132,18 @@ type Algorithm interface {
 // RunStats describes the work performed by the last Run of an algorithm that
 // exposes it.
 type RunStats struct {
-	PairsPulled   int64 // entries consumed from 2-way join streams
-	Candidates    int64 // candidate answers generated (before dedup)
-	Refetches     int64 // getNextNodePair invocations past the initial top-m
-	DHTWalks      int64 // random-walk invocations in the DHT engine
-	DHTEdgeSweeps int64 // O(|E|) relaxation sweeps in the DHT engine
+	PairsPulled      int64 // entries consumed from 2-way join streams
+	Candidates       int64 // candidate answers generated (before dedup)
+	Refetches        int64 // getNextNodePair invocations past the initial top-m
+	DHTWalks         int64 // random-walk invocations in the DHT engine
+	DHTEdgeSweeps    int64 // full O(|E|) dense relaxation sweeps in the DHT engine
+	DHTFrontierEdges int64 // edges relaxed by sparse frontier pushes
+}
+
+// addCounters folds an engine-counter snapshot into the stats.
+func (s *RunStats) addCounters(c *dht.Counters) {
+	snap := c.Snapshot()
+	s.DHTWalks += snap.Walks
+	s.DHTEdgeSweeps += snap.EdgeSweeps
+	s.DHTFrontierEdges += snap.FrontierEdges
 }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rankjoin"
+)
+
+// TestWorkersMatchSerial: PJ, PJ-i, and AP with Spec.Workers set must
+// produce exactly the answers of the serial run (same tuples, same order),
+// and their engine counters must record work.
+func TestWorkersMatchSerial(t *testing.T) {
+	g, sets := testWorld(t, 42, 14, 14, 14)
+	spec := chainSpec(g, sets, rankjoin.Min, 8)
+
+	serialPJ, err := NewPJ(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPJ, err := serialPJ.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialPJI, err := NewPJI(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPJI, err := serialPJI.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialAP, err := NewAP(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAP, err := serialAP.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialPJ.Stats.DHTWalks == 0 {
+		t.Fatal("serial PJ recorded no walks")
+	}
+
+	for _, workers := range []int{2, -1} {
+		wspec := spec
+		wspec.Workers = workers
+		pj, err := NewPJ(wspec, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pj.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameAnswers(t, "PJ workers", got, wantPJ)
+		if pj.Stats.DHTWalks != serialPJ.Stats.DHTWalks {
+			t.Fatalf("workers=%d: PJ walks %d != serial %d", workers, pj.Stats.DHTWalks, serialPJ.Stats.DHTWalks)
+		}
+
+		pji, err := NewPJI(wspec, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = pji.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameAnswers(t, "PJ-i workers", got, wantPJI)
+
+		ap, err := NewAP(wspec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = ap.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameAnswers(t, "AP workers", got, wantAP)
+	}
+}
+
+// TestRunStatsFrontierCounters: short-walk-heavy PJ-i runs should be served
+// mostly by the sparse kernel — frontier edges recorded, and dense sweeps
+// only where the frontier saturates.
+func TestRunStatsFrontierCounters(t *testing.T) {
+	g, sets := testWorld(t, 7, 16, 16)
+	spec := chainSpec(g, sets, rankjoin.Min, 5)
+	pji, err := NewPJI(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pji.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := pji.Stats
+	if st.DHTWalks == 0 {
+		t.Fatal("no walks recorded")
+	}
+	if st.DHTFrontierEdges == 0 && st.DHTEdgeSweeps == 0 {
+		t.Fatalf("no walk work recorded: %+v", st)
+	}
+}

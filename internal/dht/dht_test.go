@@ -381,15 +381,64 @@ func TestEngineValidation(t *testing.T) {
 func TestEngineCounters(t *testing.T) {
 	g := pathGraph(t, 4)
 	e := mustEngine(t, g, DHTLambda(0.2), 4)
+	// A generous threshold keeps every step on the sparse path (the default
+	// budget on a 4-node graph is only a couple of edges): no dense sweeps,
+	// only frontier edges.
+	e.DenseThreshold = 10
 	e.ForwardScore(0, 3)
-	if e.Walks != 1 || e.EdgeSweeps != 4 {
-		t.Fatalf("counters after forward: walks=%d sweeps=%d", e.Walks, e.EdgeSweeps)
+	if e.Walks != 1 || e.EdgeSweeps != 0 || e.SparseSteps != 4 || e.FrontierEdges == 0 {
+		t.Fatalf("counters after forward: walks=%d sweeps=%d sparse=%d frontier=%d",
+			e.Walks, e.EdgeSweeps, e.SparseSteps, e.FrontierEdges)
+	}
+	e.ResetCounters()
+	out := make([]float64, 4)
+	e.BackWalk(3, 2, out)
+	if e.Walks != 1 || e.EdgeSweeps != 0 || e.SparseSteps != 2 {
+		t.Fatalf("counters after backward: walks=%d sweeps=%d sparse=%d", e.Walks, e.EdgeSweeps, e.SparseSteps)
+	}
+	if e.Walks != 1 {
+		t.Fatalf("walks=%d, want 1", e.Walks)
+	}
+}
+
+// TestEngineCountersForceDense pins the original dense cost model: one full
+// sweep per step.
+func TestEngineCountersForceDense(t *testing.T) {
+	g := pathGraph(t, 4)
+	e := mustEngine(t, g, DHTLambda(0.2), 4)
+	e.ForceDense = true
+	e.ForwardScore(0, 3)
+	if e.Walks != 1 || e.EdgeSweeps != 4 || e.SparseSteps != 0 {
+		t.Fatalf("counters after forward: walks=%d sweeps=%d sparse=%d", e.Walks, e.EdgeSweeps, e.SparseSteps)
 	}
 	e.ResetCounters()
 	out := make([]float64, 4)
 	e.BackWalk(3, 2, out)
 	if e.Walks != 1 || e.EdgeSweeps != 2 {
 		t.Fatalf("counters after backward: walks=%d sweeps=%d", e.Walks, e.EdgeSweeps)
+	}
+}
+
+// TestEngineSinkAggregates checks the atomic counter sink used by worker
+// pools: engine-local deltas must be mirrored into the shared Counters.
+func TestEngineSinkAggregates(t *testing.T) {
+	g := pathGraph(t, 4)
+	e := mustEngine(t, g, DHTLambda(0.2), 4)
+	var c Counters
+	e.Sink = &c
+	e.ForwardScore(0, 3)
+	out := make([]float64, 4)
+	e.BackWalk(3, 2, out)
+	snap := c.Snapshot()
+	if snap.Walks != 2 {
+		t.Fatalf("sink walks = %d, want 2", snap.Walks)
+	}
+	if snap.EdgeSweeps != e.EdgeSweeps || snap.FrontierEdges != e.FrontierEdges {
+		t.Fatalf("sink %+v does not mirror engine (sweeps=%d frontier=%d)", snap, e.EdgeSweeps, e.FrontierEdges)
+	}
+	c.Reset()
+	if s := c.Snapshot(); s != (Counters{}) {
+		t.Fatalf("after Reset: %+v", s)
 	}
 }
 

@@ -1,0 +1,64 @@
+package dht
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// benchKernel compares the adaptive sparse/dense kernel against the forced
+// dense reference on full-depth walks; the reported custom metrics show how
+// the work split between the two paths.
+func benchKernel(b *testing.B, force bool) {
+	g := benchGraph(b)
+	e, err := NewEngine(g, DHTLambda(0.2), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.ForceDense = force
+	out := make([]float64, g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.BackWalk(graph.NodeID(i%g.NumNodes()), 8, out)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(e.EdgeSweeps)/float64(b.N), "sweeps/op")
+	b.ReportMetric(float64(e.FrontierEdges)/float64(b.N), "frontieredges/op")
+}
+
+// BenchmarkBackWalkAdaptiveKernel: full-depth backward walk, adaptive kernel.
+func BenchmarkBackWalkAdaptiveKernel(b *testing.B) { benchKernel(b, false) }
+
+// BenchmarkBackWalkForceDenseKernel: the same walk on the dense reference.
+func BenchmarkBackWalkForceDenseKernel(b *testing.B) { benchKernel(b, true) }
+
+// BenchmarkBackWalkShort measures the l=1 walk that dominates B-IDJ's first
+// deepening round — the regime the sparse frontier exists for: only the
+// target's in-neighbors are touched instead of O(|V|) scans per step.
+func BenchmarkBackWalkShort(b *testing.B) {
+	g := benchGraph(b)
+	e, err := NewEngine(g, DHTLambda(0.2), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]float64, g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.BackWalk(graph.NodeID(i%g.NumNodes()), 1, out)
+	}
+}
+
+// BenchmarkBackWalkScoresShort is BenchmarkBackWalkShort through the
+// β-prefilled engine-owned column: no O(|V|) clear of the caller buffer and
+// no O(|V|) affine pass, only the touched entries.
+func BenchmarkBackWalkScoresShort(b *testing.B) {
+	g := benchGraph(b)
+	e, err := NewEngine(g, DHTLambda(0.2), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.BackWalkScores(FirstHit, graph.NodeID(i%g.NumNodes()), 1)
+	}
+}

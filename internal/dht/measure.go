@@ -41,77 +41,66 @@ func (e *Engine) ForwardScoreKind(kind Kind, p, q graph.NodeID, steps int) float
 	if kind == FirstHit {
 		return e.ForwardScoreAt(p, q, steps)
 	}
-	return e.Params.Score(e.forwardReachProbs(p, q, steps))
+	return e.Params.Score(e.forwardReachProbs(p, q, e.probsScratch(steps)))
 }
 
-// forwardReachProbs advances an unabsorbed walk from p, recording the mass
-// at q after each step: probs[i-1] = S_i(p, q).
-func (e *Engine) forwardReachProbs(p, q graph.NodeID, steps int) []float64 {
-	e.Walks++
-	probs := make([]float64, steps)
-	cur, next := e.cur, e.next
-	clearVec(cur)
-	cur[p] = 1
-	for i := 0; i < steps; i++ {
-		clearVec(next)
-		e.EdgeSweeps++
-		for u := 0; u < e.G.NumNodes(); u++ {
-			m := cur[u]
-			if m == 0 {
-				continue
-			}
-			to, _, tp := e.G.OutEdges(graph.NodeID(u))
-			for j := range to {
-				next[to[j]] += m * tp[j]
-			}
+// forwardReachProbs advances an unabsorbed walk from p through the adaptive
+// kernel, recording the mass at q after each step: probs[i-1] = S_i(p, q).
+func (e *Engine) forwardReachProbs(p, q graph.NodeID, probs []float64) []float64 {
+	sweeps0, frontier0 := e.beginWalk()
+	clearVec(probs)
+	e.seed(p)
+	for i := range probs {
+		if e.frontierEmpty() {
+			break // mass all lost in sinks; S_j = 0 from here
 		}
-		probs[i] = next[q]
-		cur, next = next, cur
+		e.push(false)
+		probs[i] = e.next[q]
+		e.commit(i == len(probs)-1)
 	}
+	e.endWalk(sweeps0, frontier0)
 	return probs
 }
 
 // BackWalkKind computes out[u] = truncated score from u to q for every node
-// u, under the given kind: one backward sweep per step, shared by all
+// u, under the given kind: one backward step per walk length, shared by all
 // sources — the backward-processing primitive generalized beyond first-hit.
 func (e *Engine) BackWalkKind(kind Kind, q graph.NodeID, steps int, out []float64) {
 	if kind == FirstHit {
 		e.BackWalk(q, steps, out)
 		return
 	}
-	e.Walks++
 	if len(out) != e.G.NumNodes() {
 		panic(fmt.Sprintf("dht: BackWalkKind out has length %d, want %d", len(out), e.G.NumNodes()))
 	}
-	cur, next := e.cur, e.next
-	clearVec(cur)
+	sweeps0, frontier0 := e.beginWalk()
 	clearVec(out)
-	cur[q] = 1
+	e.seed(q)
 	pow := 1.0
 	for i := 1; i <= steps; i++ {
+		if e.frontierEmpty() {
+			break // mass all lost in sinks; S_j = 0 from here
+		}
 		pow *= e.Params.Lambda
-		clearVec(next)
-		e.EdgeSweeps++
-		for v := 0; v < e.G.NumNodes(); v++ {
-			m := cur[v]
-			if m == 0 {
-				continue
-			}
-			from, _, fp := e.G.InEdges(graph.NodeID(v))
-			for j := range from {
-				next[from[j]] += fp[j] * m
-			}
-		}
+		e.push(true)
 		// next[u] = S_i(u, q); no re-absorption: the walk may pass q.
-		for u := range next {
-			out[u] += pow * next[u]
+		next := e.next
+		if e.lastDense {
+			for u := range next {
+				out[u] += pow * next[u]
+			}
+		} else {
+			for _, u := range e.nextF {
+				out[u] += pow * next[u]
+			}
 		}
-		cur, next = next, cur
+		e.commit(i == steps)
 	}
 	a, b := e.Params.Alpha, e.Params.Beta
 	for u := range out {
 		out[u] = a*out[u] + b
 	}
+	e.endWalk(sweeps0, frontier0)
 }
 
 // ExactReachColumn solves the reach-measure analogue of ExactColumn:

@@ -1,0 +1,87 @@
+package dht
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Counters aggregates engine work across walks — and, through atomic adds,
+// across the concurrent engines of a worker pool. Attach one as Engine.Sink
+// (or EnginePool.Sink) and read it with Snapshot once the workers are done.
+type Counters struct {
+	Walks         int64 // walk invocations
+	EdgeSweeps    int64 // full O(|E|) dense relaxation sweeps
+	FrontierEdges int64 // edges relaxed by sparse frontier pushes
+}
+
+// add accumulates one walk's deltas atomically.
+func (c *Counters) add(walks, sweeps, frontierEdges int64) {
+	atomic.AddInt64(&c.Walks, walks)
+	atomic.AddInt64(&c.EdgeSweeps, sweeps)
+	atomic.AddInt64(&c.FrontierEdges, frontierEdges)
+}
+
+// Snapshot returns a consistent copy using atomic loads, safe to call while
+// workers are still writing.
+func (c *Counters) Snapshot() Counters {
+	return Counters{
+		Walks:         atomic.LoadInt64(&c.Walks),
+		EdgeSweeps:    atomic.LoadInt64(&c.EdgeSweeps),
+		FrontierEdges: atomic.LoadInt64(&c.FrontierEdges),
+	}
+}
+
+// Reset zeroes the counters atomically.
+func (c *Counters) Reset() {
+	atomic.StoreInt64(&c.Walks, 0)
+	atomic.StoreInt64(&c.EdgeSweeps, 0)
+	atomic.StoreInt64(&c.FrontierEdges, 0)
+}
+
+// EnginePool hands out engines for one (graph, params, d) configuration
+// backed by a sync.Pool, so worker goroutines and repeated joins reuse the
+// O(|V|) scratch vectors instead of allocating fresh ones. Engines returned
+// by Get carry the pool's Sink; each engine is still single-goroutine — the
+// pool only makes checkout/checkin concurrency-safe.
+type EnginePool struct {
+	G      *graph.Graph
+	Params Params
+	D      int
+
+	// Sink, when non-nil, is attached to every engine the pool hands out.
+	Sink *Counters
+
+	pool sync.Pool
+}
+
+// NewEnginePool validates the configuration once and returns the pool.
+func NewEnginePool(g *graph.Graph, p Params, d int) (*EnginePool, error) {
+	first, err := NewEngine(g, p, d)
+	if err != nil {
+		return nil, err
+	}
+	pl := &EnginePool{G: g, Params: p, D: d}
+	pl.pool.Put(first)
+	return pl, nil
+}
+
+// Get checks out an engine. The configuration was validated by
+// NewEnginePool, so construction cannot fail here.
+func (pl *EnginePool) Get() *Engine {
+	e, _ := pl.pool.Get().(*Engine)
+	if e == nil {
+		e, _ = NewEngine(pl.G, pl.Params, pl.D)
+	}
+	e.Sink = pl.Sink
+	return e
+}
+
+// Put returns an engine obtained from Get for reuse.
+func (pl *EnginePool) Put(e *Engine) {
+	if e == nil {
+		return
+	}
+	pl.pool.Put(e)
+}

@@ -1,14 +1,20 @@
 package join2
 
 import (
+	"repro/internal/dht"
 	"repro/internal/pqueue"
 )
 
 // BBJ is the Backward Basic Join (§VI-A): one d-step backward walk per q ∈ Q
 // yields h_d(p, q) for every p at once, so the complexity is O(|Q|·d·|E|) —
-// a factor |P| better than F-BJ.
+// a factor |P| better than F-BJ. With Config.Workers set, the per-target
+// walks are spread over a worker pool (see ParallelBBJ for the dedicated
+// type); either way the engine and its O(|V|) scratch are reused across
+// TopK calls, so a joiner is single-goroutine like the engine it owns.
 type BBJ struct {
 	cfg Config
+	e   *dht.Engine
+	par *ParallelBBJ // cached worker-pool delegate when Workers > 1
 }
 
 // NewBBJ validates the config and returns the joiner.
@@ -28,14 +34,23 @@ func (b *BBJ) TopK(k int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := b.cfg.engine()
-	if err != nil {
-		return nil, err
+	if w := b.cfg.workerCount(len(b.cfg.Q)); w > 1 {
+		if b.par == nil {
+			if b.par, err = NewParallelBBJ(b.cfg, w); err != nil {
+				return nil, err
+			}
+		}
+		return b.par.TopK(k)
 	}
-	scores := make([]float64, b.cfg.Graph.NumNodes())
+	if b.e == nil {
+		if b.e, err = b.cfg.engine(); err != nil {
+			return nil, err
+		}
+	}
+	e := b.e
 	top := pqueue.NewTopK[Pair](k)
 	for _, q := range b.cfg.Q {
-		e.BackWalkKind(b.cfg.Measure, q, b.cfg.D, scores)
+		scores := e.BackWalkScores(b.cfg.Measure, q, b.cfg.D)
 		// scores[q] is 0 by definition (h(v,v) = 0), so pairs with p == q
 		// participate with score 0, matching the forward algorithms.
 		for _, p := range b.cfg.P {

@@ -2,6 +2,7 @@ package join2
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/dht"
 	"repro/internal/graph"
@@ -42,10 +43,21 @@ type IterStat struct {
 // performs an l-step backward walk per surviving q ∈ Q (l = 1, 2, 4, …),
 // maintains the top-k lower bounds B, and prunes q when
 // max_p h_l(p,q) + U⁺ₗ < T_k. A final d-step walk scores the survivors
-// exactly. Complexity O(|Q|·d·|E|) worst case, far less when pruning bites.
+// exactly. Complexity O(|Q|·d·|E|) worst case, far less when pruning bites —
+// and with the sparse walk kernel the early short-walk rounds cost only the
+// frontier edges they actually touch.
+//
+// The joiner caches its engine and the Y⁺ₗ table across TopK calls (the PJ
+// re-join stream calls TopK repeatedly), so a BIDJ is single-goroutine. With
+// Config.Workers set, each deepening round spreads its per-target walks over
+// an engine pool; the merged bounds, pruning decisions, and final ranking
+// are bit-identical to the serial run.
 type BIDJ struct {
 	cfg     Config
 	variant BoundVariant
+	e       *dht.Engine
+	yt      *dht.YBoundTable
+	pool    *dht.EnginePool
 
 	// LinearSchedule advances the deepening walk length by +1 per round
 	// instead of doubling it. Exists for the schedule ablation bench; the
@@ -57,6 +69,7 @@ type BIDJ struct {
 
 	// record, when non-nil, receives every (pair, lower, upper, l) bound
 	// observation; the incremental join uses it to populate its F structure.
+	// A recording run is always serial.
 	record func(pr Pair, lower, upper float64, l int)
 }
 
@@ -84,45 +97,55 @@ func (b *BIDJ) TopK(k int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := b.cfg.engine()
-	if err != nil {
-		return nil, err
+	if w := b.cfg.workerCount(len(b.cfg.Q)); w > 1 && b.record == nil {
+		return b.runParallel(k, w)
 	}
-	return b.run(e, k), nil
+	if b.e == nil {
+		if b.e, err = b.cfg.engine(); err != nil {
+			return nil, err
+		}
+	}
+	return b.run(b.e, k), nil
 }
 
-// run executes Algorithm 2. It assumes k is already clamped.
+// ubound returns the U⁺ₗ provider, building (and caching) the Y table on
+// first use. The table only depends on P, Q, and d — not on which q's remain
+// alive — so one build serves every TopK call of the joiner's lifetime.
+func (b *BIDJ) ubound(e *dht.Engine) func(q graph.NodeID, l int) float64 {
+	if b.variant == BoundY {
+		if b.yt == nil {
+			b.yt = dht.NewYBoundTable(e, b.cfg.P, b.cfg.Q)
+		}
+		return b.yt.Bound
+	}
+	return func(_ graph.NodeID, l int) float64 { return b.cfg.Params.XBound(l) }
+}
+
+// advance is the deepening schedule: doubling by default, +1 for the
+// ablation.
+func (b *BIDJ) advance(l int) int {
+	if b.LinearSchedule {
+		return l + 1
+	}
+	return l * 2
+}
+
+// run executes Algorithm 2 serially. It assumes k is already clamped.
 func (b *BIDJ) run(e *dht.Engine, k int) []Result {
 	d := b.cfg.D
 	b.Stats = b.Stats[:0]
-
-	// U⁺ₗ provider. The Y table is built once over the full Q (its bound only
-	// depends on P, q, and l, not on which q's remain alive).
-	var ubound func(q graph.NodeID, l int) float64
-	switch b.variant {
-	case BoundY:
-		yt := dht.NewYBoundTable(e, b.cfg.P, b.cfg.Q)
-		ubound = yt.Bound
-	default:
-		ubound = func(_ graph.NodeID, l int) float64 { return b.cfg.Params.XBound(l) }
-	}
+	ubound := b.ubound(e)
 
 	alive := make([]graph.NodeID, len(b.cfg.Q))
 	copy(alive, b.cfg.Q)
-	scores := make([]float64, b.cfg.Graph.NumNodes())
 	beta := b.cfg.Params.Beta
 
-	advance := func(l int) int {
-		if b.LinearSchedule {
-			return l + 1
-		}
-		return l * 2
-	}
-	for l := 1; l < d; l = advance(l) {
-		lower := pqueue.NewTopK[struct{}](k)
+	lower := pqueue.NewTopK[struct{}](k)
+	for l := 1; l < d; l = b.advance(l) {
+		lower.Reset()
 		qUpper := make([]float64, len(alive))
 		for qi, q := range alive {
-			e.BackWalkKind(b.cfg.Measure, q, l, scores)
+			scores := e.BackWalkScores(b.cfg.Measure, q, l)
 			pMax := math.Inf(-1)
 			for _, p := range b.cfg.P {
 				s := scores[p]
@@ -141,25 +164,13 @@ func (b *BIDJ) run(e *dht.Engine, k int) []Result {
 				}
 			}
 		}
-		st := IterStat{L: l, AliveBefore: len(alive)}
-		if tk, full := lower.MinScore(); full {
-			kept := alive[:0]
-			for qi, q := range alive {
-				if qUpper[qi] < tk {
-					st.Pruned++
-					continue
-				}
-				kept = append(kept, q)
-			}
-			alive = kept
-		}
-		b.Stats = append(b.Stats, st)
+		alive = b.prune(alive, qUpper, lower, l)
 	}
 
 	// Final exact round over the survivors.
 	top := pqueue.NewTopK[Pair](k)
 	for _, q := range alive {
-		e.BackWalkKind(b.cfg.Measure, q, d, scores)
+		scores := e.BackWalkScores(b.cfg.Measure, q, d)
 		for _, p := range b.cfg.P {
 			pr := Pair{p, q}
 			top.AddTie(pr, scores[p], pairTie(pr))
@@ -169,6 +180,143 @@ func (b *BIDJ) run(e *dht.Engine, k int) []Result {
 		}
 	}
 	return collect(top)
+}
+
+// prune applies the round's bound test, appends the IterStat, and returns
+// the surviving targets (filtered in place).
+func (b *BIDJ) prune(alive []graph.NodeID, qUpper []float64, lower *pqueue.TopK[struct{}], l int) []graph.NodeID {
+	st := IterStat{L: l, AliveBefore: len(alive)}
+	if tk, full := lower.MinScore(); full {
+		kept := alive[:0]
+		for qi, q := range alive {
+			if qUpper[qi] < tk {
+				st.Pruned++
+				continue
+			}
+			kept = append(kept, q)
+		}
+		alive = kept
+	}
+	b.Stats = append(b.Stats, st)
+	return alive
+}
+
+// runParallel is run with each round's per-target walks spread over an
+// engine pool. The threshold T_k of a round is the k-th largest of the union
+// of the workers' candidate lower bounds — a value independent of insertion
+// order — and ties in the final heap are broken by the canonical pair key,
+// so the output is bit-identical to the serial run at any worker count.
+func (b *BIDJ) runParallel(k, workers int) ([]Result, error) {
+	if b.pool == nil {
+		pool, err := b.cfg.enginePool()
+		if err != nil {
+			return nil, err
+		}
+		b.pool = pool
+	}
+	pool := b.pool
+	d := b.cfg.D
+	b.Stats = b.Stats[:0]
+
+	// The Y table is built once on a pooled engine (serial O(d·|E|) walk).
+	e0 := pool.Get()
+	ubound := b.ubound(e0)
+	pool.Put(e0)
+
+	alive := make([]graph.NodeID, len(b.cfg.Q))
+	copy(alive, b.cfg.Q)
+	beta := b.cfg.Params.Beta
+
+	for l := 1; l < d; l = b.advance(l) {
+		w := workers
+		if w > len(alive) {
+			w = len(alive)
+		}
+		qUpper := make([]float64, len(alive))
+		lowers := make([]*pqueue.TopK[struct{}], w)
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				e := pool.Get()
+				defer pool.Put(e)
+				lo := pqueue.NewTopK[struct{}](k)
+				for qi := wi; qi < len(alive); qi += w {
+					q := alive[qi]
+					scores := e.BackWalkScores(b.cfg.Measure, q, l)
+					pMax := math.Inf(-1)
+					for _, p := range b.cfg.P {
+						s := scores[p]
+						if s > beta || p == q {
+							lo.Add(struct{}{}, s)
+						}
+						if s > pMax {
+							pMax = s
+						}
+					}
+					qUpper[qi] = pMax + ubound(q, l)
+				}
+				lowers[wi] = lo
+			}(wi)
+		}
+		wg.Wait()
+		lower := pqueue.NewTopK[struct{}](k)
+		for _, lo := range lowers {
+			_, scores := lo.Sorted()
+			for _, s := range scores {
+				lower.Add(struct{}{}, s)
+			}
+		}
+		alive = b.prune(alive, qUpper, lower, l)
+	}
+
+	// Final exact round over the survivors, merged like ParallelBBJ.
+	w := workers
+	if w > len(alive) {
+		w = len(alive)
+	}
+	top := pqueue.NewTopK[Pair](k)
+	if w <= 1 {
+		e := pool.Get()
+		defer pool.Put(e)
+		for _, q := range alive {
+			scores := e.BackWalkScores(b.cfg.Measure, q, d)
+			for _, p := range b.cfg.P {
+				pr := Pair{p, q}
+				top.AddTie(pr, scores[p], pairTie(pr))
+			}
+		}
+		return collect(top), nil
+	}
+	tops := make([]*pqueue.TopK[Pair], w)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			e := pool.Get()
+			defer pool.Put(e)
+			tp := pqueue.NewTopK[Pair](k)
+			for qi := wi; qi < len(alive); qi += w {
+				q := alive[qi]
+				scores := e.BackWalkScores(b.cfg.Measure, q, d)
+				for _, p := range b.cfg.P {
+					pr := Pair{p, q}
+					tp.AddTie(pr, scores[p], pairTie(pr))
+				}
+			}
+			tops[wi] = tp
+		}(wi)
+	}
+	wg.Wait()
+	for _, tp := range tops {
+		pairs, scores := tp.Sorted()
+		for i := range pairs {
+			top.AddTie(pairs[i], scores[i], pairTie(pairs[i]))
+		}
+	}
+	return collect(top), nil
 }
 
 // PrunedFractionPerIter reports, for the latest TopK run, the cumulative

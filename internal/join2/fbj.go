@@ -1,14 +1,17 @@
 package join2
 
 import (
+	"repro/internal/dht"
 	"repro/internal/pqueue"
 )
 
 // FBJ is the Forward Basic Join (§V-B): it evaluates h_d(p, q) for every pair
 // with a per-pair forward absorbing walk and keeps the k best. Complexity
 // O(|P|·|Q|·d·|E|) — the baseline every other algorithm is measured against.
+// The joiner reuses one engine across TopK calls, so it is single-goroutine.
 type FBJ struct {
 	cfg Config
+	e   *dht.Engine
 }
 
 // NewFBJ validates the config and returns the joiner.
@@ -28,10 +31,12 @@ func (f *FBJ) TopK(k int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := f.cfg.engine()
-	if err != nil {
-		return nil, err
+	if f.e == nil {
+		if f.e, err = f.cfg.engine(); err != nil {
+			return nil, err
+		}
 	}
+	e := f.e
 	top := pqueue.NewTopK[Pair](k)
 	for _, p := range f.cfg.P {
 		for _, q := range f.cfg.Q {

@@ -3,6 +3,7 @@ package join2
 import (
 	"math"
 
+	"repro/internal/dht"
 	"repro/internal/pqueue"
 )
 
@@ -14,6 +15,7 @@ import (
 // final round. Worst case remains O(|P|·|Q|·d·|E|).
 type FIDJ struct {
 	cfg Config
+	e   *dht.Engine
 
 	// PrunedPerRound records, for each deepening round, how many nodes of P
 	// were discarded. Populated by TopK; used by ablation reports.
@@ -37,10 +39,12 @@ func (f *FIDJ) TopK(k int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := f.cfg.engine()
-	if err != nil {
-		return nil, err
+	if f.e == nil {
+		if f.e, err = f.cfg.engine(); err != nil {
+			return nil, err
+		}
 	}
+	e := f.e
 	d := f.cfg.D
 	f.PrunedPerRound = f.PrunedPerRound[:0]
 

@@ -28,7 +28,6 @@ type Incremental struct {
 	e       *dht.Engine
 	f       *pqueue.Indexed[Pair, fentry]
 	ubound  func(q graph.NodeID, l int) float64
-	scores  []float64 // backwalk buffer
 	started bool
 
 	// Refines counts backward walks performed by Next calls; the ablation
@@ -42,7 +41,7 @@ func NewIncremental(cfg Config, variant BoundVariant) (*Incremental, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e, err := dht.NewEngine(cfg.Graph, cfg.Params, cfg.D)
+	e, err := cfg.engine()
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +50,6 @@ func NewIncremental(cfg Config, variant BoundVariant) (*Incremental, error) {
 		variant: variant,
 		e:       e,
 		f:       pqueue.NewIndexed[Pair, fentry](),
-		scores:  make([]float64, cfg.Graph.NumNodes()),
 	}, nil
 }
 
@@ -144,18 +142,18 @@ func (inc *Incremental) Next() (Result, bool, error) {
 // refine re-walks q at depth l and tightens every still-pending pair of q.
 func (inc *Incremental) refine(q graph.NodeID, l int) {
 	inc.Refines++
-	inc.e.BackWalkKind(inc.cfg.Measure, q, l, inc.scores)
+	scores := inc.e.BackWalkScores(inc.cfg.Measure, q, l)
 	for _, p := range inc.cfg.P {
 		pr := Pair{P: p, Q: q}
 		old, _, ok := inc.f.Get(pr)
 		if !ok || old.l >= l {
 			continue
 		}
-		up := inc.scores[p]
+		up := scores[p]
 		if l < inc.cfg.D {
 			up += inc.ubound(q, l)
 		}
-		inc.f.Set(pr, up, fentry{lower: inc.scores[p], l: l})
+		inc.f.Set(pr, up, fentry{lower: scores[p], l: l})
 	}
 }
 

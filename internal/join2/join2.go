@@ -11,6 +11,7 @@ package join2
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/dht"
 	"repro/internal/graph"
@@ -40,6 +41,16 @@ type Config struct {
 	// is the paper's first-hit DHT; dht.Reach joins over reach-based
 	// measures such as Personalized PageRank (the paper's §VIII extension).
 	Measure dht.Kind
+
+	// Workers caps the goroutines the backward joiners may spread their
+	// per-target walks across. 0 (the default) and 1 run serially, matching
+	// the paper's single-threaded evaluation; a negative value selects
+	// GOMAXPROCS. Results are bit-identical at any worker count.
+	Workers int
+
+	// Counters, when non-nil, accumulates the walk work of every engine the
+	// join creates (including pooled worker engines) via atomic adds.
+	Counters *dht.Counters
 }
 
 // Validate checks the configuration.
@@ -70,12 +81,43 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// engine builds a DHT engine for the config.
+// engine builds a DHT engine for the config, attached to its counter sink.
 func (c *Config) engine() (*dht.Engine, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	return dht.NewEngine(c.Graph, c.Params, c.D)
+	e, err := dht.NewEngine(c.Graph, c.Params, c.D)
+	if err != nil {
+		return nil, err
+	}
+	e.Sink = c.Counters
+	return e, nil
+}
+
+// enginePool builds an engine pool for the config's worker joins.
+func (c *Config) enginePool() (*dht.EnginePool, error) {
+	pl, err := dht.NewEnginePool(c.Graph, c.Params, c.D)
+	if err != nil {
+		return nil, err
+	}
+	pl.Sink = c.Counters
+	return pl, nil
+}
+
+// workerCount resolves Config.Workers against the number of independent
+// targets: 0/1 → serial, negative → GOMAXPROCS, always capped by targets.
+func (c *Config) workerCount(targets int) int {
+	w := c.Workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > targets {
+		w = targets
+	}
+	return w
 }
 
 // pairTie is the canonical tie key used when two pairs have equal scores:

@@ -10,13 +10,15 @@ import (
 
 // ParallelBBJ is B-BJ with the per-target backward walks spread across a
 // worker pool — a production extension beyond the paper's single-threaded
-// evaluation. Each worker owns its own DHT engine (the engine's scratch
-// buffers are not safe for concurrent use); partial top-k heaps are merged
-// at the end. Because ties are broken by the canonical pair key, the result
-// is bit-identical to the serial B-BJ regardless of scheduling.
+// evaluation. Workers check engines out of a shared EnginePool (the engine's
+// scratch buffers are not safe for concurrent use, but pooling lets repeated
+// TopK calls reuse them); partial top-k heaps are merged at the end. Because
+// ties are broken by the canonical pair key, the result is bit-identical to
+// the serial B-BJ regardless of scheduling.
 type ParallelBBJ struct {
 	cfg     Config
 	workers int
+	pool    *dht.EnginePool
 }
 
 // NewParallelBBJ validates the config. workers ≤ 0 selects GOMAXPROCS.
@@ -39,45 +41,40 @@ func (b *ParallelBBJ) TopK(k int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if b.pool == nil {
+		if b.pool, err = b.cfg.enginePool(); err != nil {
+			return nil, err
+		}
+	}
+	pool := b.pool
 	workers := b.workers
 	if workers > len(b.cfg.Q) {
 		workers = len(b.cfg.Q)
 	}
-	type partial struct {
-		top *pqueue.TopK[Pair]
-		err error
-	}
-	parts := make([]partial, workers)
+	parts := make([]*pqueue.TopK[Pair], workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			e, err := dht.NewEngine(b.cfg.Graph, b.cfg.Params, b.cfg.D)
-			if err != nil {
-				parts[w].err = err
-				return
-			}
+			e := pool.Get()
+			defer pool.Put(e)
 			top := pqueue.NewTopK[Pair](k)
-			scores := make([]float64, b.cfg.Graph.NumNodes())
 			for qi := w; qi < len(b.cfg.Q); qi += workers {
 				q := b.cfg.Q[qi]
-				e.BackWalkKind(b.cfg.Measure, q, b.cfg.D, scores)
+				scores := e.BackWalkScores(b.cfg.Measure, q, b.cfg.D)
 				for _, p := range b.cfg.P {
 					pr := Pair{p, q}
 					top.AddTie(pr, scores[p], pairTie(pr))
 				}
 			}
-			parts[w].top = top
+			parts[w] = top
 		}(w)
 	}
 	wg.Wait()
 	merged := pqueue.NewTopK[Pair](k)
 	for _, part := range parts {
-		if part.err != nil {
-			return nil, part.err
-		}
-		pairs, scores := part.top.Sorted()
+		pairs, scores := part.Sorted()
 		for i := range pairs {
 			merged.AddTie(pairs[i], scores[i], pairTie(pairs[i]))
 		}

@@ -46,6 +46,14 @@ func NewTopK[T any](k int) *TopK[T] {
 // Len returns the current number of retained items (≤ k).
 func (t *TopK[T]) Len() int { return len(t.items) }
 
+// Reset empties the collector in place, keeping its capacity, so hot loops
+// (e.g. the B-IDJ deepening rounds) can reuse one collector per round
+// instead of allocating a fresh heap.
+func (t *TopK[T]) Reset() {
+	t.items = t.items[:0]
+	t.seq = 0
+}
+
 // Full reports whether k items are retained.
 func (t *TopK[T]) Full() bool { return len(t.items) == t.k }
 
