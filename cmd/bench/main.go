@@ -1,0 +1,245 @@
+// Command bench executes the quick-mode benchmark set in-process and emits
+// a machine-readable BENCH_<rev>.json with ns/op, B/op, and allocs/op per
+// benchmark, so the performance trajectory of the walk kernels and join
+// algorithms is tracked per revision (CI uploads the file as an artifact;
+// compare two revisions by diffing their JSON).
+//
+// Usage:
+//
+//	bench                  # run the full set, write BENCH_<git rev>.json
+//	bench -rev pr2         # name the revision explicitly
+//	bench -o out/          # write the file into a directory
+//	bench -bench Fig9a     # run the benchmarks whose name contains a substring
+//	bench -list            # list benchmark names and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dht"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/join2"
+)
+
+// Result is one benchmark measurement, flattened for JSON.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_<rev>.json document.
+type Report struct {
+	Rev     string   `json:"rev"`
+	GoOS    string   `json:"goos"`
+	GoArch  string   `json:"goarch"`
+	Date    string   `json:"date"`
+	Results []Result `json:"results"`
+}
+
+// spec is one registered benchmark.
+type spec struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func main() {
+	var (
+		rev    = flag.String("rev", "", "revision label (default: git rev-parse --short HEAD)")
+		outDir = flag.String("o", ".", "directory to write BENCH_<rev>.json into")
+		match  = flag.String("bench", "", "run only benchmarks whose name contains this substring")
+		list   = flag.Bool("list", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+
+	specs := benchSet()
+	if *list {
+		for _, s := range specs {
+			fmt.Println(s.name)
+		}
+		return
+	}
+	if *rev == "" {
+		*rev = gitRev()
+	}
+
+	rep := Report{
+		Rev:    *rev,
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		Date:   time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, s := range specs {
+		if *match != "" && !strings.Contains(s.name, *match) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", s.name)
+		r := testing.Benchmark(s.fn)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "bench: %s failed (see output above)\n", s.name)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, Result{
+			Name:        s.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "  %d iters, %.0f ns/op, %d B/op, %d allocs/op\n",
+			r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	path := filepath.Join(*outDir, "BENCH_"+*rev+".json")
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+}
+
+// gitRev resolves the short revision of the working tree, "dev" when git is
+// unavailable (e.g. a source tarball).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// benchSet registers the quick-mode set: the experiment drivers the ISSUE
+// acceptance targets name, the 2-way joiner benches, and the kernel
+// microbenches (solo vs batched), mirroring the *_test.go benchmarks so the
+// JSON numbers are directly comparable to `go test -bench` output.
+func benchSet() []spec {
+	var (
+		envOnce bool
+		env     *experiments.Env
+	)
+	getEnv := func(b *testing.B) *experiments.Env {
+		b.Helper()
+		if !envOnce {
+			env = experiments.NewEnv(experiments.Quick())
+			// Materialize the datasets outside the timed region.
+			if _, err := env.Yeast(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := env.DBLP(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := env.YouTube(); err != nil {
+				b.Fatal(err)
+			}
+			envOnce = true
+		}
+		return env
+	}
+	expBench := func(id string) func(b *testing.B) {
+		return func(b *testing.B) {
+			e := getEnv(b)
+			r, err := experiments.ByID(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab, err := r.Run(e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tab.Rows) == 0 {
+					b.Fatalf("%s produced an empty table", id)
+				}
+			}
+		}
+	}
+	joinCfg := func(b *testing.B) join2.Config {
+		b.Helper()
+		g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+			Sizes: []int{800, 800, 800}, PIn: 0.008, POut: 0.008, Seed: 3, MinOutLink: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return join2.Config{
+			Graph:  g,
+			Params: dht.DHTLambda(0.2),
+			D:      8,
+			P:      sets[0].Nodes()[:100],
+			Q:      sets[1].Nodes()[:100],
+		}
+	}
+	joinBench := func(mk func(join2.Config) (join2.Joiner, error), k int) func(b *testing.B) {
+		return func(b *testing.B) {
+			j, err := mk(joinCfg(b))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := j.TopK(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	kernelBench := func(batchW, steps int) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := joinCfg(b)
+			qs := make([]graph.NodeID, 0, max(batchW, 1))
+			n := cfg.Graph.NumNodes()
+			if batchW <= 1 {
+				e, err := dht.NewEngine(cfg.Graph, cfg.Params, cfg.D)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					e.BackWalkScores(dht.FirstHit, graph.NodeID(i%n), steps)
+				}
+				return
+			}
+			be, err := dht.NewBatchEngine(cfg.Graph, cfg.Params, cfg.D, batchW)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batchW {
+				qs = qs[:0]
+				for c := 0; c < batchW && i+c < b.N; c++ {
+					qs = append(qs, graph.NodeID((i+c)%n))
+				}
+				be.BackWalkScoresBatch(dht.FirstHit, qs, steps)
+			}
+		}
+	}
+	return []spec{
+		{"Fig9a2WayAlgos", expBench("fig9a")},
+		{"Fig7aYeastVsN", expBench("fig7a")},
+		{"Fig10bPruning", expBench("fig10b")},
+		{"BBJTop50", joinBench(func(c join2.Config) (join2.Joiner, error) { return join2.NewBBJ(c) }, 50)},
+		{"BIDJXTop50", joinBench(func(c join2.Config) (join2.Joiner, error) { return join2.NewBIDJX(c) }, 50)},
+		{"BIDJYTop50", joinBench(func(c join2.Config) (join2.Joiner, error) { return join2.NewBIDJY(c) }, 50)},
+		{"FBJTop50", joinBench(func(c join2.Config) (join2.Joiner, error) { return join2.NewFBJ(c) }, 50)},
+		{"BackWalkSolo", kernelBench(1, 8)},
+		{"BatchBackWalkW8", kernelBench(8, 8)},
+	}
+}

@@ -124,6 +124,22 @@ type Options struct {
 	// the paper; a negative value selects GOMAXPROCS. Results are identical
 	// at any setting — ties are broken by the canonical pair key.
 	Workers int
+
+	// BatchWidth is the column width of the batched walk kernel the joins
+	// use for deep walks: 0 selects the default (8 columns — one cache line
+	// per node), 1 disables batching, any other positive value is used
+	// as-is. Worker count × batch width are tuned together by the joiners.
+	// Results are identical at any setting.
+	BatchWidth int
+
+	// Relabel applies a locality-aware node reordering to the graph before
+	// joining (cached per graph, so repeated joins pay the rebuild once):
+	// the join runs on the cache-friendlier CSR and all returned node ids
+	// are mapped back to the caller's id space. Honored by TopKPairs and
+	// TopK; Score/ScoresFrom run on the graph as given. Off by default.
+	// Scores are unchanged up to floating-point summation order within a
+	// CSR row, so rankings can differ only between exactly-tied pairs.
+	Relabel RelabelMode
 }
 
 // Measure selects the step probability the score folds.
@@ -186,15 +202,20 @@ func TopKPairs(g *Graph, p, q *NodeSet, k int, opts *Options) ([]PairResult, err
 		return nil, err
 	}
 	cfg := join2.Config{Graph: g, Params: params, D: d, P: p.Nodes(), Q: q.Nodes()}
+	var r *Relabeling
 	if opts != nil {
 		cfg.Measure = opts.Measure
 		cfg.Workers = opts.Workers
+		cfg.BatchWidth = opts.BatchWidth
+		r = relabelPairConfig(&cfg, opts.Relabel)
 	}
 	j, err := join2.NewBIDJY(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return j.TopK(k)
+	res, err := j.TopK(k)
+	restorePairIDs(res, r)
+	return res, err
 }
 
 // Score computes the truncated DHT score h_d(u, v) directly.
@@ -244,16 +265,21 @@ func TopK(g *Graph, query *QueryGraph, k int, opts *Options) ([]Answer, error) {
 		return nil, err
 	}
 	spec := core.Spec{Graph: g, Query: query, Params: params, D: d, Agg: agg, K: k}
+	var r *Relabeling
 	if opts != nil {
 		spec.Distinct = opts.Distinct
 		spec.Measure = opts.Measure
 		spec.Workers = opts.Workers
+		spec.BatchWidth = opts.BatchWidth
+		r = relabelSpec(&spec, opts.Relabel)
 	}
 	alg, err := core.NewPJI(spec, m)
 	if err != nil {
 		return nil, err
 	}
-	return alg.Run()
+	answers, err := alg.Run()
+	restoreAnswerIDs(answers, r)
+	return answers, err
 }
 
 // Steps exposes the Lemma-1 bound: the walk depth needed so that the

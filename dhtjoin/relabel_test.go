@@ -1,0 +1,98 @@
+package dhtjoin
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// relabelTestGraph builds a labeled community graph with two join sets.
+func relabelTestGraph(t *testing.T) (*Graph, *NodeSet, *NodeSet) {
+	t.Helper()
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{20, 20, 15}, PIn: 0.2, POut: 0.06, Seed: 21, MaxWeight: 3, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, sets[0], sets[1]
+}
+
+// TestOptionsRelabelRoundTripsPairs: TopKPairs with every relabel mode must
+// return ids in the caller's space with the original ranking (scores to
+// fp-reordering tolerance).
+func TestOptionsRelabelRoundTripsPairs(t *testing.T) {
+	g, p, q := relabelTestGraph(t)
+	want, err := TopKPairs(g, p, q, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []RelabelMode{RelabelOff, RelabelDegree, RelabelBFS} {
+		for _, width := range []int{0, 1, 5} {
+			got, err := TopKPairs(g, p, q, 12, &Options{Relabel: mode, BatchWidth: width})
+			if err != nil {
+				t.Fatalf("mode %v width %d: %v", mode, width, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("mode %v width %d: %d results, want %d", mode, width, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+					t.Fatalf("mode %v width %d rank %d: score %v, want %v",
+						mode, width, i, got[i].Score, want[i].Score)
+				}
+				if !p.Contains(got[i].Pair.P) || !q.Contains(got[i].Pair.Q) {
+					t.Fatalf("mode %v width %d rank %d: pair %v not in the original id space",
+						mode, width, i, got[i].Pair)
+				}
+			}
+		}
+	}
+}
+
+// TestOptionsRelabelRoundTripsNWay: the n-way TopK must map every answer
+// tuple back to the caller's id space under relabeling.
+func TestOptionsRelabelRoundTripsNWay(t *testing.T) {
+	g, p, q := relabelTestGraph(t)
+	query := Chain(p, q)
+	want, err := TopK(g, query, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []RelabelMode{RelabelDegree, RelabelBFS} {
+		got, err := TopK(g, query, 8, &Options{Relabel: mode})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("mode %v: %d answers, want %d", mode, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("mode %v rank %d: score %v, want %v", mode, i, got[i].Score, want[i].Score)
+			}
+			if !p.Contains(got[i].Nodes[0]) || !q.Contains(got[i].Nodes[1]) {
+				t.Fatalf("mode %v rank %d: answer %v not in the original id space", mode, i, got[i].Nodes)
+			}
+		}
+	}
+}
+
+// TestRelabelCacheReuses: two joins on the same graph and mode must reuse
+// one relabeled graph (the cache key is the graph pointer).
+func TestRelabelCacheReuses(t *testing.T) {
+	g, _, _ := relabelTestGraph(t)
+	rg1, r1 := relabeledFor(g, RelabelDegree)
+	rg2, r2 := relabeledFor(g, RelabelDegree)
+	if rg1 != rg2 || r1 != r2 {
+		t.Fatal("relabel cache rebuilt the graph for the same (graph, mode)")
+	}
+	rg3, _ := relabeledFor(g, RelabelBFS)
+	if rg3 == rg1 {
+		t.Fatal("distinct modes shared one cache entry")
+	}
+	if og, or := relabeledFor(g, RelabelOff); og != g || or != nil {
+		t.Fatal("RelabelOff must be the identity")
+	}
+}

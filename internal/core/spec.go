@@ -37,6 +37,11 @@ type Spec struct {
 	// walks further. 0 and 1 run serially as in the paper; a negative
 	// value selects GOMAXPROCS. Results are identical at any setting.
 	Workers int
+
+	// BatchWidth is the per-edge 2-way joins' batched-kernel column width
+	// (join2.Config.BatchWidth): 0 selects the default width, 1 disables
+	// batching. Results are identical at any setting.
+	BatchWidth int
 }
 
 // keepTuple applies the Distinct filter.

@@ -1,0 +1,654 @@
+package dht
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/graph"
+)
+
+// DefaultBatchWidth is the number of walk columns a BatchEngine advances per
+// CSR row scan when the caller does not choose a width. Eight float64 lanes
+// are exactly one 64-byte cache line, so each node's mass block occupies a
+// single line: relaxing an edge touches one line of cur and one of next no
+// matter how many of the eight walks carry mass through it.
+const DefaultBatchWidth = 8
+
+// BatchEngine evaluates up to W independent truncated walks over one graph
+// with one CSR traversal per step — the SpMV→SpMM upgrade of the solo
+// Engine. The scratch vectors are laid out node-major: node v's W column
+// masses are the contiguous block [v*W, v*W+W), so one edge relaxation
+// updates all columns from a single pair of cache lines.
+//
+// Each step advances the union frontier (the sorted set of nodes where *any*
+// column carries mass) and chooses, like the solo engine, between a sparse
+// push over only the frontier's CSR rows and a dense whole-graph sweep once
+// the union frontier's incident edges exceed DenseThreshold·|V|. Within a
+// row, zero-mass lanes are skipped, so every column performs exactly the
+// floating-point additions of its solo walk, in the same ascending
+// source-node order — each column is bit-identical (== on every float64) to
+// the corresponding solo Engine walk regardless of what the other columns in
+// the batch do and regardless of where the sparse→dense switch lands. See
+// DESIGN.md ("The batched multi-walk kernel") for the full argument.
+//
+// A BatchEngine owns its scratch and is single-goroutine, like Engine;
+// create one per worker or check them out of an EnginePool (GetBatch).
+type BatchEngine struct {
+	G      *graph.Graph
+	Params Params
+	D      int
+	W      int // column capacity; calls may use any active width ≤ W
+
+	// DenseThreshold overrides DefaultDenseThreshold when positive, exactly
+	// as on Engine, but applied to the *union* frontier of the batch.
+	DenseThreshold float64
+
+	// ForceDense disables the sparse path entirely; used by tests as the
+	// reference kernel.
+	ForceDense bool
+
+	// Sink, when non-nil, receives per-batch counter deltas via atomic adds.
+	Sink *Counters
+
+	// mass vectors, len = NumNodes·W, node-major blocks of W
+	cur, next []float64
+	// union-frontier lists: curF is the sorted set of nodes where any lane
+	// is nonzero; nextF is reused as the touched list of the step in flight.
+	curF, nextF []graph.NodeID
+	mark        []uint32 // per-node stamp deduplicating nextF
+	stamp       uint32
+	lastDense   bool
+	full        bool // batch switched to dense mode (sticky, as on Engine)
+
+	// acc is the dense-mode score accumulator, node-major like the mass
+	// vectors: once a batch goes dense, per-step accumulation is one
+	// sequential pass acc[i] += pow·next[i] instead of W strided column
+	// writes; the affine fold transposes it into the out columns at the
+	// end. Raw sums move between the out columns and acc exactly once (at
+	// the sparse→dense switch), preserving the step-order addition sequence
+	// that makes each column bit-identical to its solo walk.
+	acc []float64
+
+	// Engine-owned score columns for BackWalkScoresBatch, kept β-prefilled
+	// between calls like Engine's single β column. colMark is node-major
+	// like the mass vectors: colMark[v*W+c] stamps (node v, column c).
+	out        [][]float64
+	colTouched [][]graph.NodeID
+	colMark    []uint32
+	ostamp     uint32
+	outFull    bool // previous batch went dense; restore columns wholesale
+	prevAW     int  // active width of the previous BackWalkScoresBatch call
+
+	// Engine-owned per-step probability rows for ForwardProbsBatch.
+	probs     [][]float64
+	probsFlat []float64
+
+	// Counters since construction; same semantics as Engine's, except that
+	// one batched step counts its CSR traversal once, not once per column:
+	// EdgeSweeps is the number of dense batch sweeps and FrontierEdges the
+	// number of CSR edges scanned by sparse batch pushes. Walks counts
+	// individual columns, so walks-per-sweep shows the amortization.
+	EdgeSweeps    int64
+	FrontierEdges int64
+	SparseSteps   int64
+	Walks         int64
+}
+
+// NewBatchEngine builds a batch engine for g with column capacity w
+// (w <= 0 selects DefaultBatchWidth). d is the truncation depth.
+func NewBatchEngine(g *graph.Graph, p Params, d, w int) (*BatchEngine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("dht: depth d must be >= 1, got %d", d)
+	}
+	if w <= 0 {
+		w = DefaultBatchWidth
+	}
+	n := g.NumNodes()
+	return &BatchEngine{
+		G:      g,
+		Params: p,
+		D:      d,
+		W:      w,
+		cur:    make([]float64, n*w),
+		next:   make([]float64, n*w),
+		mark:   make([]uint32, n),
+	}, nil
+}
+
+// beginBatch starts a batched run of cols columns: counts the walks, clears
+// the previous batch's mass, and snapshots counters for the Sink flush.
+func (be *BatchEngine) beginBatch(cols int) (sweeps0, frontier0 int64) {
+	be.Walks += int64(cols)
+	if be.full {
+		clearVec(be.cur)
+		be.full = false
+	} else {
+		w := be.W
+		for _, u := range be.curF {
+			b := int(u) * w
+			for c := b; c < b+w; c++ {
+				be.cur[c] = 0
+			}
+		}
+	}
+	be.curF = be.curF[:0]
+	return be.EdgeSweeps, be.FrontierEdges
+}
+
+// endBatch flushes counter deltas to the Sink, if any.
+func (be *BatchEngine) endBatch(cols int, sweeps0, frontier0 int64) {
+	if be.Sink != nil {
+		be.Sink.add(int64(cols), be.EdgeSweeps-sweeps0, be.FrontierEdges-frontier0)
+	}
+}
+
+// frontierEmpty reports whether no column carries mass anymore (sparse mode
+// only; a dense batch runs to full depth like the reference kernel).
+func (be *BatchEngine) frontierEmpty() bool {
+	return !be.full && len(be.curF) == 0
+}
+
+// nextStamp advances the union-frontier dedup stamp.
+func (be *BatchEngine) nextStamp() uint32 {
+	be.stamp++
+	if be.stamp == 0 {
+		clear(be.mark)
+		be.stamp = 1
+	}
+	return be.stamp
+}
+
+// seedColumns places unit mass on seed[c] in column c and establishes the
+// union frontier. A negative seed leaves its column empty (used for the
+// p == q forward columns, whose first-hit probabilities are zero by
+// definition).
+func (be *BatchEngine) seedColumns(seeds []graph.NodeID) {
+	w := be.W
+	for c, s := range seeds {
+		if s < 0 {
+			continue
+		}
+		b := int(s) * w
+		blockEmpty := true
+		for i := b; i < b+w; i++ {
+			if be.cur[i] != 0 {
+				blockEmpty = false
+				break
+			}
+		}
+		if blockEmpty {
+			be.curF = append(be.curF, s)
+		}
+		be.cur[b+c] = 1
+	}
+	slices.Sort(be.curF)
+	// Duplicate seeds across columns land on the same node; dedup the list.
+	be.curF = slices.Compact(be.curF)
+}
+
+// push advances every column one step: next += P·cur along out-edges
+// (forward) or in-edges (backward) for aw active lanes, then consumes cur.
+// The union frontier plays the role of the solo engine's frontier; zero-mass
+// lanes are skipped inside each row, so per column the additions are exactly
+// the solo walk's, in the same ascending source order.
+func (be *BatchEngine) push(backward bool, aw int) {
+	g := be.G
+	w := be.W
+	be.nextF = be.nextF[:0]
+	sparse := !be.ForceDense && !be.full
+	if sparse {
+		df := be.DenseThreshold
+		if df <= 0 {
+			df = DefaultDenseThreshold
+		}
+		budget := int64(df * float64(g.NumNodes()))
+		var work int64
+		for _, u := range be.curF {
+			if backward {
+				work += int64(g.InDegree(u))
+			} else {
+				work += int64(g.OutDegree(u))
+			}
+			if work > budget {
+				sparse = false
+				break
+			}
+		}
+		if sparse {
+			be.SparseSteps++
+			be.FrontierEdges += work
+		}
+	}
+	be.lastDense = !sparse
+	cur, next := be.cur, be.next
+	// The lane loops add every lane unconditionally, zero-mass lanes
+	// included: lane accumulators only ever hold sums of non-negative
+	// products, and x + (+0.0) is bitwise x for every non-negative x, so the
+	// additions a solo walk would not perform are exact no-ops — see
+	// DESIGN.md for why this keeps each column bit-identical while letting
+	// the inner loop run branch-free (and unrolled at the cache-line width).
+	wide := w == laneWidth && aw == laneWidth
+	switch {
+	case sparse:
+		st := be.nextStamp()
+		mark, touched := be.mark, be.nextF
+		for _, u := range be.curF {
+			var nbr []graph.NodeID
+			var tp []float64
+			if backward {
+				nbr, _, tp = g.InEdges(u)
+			} else {
+				nbr, _, tp = g.OutEdges(u)
+			}
+			if wide {
+				mb := (*[laneWidth]float64)(cur[int(u)*laneWidth:])
+				for j, v := range nbr {
+					if mark[v] != st {
+						mark[v] = st
+						touched = append(touched, v)
+					}
+					p := tp[j]
+					nb := (*[laneWidth]float64)(next[int(v)*laneWidth:])
+					nb[0] += mb[0] * p
+					nb[1] += mb[1] * p
+					nb[2] += mb[2] * p
+					nb[3] += mb[3] * p
+					nb[4] += mb[4] * p
+					nb[5] += mb[5] * p
+					nb[6] += mb[6] * p
+					nb[7] += mb[7] * p
+				}
+			} else {
+				mb := cur[int(u)*w : int(u)*w+aw]
+				for j, v := range nbr {
+					if mark[v] != st {
+						mark[v] = st
+						touched = append(touched, v)
+					}
+					p := tp[j]
+					nb := next[int(v)*w : int(v)*w+aw]
+					nb = nb[:len(mb)]
+					for c, m := range mb {
+						nb[c] += m * p
+					}
+				}
+			}
+		}
+		be.nextF = touched
+	case backward:
+		be.EdgeSweeps++
+		for v := 0; v < g.NumNodes(); v++ {
+			if wide {
+				mb := (*[laneWidth]float64)(cur[v*laneWidth:])
+				if !anyNonZeroLanes(mb) {
+					continue
+				}
+				from, _, fp := g.InEdges(graph.NodeID(v))
+				for j := range from {
+					p := fp[j]
+					nb := (*[laneWidth]float64)(next[int(from[j])*laneWidth:])
+					nb[0] += mb[0] * p
+					nb[1] += mb[1] * p
+					nb[2] += mb[2] * p
+					nb[3] += mb[3] * p
+					nb[4] += mb[4] * p
+					nb[5] += mb[5] * p
+					nb[6] += mb[6] * p
+					nb[7] += mb[7] * p
+				}
+			} else {
+				mb := cur[v*w : v*w+aw]
+				if !anyNonZero(mb) {
+					continue
+				}
+				from, _, fp := g.InEdges(graph.NodeID(v))
+				for j := range from {
+					p := fp[j]
+					nb := next[int(from[j])*w : int(from[j])*w+aw]
+					nb = nb[:len(mb)]
+					for c, m := range mb {
+						nb[c] += m * p
+					}
+				}
+			}
+		}
+	default:
+		be.EdgeSweeps++
+		for u := 0; u < g.NumNodes(); u++ {
+			if wide {
+				mb := (*[laneWidth]float64)(cur[u*laneWidth:])
+				if !anyNonZeroLanes(mb) {
+					continue
+				}
+				to, _, tp := g.OutEdges(graph.NodeID(u))
+				for j := range to {
+					p := tp[j]
+					nb := (*[laneWidth]float64)(next[int(to[j])*laneWidth:])
+					nb[0] += mb[0] * p
+					nb[1] += mb[1] * p
+					nb[2] += mb[2] * p
+					nb[3] += mb[3] * p
+					nb[4] += mb[4] * p
+					nb[5] += mb[5] * p
+					nb[6] += mb[6] * p
+					nb[7] += mb[7] * p
+				}
+			} else {
+				mb := cur[u*w : u*w+aw]
+				if !anyNonZero(mb) {
+					continue
+				}
+				to, _, tp := g.OutEdges(graph.NodeID(u))
+				for j := range to {
+					p := tp[j]
+					nb := next[int(to[j])*w : int(to[j])*w+aw]
+					nb = nb[:len(mb)]
+					for c, m := range mb {
+						nb[c] += m * p
+					}
+				}
+			}
+		}
+	}
+	// cur is consumed; clear it incrementally while the frontier is tracked,
+	// wholesale once the batch has gone dense.
+	if sparse || !be.full {
+		for _, u := range be.curF {
+			b := int(u) * w
+			for i := b; i < b+w; i++ {
+				cur[i] = 0
+			}
+		}
+		be.curF = be.curF[:0]
+	} else {
+		clearVec(cur)
+	}
+	if !sparse {
+		be.full = true // sticky: the rest of the batch stays dense
+	}
+}
+
+// laneWidth is the specialized lane count of the hot inner loops: the
+// DefaultBatchWidth cache-line block, handled with fixed-size array pointers
+// so the compiler drops the per-lane bounds checks and the eight independent
+// multiply-adds pipeline.
+const laneWidth = DefaultBatchWidth
+
+// anyNonZeroLanes is anyNonZero over a fixed-width block.
+func anyNonZeroLanes(b *[laneWidth]float64) bool {
+	return b[0] != 0 || b[1] != 0 || b[2] != 0 || b[3] != 0 ||
+		b[4] != 0 || b[5] != 0 || b[6] != 0 || b[7] != 0
+}
+
+// anyNonZero reports whether the mass block carries mass in any lane.
+func anyNonZero(b []float64) bool {
+	for _, m := range b {
+		if m != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// commit finishes a step after the caller has read (and possibly absorbed
+// mass from) next: it rebuilds the sorted union frontier and swaps buffers.
+// last marks the batch's final step, whose frontier is only used to clear
+// the vectors, so sorting and filtering are skipped (as on Engine.commit).
+func (be *BatchEngine) commit(last bool) {
+	if be.lastDense {
+		be.cur, be.next = be.next, be.cur
+		return
+	}
+	w := be.W
+	next := be.next
+	switch {
+	case last:
+		// Raw touched list (a superset of the nonzero nodes) handed over
+		// unsorted: it is only used for clearing at the next beginBatch.
+	case len(be.nextF)*8 >= be.G.NumNodes():
+		// Rebuild with one scan over node blocks, sorted for free.
+		front := be.nextF[:0]
+		for v := 0; v < be.G.NumNodes(); v++ {
+			if anyNonZero(next[v*w : v*w+w]) {
+				front = append(front, graph.NodeID(v))
+			}
+		}
+		be.nextF = front
+	default:
+		// Sorted union frontier keeps the next push's additions in the
+		// ascending order a solo walk would use — the bit-identity property.
+		slices.Sort(be.nextF)
+		kept := be.nextF[:0]
+		for _, v := range be.nextF {
+			if anyNonZero(next[int(v)*w : int(v)*w+w]) {
+				kept = append(kept, v)
+			}
+		}
+		be.nextF = kept
+	}
+	be.cur, be.next = be.next, be.cur
+	be.curF, be.nextF = be.nextF, be.curF
+}
+
+// betaColumnsStart restores the engine-owned score columns used by the
+// previous call to all-β and arms per-column touch tracking for aw columns.
+func (be *BatchEngine) betaColumnsStart(aw int) [][]float64 {
+	n := be.G.NumNodes()
+	w := be.W
+	b := be.Params.Beta
+	if be.out == nil {
+		flat := make([]float64, n*w)
+		for i := range flat {
+			flat[i] = b
+		}
+		be.out = make([][]float64, w)
+		for c := range be.out {
+			be.out[c] = flat[c*n : (c+1)*n]
+		}
+		be.colTouched = make([][]graph.NodeID, w)
+		be.colMark = make([]uint32, n*w)
+	} else if be.outFull {
+		for c := 0; c < be.prevAW; c++ {
+			col := be.out[c]
+			for i := range col {
+				col[i] = b
+			}
+		}
+	} else {
+		for c := 0; c < be.prevAW; c++ {
+			col := be.out[c]
+			for _, v := range be.colTouched[c] {
+				col[v] = b
+			}
+		}
+	}
+	for c := 0; c < be.prevAW; c++ {
+		be.colTouched[c] = be.colTouched[c][:0]
+	}
+	be.outFull = false
+	be.prevAW = aw
+	be.ostamp++
+	if be.ostamp == 0 {
+		clear(be.colMark)
+		be.ostamp = 1
+	}
+	return be.out[:aw]
+}
+
+// BackWalkScoresBatch is Engine.BackWalkScores for a batch of targets: one
+// CSR traversal per step serves all columns, and column c of the result is
+// bit-identical to a solo BackWalkScores(kind, qs[c], steps) run. Returned
+// columns are engine-owned β-prefilled score vectors of length NumNodes,
+// valid until the next BackWalkScoresBatch call on this engine; they must
+// not be modified. len(qs) must be in [1, W].
+func (be *BatchEngine) BackWalkScoresBatch(kind Kind, qs []graph.NodeID, steps int) [][]float64 {
+	aw := len(qs)
+	if aw == 0 || aw > be.W {
+		panic(fmt.Sprintf("dht: BackWalkScoresBatch with %d targets, want 1..%d", aw, be.W))
+	}
+	w := be.W
+	sweeps0, frontier0 := be.beginBatch(aw)
+	out := be.betaColumnsStart(aw)
+	ost, colMark := be.ostamp, be.colMark
+	be.seedColumns(qs)
+	pow := 1.0
+	absorb := kind == FirstHit
+	for i := 1; i <= steps; i++ {
+		if be.frontierEmpty() {
+			break // no column can reach its target anymore
+		}
+		pow *= be.Params.Lambda
+		be.push(true, aw)
+		next := be.next
+		if be.lastDense {
+			// First dense step: move the raw sparse-step sums from the out
+			// columns into the node-major accumulator (β-prefill entries
+			// start from zero, mirroring the solo engine's first-touch
+			// overwrite); afterwards each step is one sequential pass.
+			if !be.outFull {
+				be.outFull = true
+				if be.acc == nil {
+					be.acc = make([]float64, len(be.next))
+				}
+				acc := be.acc
+				for v := 0; v < be.G.NumNodes(); v++ {
+					b := v * w
+					for c := 0; c < w; c++ {
+						m := pow * next[b+c]
+						if colMark[b+c] == ost {
+							acc[b+c] = out[c][v] + m
+						} else {
+							acc[b+c] = m
+						}
+					}
+				}
+			} else {
+				acc := be.acc
+				for i, m := range next {
+					acc[i] += pow * m
+				}
+			}
+		} else {
+			for _, v := range be.nextF {
+				b := int(v) * w
+				for c := 0; c < aw; c++ {
+					m := next[b+c]
+					if m == 0 {
+						// A lane the step did not reach: the solo walk either
+						// never touches it (same β) or touches it with an
+						// underflowed +0 whose α·0+β fold equals the β
+						// prefill bit for bit — skipping is value-identical.
+						continue
+					}
+					if colMark[b+c] == ost {
+						out[c][v] += pow * m
+					} else {
+						colMark[b+c] = ost
+						be.colTouched[c] = append(be.colTouched[c], v)
+						out[c][v] = pow * m
+					}
+				}
+			}
+		}
+		if absorb {
+			for c, q := range qs {
+				next[int(q)*w+c] = 0 // walkers that reached q stop (Eq. 5)
+			}
+		}
+		be.commit(i == steps)
+	}
+	a, b := be.Params.Alpha, be.Params.Beta
+	if be.outFull {
+		// Transpose the node-major accumulator into the out columns while
+		// applying the affine fold — eight sequential write streams.
+		acc := be.acc
+		for c := 0; c < aw; c++ {
+			col := out[c]
+			for v := range col {
+				col[v] = a*acc[v*w+c] + b
+			}
+		}
+	} else {
+		for c := 0; c < aw; c++ {
+			col := out[c]
+			for _, v := range be.colTouched[c] {
+				col[v] = a*col[v] + b
+			}
+		}
+	}
+	if absorb {
+		for c, q := range qs {
+			if !be.outFull && colMark[int(q)*w+c] != ost {
+				colMark[int(q)*w+c] = ost
+				be.colTouched[c] = append(be.colTouched[c], q)
+			}
+			out[c][q] = 0 // h(q,q) = 0 by definition
+		}
+	}
+	be.endBatch(aw, sweeps0, frontier0)
+	return out
+}
+
+// ForwardProbsBatch advances a batch of forward walks, one per (ps[c],
+// qs[c]) pair: row c of the result holds the per-step probabilities of
+// column c's walk — first-hit P_i(p, q) under FirstHit (absorbing at q, and
+// all-zero for p == q, matching h(v,v) = 0), reach S_i(p, q) under Reach.
+// Row c is bit-identical to the solo ForwardHitProbs / forward reach walk.
+// Returned rows are engine-owned, valid until the next ForwardProbsBatch
+// call. len(ps) must equal len(qs) and lie in [1, W].
+func (be *BatchEngine) ForwardProbsBatch(kind Kind, ps, qs []graph.NodeID, steps int) [][]float64 {
+	aw := len(ps)
+	if aw != len(qs) {
+		panic(fmt.Sprintf("dht: ForwardProbsBatch with %d sources, %d targets", len(ps), len(qs)))
+	}
+	if aw == 0 || aw > be.W {
+		panic(fmt.Sprintf("dht: ForwardProbsBatch with %d pairs, want 1..%d", aw, be.W))
+	}
+	w := be.W
+	probs := be.probsRows(aw, steps)
+	sweeps0, frontier0 := be.beginBatch(aw)
+	absorb := kind == FirstHit
+	seeds := make([]graph.NodeID, aw)
+	for c := range ps {
+		seeds[c] = ps[c]
+		if absorb && ps[c] == qs[c] {
+			seeds[c] = -1 // no first-hit mass: h(v,v) = 0 by definition
+		}
+	}
+	be.seedColumns(seeds)
+	for i := 0; i < steps; i++ {
+		if be.frontierEmpty() {
+			break // all mass absorbed or lost in sinks; P_j = 0 from here
+		}
+		be.push(false, aw)
+		next := be.next
+		for c, q := range qs {
+			idx := int(q)*w + c
+			probs[c][i] = next[idx]
+			if absorb {
+				next[idx] = 0 // absorb: mass that hit q stops walking
+			}
+		}
+		be.commit(i == steps-1)
+	}
+	be.endBatch(aw, sweeps0, frontier0)
+	return probs
+}
+
+// probsRows returns zeroed engine-owned rows, aw × steps.
+func (be *BatchEngine) probsRows(aw, steps int) [][]float64 {
+	if cap(be.probsFlat) < be.W*steps {
+		be.probsFlat = make([]float64, be.W*steps)
+		be.probs = make([][]float64, be.W)
+	}
+	flat := be.probsFlat[:be.W*steps]
+	clearVec(flat[:aw*steps])
+	rows := be.probs[:aw]
+	for c := range rows {
+		rows[c] = flat[c*steps : (c+1)*steps]
+	}
+	return rows
+}

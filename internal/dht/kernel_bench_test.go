@@ -62,3 +62,39 @@ func BenchmarkBackWalkScoresShort(b *testing.B) {
 		e.BackWalkScores(FirstHit, graph.NodeID(i%g.NumNodes()), 1)
 	}
 }
+
+// benchBatchBackWalk measures the batched kernel at the given width against
+// BenchmarkBackWalkForceDenseKernel / BenchmarkBackWalkAdaptiveKernel: one
+// op is ONE walk (b.N walks are issued in width-sized batches), so ns/op is
+// directly comparable to the solo kernels.
+func benchBatchBackWalk(b *testing.B, w, steps int) {
+	g := benchGraph(b)
+	be, err := NewBatchEngine(g, DHTLambda(0.2), 8, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]graph.NodeID, w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += w {
+		aw := w
+		if i+aw > b.N {
+			aw = b.N - i
+		}
+		for c := 0; c < aw; c++ {
+			qs[c] = graph.NodeID((i + c) % g.NumNodes())
+		}
+		be.BackWalkScoresBatch(FirstHit, qs[:aw], steps)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(be.EdgeSweeps)/float64(b.N), "sweeps/op")
+	b.ReportMetric(float64(be.FrontierEdges)/float64(b.N), "frontieredges/op")
+}
+
+// BenchmarkBatchBackWalkW8: full-depth backward walks, 8 columns per scan.
+func BenchmarkBatchBackWalkW8(b *testing.B) { benchBatchBackWalk(b, 8, 8) }
+
+// BenchmarkBatchBackWalkW16: the same at width 16.
+func BenchmarkBatchBackWalkW16(b *testing.B) { benchBatchBackWalk(b, 16, 8) }
+
+// BenchmarkBatchBackWalkShortW8: the l=1 deepening-round regime, batched.
+func BenchmarkBatchBackWalkShortW8(b *testing.B) { benchBatchBackWalk(b, 8, 1) }

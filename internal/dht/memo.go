@@ -1,0 +1,116 @@
+package dht
+
+import "repro/internal/graph"
+
+// DefaultMemoSize is the number of score columns a ScoreMemo retains when
+// the owner does not choose a capacity. Deliberately small: the memo exists
+// to catch the tight repeat patterns of the incremental join (consecutive
+// winner pops that re-walk the same hot target at full depth) and of re-join
+// streams, not to cache whole result sets — each entry costs O(|V|) floats.
+const DefaultMemoSize = 8
+
+// memoKey identifies one cached backward-walk column.
+type memoKey struct {
+	kind  Kind
+	q     graph.NodeID
+	steps int
+}
+
+// ScoreMemo is a small LRU cache of backward-walk score columns keyed by
+// (kind, target, walk length). It is bound to one (graph, params, d)
+// configuration by its owner — the memo itself never validates that — and is
+// single-goroutine like the engines that fill it. Get returns the cached
+// column itself; callers must treat it as read-only.
+type ScoreMemo struct {
+	cap     int
+	entries map[memoKey][]float64
+	order   []memoKey // most recently used last
+}
+
+// NewScoreMemo returns a memo retaining up to capacity columns
+// (capacity <= 0 selects DefaultMemoSize).
+func NewScoreMemo(capacity int) *ScoreMemo {
+	if capacity <= 0 {
+		capacity = DefaultMemoSize
+	}
+	return &ScoreMemo{
+		cap:     capacity,
+		entries: make(map[memoKey][]float64, capacity),
+	}
+}
+
+// Get returns the cached column for (kind, q, steps) and marks it most
+// recently used. The returned slice is owned by the memo: read-only, valid
+// until evicted — consume it before the next Put.
+func (m *ScoreMemo) Get(kind Kind, q graph.NodeID, steps int) ([]float64, bool) {
+	if m == nil {
+		return nil, false
+	}
+	k := memoKey{kind, q, steps}
+	col, ok := m.entries[k]
+	if !ok {
+		return nil, false
+	}
+	m.touch(k)
+	return col, true
+}
+
+// Put copies scores into the memo under (kind, q, steps), evicting the least
+// recently used entry when full. The eviction reuses the evicted column's
+// backing array, so a warm memo performs no allocation.
+func (m *ScoreMemo) Put(kind Kind, q graph.NodeID, steps int, scores []float64) {
+	if m == nil {
+		return
+	}
+	k := memoKey{kind, q, steps}
+	if col, ok := m.entries[k]; ok {
+		copy(col, scores)
+		m.touch(k)
+		return
+	}
+	var col []float64
+	if len(m.order) >= m.cap {
+		oldest := m.order[0]
+		col = m.entries[oldest]
+		delete(m.entries, oldest)
+		m.order = m.order[1:]
+	}
+	if len(col) != len(scores) {
+		col = make([]float64, len(scores))
+	}
+	copy(col, scores)
+	m.entries[k] = col
+	m.order = append(m.order, k)
+}
+
+// Len reports the number of cached columns.
+func (m *ScoreMemo) Len() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.entries)
+}
+
+// Cap reports the memo's capacity (0 for a nil memo). Callers whose working
+// set of targets exceeds the capacity should bypass the memo entirely: a
+// sequential scan over more targets than the LRU holds evicts every entry
+// before its re-use, paying the O(|V|) insert copies for zero hits.
+func (m *ScoreMemo) Cap() int {
+	if m == nil {
+		return 0
+	}
+	return m.cap
+}
+
+// touch moves k to the most-recently-used position. O(cap), which is fine
+// for the single-digit capacities the memo is meant for.
+func (m *ScoreMemo) touch(k memoKey) {
+	for i, ok := range m.order {
+		if ok == k {
+			copy(m.order[i:], m.order[i+1:])
+			m.order[len(m.order)-1] = k
+			return
+		}
+	}
+	m.order = append(m.order, k)
+}

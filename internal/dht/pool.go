@@ -45,15 +45,24 @@ func (c *Counters) Reset() {
 // O(|V|) scratch vectors instead of allocating fresh ones. Engines returned
 // by Get carry the pool's Sink; each engine is still single-goroutine — the
 // pool only makes checkout/checkin concurrency-safe.
+//
+// Batch engines are pooled too (GetBatch/PutBatch): workers that batch their
+// walks check out a BatchEngine of at least the pool's BatchWidth, so worker
+// count × batch width are tuned together by the joiner that owns the pool.
 type EnginePool struct {
 	G      *graph.Graph
 	Params Params
 	D      int
 
+	// BatchWidth is the column capacity of the batch engines GetBatch hands
+	// out; zero selects DefaultBatchWidth. Set it before the first GetBatch.
+	BatchWidth int
+
 	// Sink, when non-nil, is attached to every engine the pool hands out.
 	Sink *Counters
 
-	pool sync.Pool
+	pool  sync.Pool
+	bpool sync.Pool
 }
 
 // NewEnginePool validates the configuration once and returns the pool.
@@ -68,20 +77,56 @@ func NewEnginePool(g *graph.Graph, p Params, d int) (*EnginePool, error) {
 }
 
 // Get checks out an engine. The configuration was validated by
-// NewEnginePool, so construction cannot fail here.
+// NewEnginePool, so construction cannot fail here. Pool entries are
+// validated against the pool's (graph, params, d): a mismatched engine —
+// possible when a caller recycled a pool value built for another graph, or
+// mutated the pool's fields — is dropped and replaced by a fresh engine
+// rather than resized in place, so a stale engine can never leak scratch
+// sized to a different |V| into a walk.
 func (pl *EnginePool) Get() *Engine {
 	e, _ := pl.pool.Get().(*Engine)
-	if e == nil {
+	if e == nil || e.G != pl.G || e.Params != pl.Params || e.D != pl.D {
 		e, _ = NewEngine(pl.G, pl.Params, pl.D)
 	}
 	e.Sink = pl.Sink
 	return e
 }
 
-// Put returns an engine obtained from Get for reuse.
+// Put returns an engine obtained from Get for reuse. Engines that do not
+// match the pool's configuration are discarded instead of retained.
 func (pl *EnginePool) Put(e *Engine) {
-	if e == nil {
+	if e == nil || e.G != pl.G || e.Params != pl.Params || e.D != pl.D {
 		return
 	}
 	pl.pool.Put(e)
+}
+
+// batchWidth resolves the pool's batch-engine column capacity.
+func (pl *EnginePool) batchWidth() int {
+	if pl.BatchWidth > 0 {
+		return pl.BatchWidth
+	}
+	return DefaultBatchWidth
+}
+
+// GetBatch checks out a batch engine with column capacity ≥ the pool's
+// BatchWidth. Entries are validated like Get's: a mismatched or too-narrow
+// engine is dropped and replaced.
+func (pl *EnginePool) GetBatch() *BatchEngine {
+	w := pl.batchWidth()
+	be, _ := pl.bpool.Get().(*BatchEngine)
+	if be == nil || be.G != pl.G || be.Params != pl.Params || be.D != pl.D || be.W < w {
+		be, _ = NewBatchEngine(pl.G, pl.Params, pl.D, w)
+	}
+	be.Sink = pl.Sink
+	return be
+}
+
+// PutBatch returns a batch engine obtained from GetBatch for reuse,
+// discarding mismatched ones.
+func (pl *EnginePool) PutBatch(be *BatchEngine) {
+	if be == nil || be.G != pl.G || be.Params != pl.Params || be.D != pl.D || be.W < pl.batchWidth() {
+		return
+	}
+	pl.bpool.Put(be)
 }

@@ -1,0 +1,191 @@
+package join2
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestBatchWidthsBitIdenticalTopK: every joiner must return *exactly* the
+// same results (score bits included) at any batch width, including widths
+// far beyond the target count and width 1 (the solo engine), because the
+// batched kernel is bit-identical to solo walks. Workers × widths are
+// crossed to cover the batch-aware pool checkout.
+func TestBatchWidthsBitIdenticalTopK(t *testing.T) {
+	cfg := testConfig(t, 41, 0.3)
+	base := cfg
+	base.BatchWidth = 1 // solo reference
+	for _, workers := range []int{0, 3} {
+		base.Workers = workers
+		want := map[string][]Result{}
+		for _, j := range allJoiners(t, base) {
+			res, err := j.TopK(20)
+			if err != nil {
+				t.Fatalf("%s solo: %v", j.Name(), err)
+			}
+			want[j.Name()] = res
+		}
+		for _, w := range []int{2, 7, 8, 64} {
+			bcfg := cfg
+			bcfg.Workers = workers
+			bcfg.BatchWidth = w
+			for _, j := range allJoiners(t, bcfg) {
+				got, err := j.TopK(20)
+				if err != nil {
+					t.Fatalf("%s width %d: %v", j.Name(), w, err)
+				}
+				ref := want[j.Name()]
+				if len(got) != len(ref) {
+					t.Fatalf("%s width %d workers %d: %d results, want %d",
+						j.Name(), w, workers, len(got), len(ref))
+				}
+				for i := range got {
+					if got[i] != ref[i] {
+						t.Fatalf("%s width %d workers %d rank %d: %+v != solo %+v",
+							j.Name(), w, workers, i, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalBatchWidthsAndMemo: the PJ-i stream must emit the same
+// sequence at any batch width and with the memo on or off (memo hits replay
+// cached columns of the same engine, so even the bits agree).
+func TestIncrementalBatchWidthsAndMemo(t *testing.T) {
+	cfg := testConfig(t, 42, 0.25)
+	stream := func(c Config) []Result {
+		t.Helper()
+		inc, err := NewIncremental(c, BoundY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := inc.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			r, ok, err := inc.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			res = append(res, r)
+		}
+		return res
+	}
+	solo := cfg
+	solo.BatchWidth = 1
+	solo.MemoSize = -1
+	want := stream(solo)
+	for _, variant := range []Config{
+		{BatchWidth: 0, MemoSize: 0},   // defaults: batched + memo
+		{BatchWidth: 7, MemoSize: 2},   // odd width, tiny memo
+		{BatchWidth: 64, MemoSize: -1}, // wide, memo off
+	} {
+		c := cfg
+		c.BatchWidth = variant.BatchWidth
+		c.MemoSize = variant.MemoSize
+		got := stream(c)
+		if len(got) != len(want) {
+			t.Fatalf("width %d memo %d: %d results, want %d", c.BatchWidth, c.MemoSize, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("width %d memo %d rank %d: %+v != %+v", c.BatchWidth, c.MemoSize, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// relabelings returns both locality orderings of the config's graph.
+func relabelings(cfg Config) map[string]*graph.Relabeling {
+	return map[string]*graph.Relabeling{
+		"degree": graph.DegreeOrder(cfg.Graph),
+		"bfs":    graph.BFSOrder(cfg.Graph),
+	}
+}
+
+// TestRelabelRoundTripsTopK: running any joiner on the locality-relabeled
+// graph with mapped node sets and mapping the result ids back must
+// reproduce the original top-k (scores to fp-reordering tolerance, pair
+// sets up to equal-score permutations) — the id map inverts cleanly on
+// every joiner's output.
+func TestRelabelRoundTripsTopK(t *testing.T) {
+	cfg := testConfig(t, 55, 0.3)
+	want := map[string][]Result{}
+	for _, j := range allJoiners(t, cfg) {
+		res, err := j.TopK(15)
+		if err != nil {
+			t.Fatalf("%s: %v", j.Name(), err)
+		}
+		want[j.Name()] = res
+	}
+	for order, r := range relabelings(cfg) {
+		rcfg := cfg
+		rcfg.Graph = r.Apply(cfg.Graph)
+		rcfg.P = r.MapToNew(cfg.P)
+		rcfg.Q = r.MapToNew(cfg.Q)
+		if err := rcfg.Validate(); err != nil {
+			t.Fatalf("%s: relabeled config invalid: %v", order, err)
+		}
+		for _, j := range allJoiners(t, rcfg) {
+			res, err := j.TopK(15)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", order, j.Name(), err)
+			}
+			back := make([]Result, len(res))
+			for i, rr := range res {
+				back[i] = Result{
+					Pair:  Pair{P: r.ToOld(rr.Pair.P), Q: r.ToOld(rr.Pair.Q)},
+					Score: rr.Score,
+				}
+			}
+			assertSameTopK(t, order+"/"+j.Name(), back, want[j.Name()])
+		}
+	}
+}
+
+// TestRelabelRoundTripsIncremental extends the round-trip to the PJ-i
+// stream, whose ids surface one pair at a time through Next.
+func TestRelabelRoundTripsIncremental(t *testing.T) {
+	cfg := testConfig(t, 56, 0.2)
+	run := func(c Config, r *graph.Relabeling) []Result {
+		t.Helper()
+		inc, err := NewIncremental(c, BoundY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := inc.Run(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			rr, ok, err := inc.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			res = append(res, rr)
+		}
+		if r != nil {
+			for i := range res {
+				res[i].Pair = Pair{P: r.ToOld(res[i].Pair.P), Q: r.ToOld(res[i].Pair.Q)}
+			}
+		}
+		return res
+	}
+	want := run(cfg, nil)
+	for order, r := range relabelings(cfg) {
+		rcfg := cfg
+		rcfg.Graph = r.Apply(cfg.Graph)
+		rcfg.P = r.MapToNew(cfg.P)
+		rcfg.Q = r.MapToNew(cfg.Q)
+		assertSameTopK(t, order+"/incremental", run(rcfg, r), want)
+	}
+}

@@ -2,19 +2,29 @@ package join2
 
 import (
 	"repro/internal/dht"
+	"repro/internal/graph"
 	"repro/internal/pqueue"
 )
 
 // BBJ is the Backward Basic Join (§VI-A): one d-step backward walk per q ∈ Q
 // yields h_d(p, q) for every p at once, so the complexity is O(|Q|·d·|E|) —
-// a factor |P| better than F-BJ. With Config.Workers set, the per-target
-// walks are spread over a worker pool (see ParallelBBJ for the dedicated
-// type); either way the engine and its O(|V|) scratch are reused across
-// TopK calls, so a joiner is single-goroutine like the engine it owns.
+// a factor |P| better than F-BJ. The per-target walks run through the
+// batched kernel (Config.BatchWidth columns per CSR traversal) behind a
+// small (q, l)-keyed memo that serves repeated TopK calls on the same
+// joiner — the PJ re-join stream — without re-walking recently seen targets.
+// With Config.Workers set, the walks are spread over a worker pool (see
+// ParallelBBJ for the dedicated type); either way the engines and their
+// O(|V|) scratch are reused across TopK calls, so a joiner is
+// single-goroutine like the engines it owns.
 type BBJ struct {
-	cfg Config
-	e   *dht.Engine
-	par *ParallelBBJ // cached worker-pool delegate when Workers > 1
+	cfg  Config
+	e    *dht.Engine
+	be   *dht.BatchEngine
+	memo *dht.ScoreMemo
+	par  *ParallelBBJ // cached worker-pool delegate when Workers > 1
+
+	// scratch for the memo-miss batch, reused across TopK calls
+	pending []graph.NodeID
 }
 
 // NewBBJ validates the config and returns the joiner.
@@ -22,7 +32,7 @@ func NewBBJ(cfg Config) (*BBJ, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &BBJ{cfg: cfg}, nil
+	return &BBJ{cfg: cfg, memo: cfg.newMemo()}, nil
 }
 
 // Name implements Joiner.
@@ -42,21 +52,66 @@ func (b *BBJ) TopK(k int) ([]Result, error) {
 		}
 		return b.par.TopK(k)
 	}
+	d := b.cfg.D
+	top := pqueue.NewTopK[Pair](k)
+	// scores[q] is 0 by definition (h(v,v) = 0), so pairs with p == q
+	// participate with score 0, matching the forward algorithms. AddTie's
+	// canonical tie key makes the selection independent of target order, so
+	// serving memo hits first cannot change the result.
+	addColumn := func(q graph.NodeID, scores []float64) {
+		for _, p := range b.cfg.P {
+			pr := Pair{p, q}
+			top.AddTie(pr, scores[p], pairTie(pr))
+		}
+	}
+	// A sequential pass over more targets than the LRU holds would evict
+	// every entry before its next-TopK re-use — all copy cost, zero hits —
+	// so the memo only engages when Q fits in it.
+	memo := b.memo
+	if len(b.cfg.Q) > memo.Cap() {
+		memo = nil
+	}
+	if b.cfg.batchRounds(d) {
+		if b.be == nil {
+			b.be = b.cfg.batchEngine()
+		}
+		bw := b.be.W
+		b.pending = b.pending[:0]
+		flush := func() {
+			for base := 0; base < len(b.pending); base += bw {
+				end := min(base+bw, len(b.pending))
+				chunk := b.pending[base:end]
+				cols := b.be.BackWalkScoresBatch(b.cfg.Measure, chunk, d)
+				for ci, q := range chunk {
+					memo.Put(b.cfg.Measure, q, d, cols[ci])
+					addColumn(q, cols[ci])
+				}
+			}
+			b.pending = b.pending[:0]
+		}
+		for _, q := range b.cfg.Q {
+			if scores, ok := memo.Get(b.cfg.Measure, q, d); ok {
+				addColumn(q, scores)
+				continue
+			}
+			b.pending = append(b.pending, q)
+		}
+		flush()
+		return collect(top), nil
+	}
 	if b.e == nil {
 		if b.e, err = b.cfg.engine(); err != nil {
 			return nil, err
 		}
 	}
-	e := b.e
-	top := pqueue.NewTopK[Pair](k)
 	for _, q := range b.cfg.Q {
-		scores := e.BackWalkScores(b.cfg.Measure, q, b.cfg.D)
-		// scores[q] is 0 by definition (h(v,v) = 0), so pairs with p == q
-		// participate with score 0, matching the forward algorithms.
-		for _, p := range b.cfg.P {
-			pr := Pair{p, q}
-			top.AddTie(pr, scores[p], pairTie(pr))
+		if scores, ok := memo.Get(b.cfg.Measure, q, d); ok {
+			addColumn(q, scores)
+			continue
 		}
+		scores := b.e.BackWalkScores(b.cfg.Measure, q, d)
+		memo.Put(b.cfg.Measure, q, d, scores)
+		addColumn(q, scores)
 	}
 	return collect(top), nil
 }

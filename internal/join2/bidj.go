@@ -56,6 +56,7 @@ type BIDJ struct {
 	cfg     Config
 	variant BoundVariant
 	e       *dht.Engine
+	be      *dht.BatchEngine // batched kernel for deep rounds; lazily built
 	yt      *dht.YBoundTable
 	pool    *dht.EnginePool
 
@@ -130,6 +131,31 @@ func (b *BIDJ) advance(l int) int {
 	return l * 2
 }
 
+// forEachScores hands fn the backward score column of every target in qs at
+// walk length l, in qs order. Deep rounds run through the batched kernel —
+// one CSR traversal per step serves a whole width of targets — while short
+// rounds stay on the solo β-prefilled column (see batchMinSteps). Columns
+// are valid only within the fn invocation.
+func (b *BIDJ) forEachScores(e *dht.Engine, qs []graph.NodeID, l int, fn func(qi int, scores []float64)) {
+	if !b.cfg.batchRounds(l) || len(qs) < 2 {
+		for qi, q := range qs {
+			fn(qi, e.BackWalkScores(b.cfg.Measure, q, l))
+		}
+		return
+	}
+	if b.be == nil {
+		b.be = b.cfg.batchEngine()
+	}
+	bw := b.be.W
+	for base := 0; base < len(qs); base += bw {
+		end := min(base+bw, len(qs))
+		cols := b.be.BackWalkScoresBatch(b.cfg.Measure, qs[base:end], l)
+		for ci := range cols {
+			fn(base+ci, cols[ci])
+		}
+	}
+}
+
 // run executes Algorithm 2 serially. It assumes k is already clamped.
 func (b *BIDJ) run(e *dht.Engine, k int) []Result {
 	d := b.cfg.D
@@ -144,8 +170,8 @@ func (b *BIDJ) run(e *dht.Engine, k int) []Result {
 	for l := 1; l < d; l = b.advance(l) {
 		lower.Reset()
 		qUpper := make([]float64, len(alive))
-		for qi, q := range alive {
-			scores := e.BackWalkScores(b.cfg.Measure, q, l)
+		b.forEachScores(e, alive, l, func(qi int, scores []float64) {
+			q := alive[qi]
 			pMax := math.Inf(-1)
 			for _, p := range b.cfg.P {
 				s := scores[p]
@@ -156,21 +182,20 @@ func (b *BIDJ) run(e *dht.Engine, k int) []Result {
 					pMax = s
 				}
 			}
-			up := pMax + ubound(q, l)
-			qUpper[qi] = up
+			qUpper[qi] = pMax + ubound(q, l)
 			if b.record != nil {
 				for _, p := range b.cfg.P {
 					b.record(Pair{p, q}, scores[p], scores[p]+ubound(q, l), l)
 				}
 			}
-		}
+		})
 		alive = b.prune(alive, qUpper, lower, l)
 	}
 
 	// Final exact round over the survivors.
 	top := pqueue.NewTopK[Pair](k)
-	for _, q := range alive {
-		scores := e.BackWalkScores(b.cfg.Measure, q, d)
+	b.forEachScores(e, alive, d, func(qi int, scores []float64) {
+		q := alive[qi]
 		for _, p := range b.cfg.P {
 			pr := Pair{p, q}
 			top.AddTie(pr, scores[p], pairTie(pr))
@@ -178,7 +203,7 @@ func (b *BIDJ) run(e *dht.Engine, k int) []Result {
 				b.record(pr, scores[p], scores[p], d)
 			}
 		}
-	}
+	})
 	return collect(top)
 }
 
@@ -201,11 +226,58 @@ func (b *BIDJ) prune(alive []graph.NodeID, qUpper []float64, lower *pqueue.TopK[
 	return alive
 }
 
+// scatterScores fans the backward walks of targets qs at length l over at
+// most workers goroutines and calls fn(wi, qi, scores) once per target. fn
+// invocations with distinct wi run concurrently; scores columns are valid
+// only within the call. Deep rounds check batch engines out of the pool and
+// hand each worker whole width-sized chunks — the round spawns one engine
+// sweep per chunk instead of one per target — and the worker count is capped
+// at the chunk count, so worker count × batch width stay tuned together.
+// Short rounds stride targets over solo engines as before. Returns the
+// worker count used (the maximum wi is one less).
+func (b *BIDJ) scatterScores(pool *dht.EnginePool, qs []graph.NodeID, l, workers int, fn func(wi, qi int, scores []float64)) int {
+	bw := 1
+	if b.cfg.batchRounds(l) && len(qs) >= 2 {
+		bw = b.cfg.batchWidth()
+	}
+	w := workers
+	if chunks := (len(qs) + bw - 1) / bw; w > chunks {
+		w = chunks
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			if bw > 1 {
+				be := pool.GetBatch()
+				defer pool.PutBatch(be)
+				for base := wi * bw; base < len(qs); base += w * bw {
+					end := min(base+bw, len(qs))
+					cols := be.BackWalkScoresBatch(b.cfg.Measure, qs[base:end], l)
+					for ci := range cols {
+						fn(wi, base+ci, cols[ci])
+					}
+				}
+			} else {
+				e := pool.Get()
+				defer pool.Put(e)
+				for qi := wi; qi < len(qs); qi += w {
+					fn(wi, qi, e.BackWalkScores(b.cfg.Measure, qs[qi], l))
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	return w
+}
+
 // runParallel is run with each round's per-target walks spread over an
 // engine pool. The threshold T_k of a round is the k-th largest of the union
 // of the workers' candidate lower bounds — a value independent of insertion
 // order — and ties in the final heap are broken by the canonical pair key,
-// so the output is bit-identical to the serial run at any worker count.
+// so the output is bit-identical to the serial run at any worker count and
+// any batch width.
 func (b *BIDJ) runParallel(k, workers int) ([]Result, error) {
 	if b.pool == nil {
 		pool, err := b.cfg.enginePool()
@@ -218,7 +290,9 @@ func (b *BIDJ) runParallel(k, workers int) ([]Result, error) {
 	d := b.cfg.D
 	b.Stats = b.Stats[:0]
 
-	// The Y table is built once on a pooled engine (serial O(d·|E|) walk).
+	// The Y table is built once on a pooled engine (one serial O(d·|E|)
+	// walk from all of P simultaneously); every worker of every round reads
+	// the same table.
 	e0 := pool.Get()
 	ubound := b.ubound(e0)
 	pool.Put(e0)
@@ -228,41 +302,32 @@ func (b *BIDJ) runParallel(k, workers int) ([]Result, error) {
 	beta := b.cfg.Params.Beta
 
 	for l := 1; l < d; l = b.advance(l) {
-		w := workers
-		if w > len(alive) {
-			w = len(alive)
-		}
 		qUpper := make([]float64, len(alive))
-		lowers := make([]*pqueue.TopK[struct{}], w)
-		var wg sync.WaitGroup
-		for wi := 0; wi < w; wi++ {
-			wg.Add(1)
-			go func(wi int) {
-				defer wg.Done()
-				e := pool.Get()
-				defer pool.Put(e)
-				lo := pqueue.NewTopK[struct{}](k)
-				for qi := wi; qi < len(alive); qi += w {
-					q := alive[qi]
-					scores := e.BackWalkScores(b.cfg.Measure, q, l)
-					pMax := math.Inf(-1)
-					for _, p := range b.cfg.P {
-						s := scores[p]
-						if s > beta || p == q {
-							lo.Add(struct{}{}, s)
-						}
-						if s > pMax {
-							pMax = s
-						}
-					}
-					qUpper[qi] = pMax + ubound(q, l)
-				}
+		lowers := make([]*pqueue.TopK[struct{}], workers)
+		b.scatterScores(pool, alive, l, workers, func(wi, qi int, scores []float64) {
+			lo := lowers[wi]
+			if lo == nil {
+				lo = pqueue.NewTopK[struct{}](k)
 				lowers[wi] = lo
-			}(wi)
-		}
-		wg.Wait()
+			}
+			q := alive[qi]
+			pMax := math.Inf(-1)
+			for _, p := range b.cfg.P {
+				s := scores[p]
+				if s > beta || p == q {
+					lo.Add(struct{}{}, s)
+				}
+				if s > pMax {
+					pMax = s
+				}
+			}
+			qUpper[qi] = pMax + ubound(q, l)
+		})
 		lower := pqueue.NewTopK[struct{}](k)
 		for _, lo := range lowers {
+			if lo == nil {
+				continue
+			}
 			_, scores := lo.Sorted()
 			for _, s := range scores {
 				lower.Add(struct{}{}, s)
@@ -272,45 +337,24 @@ func (b *BIDJ) runParallel(k, workers int) ([]Result, error) {
 	}
 
 	// Final exact round over the survivors, merged like ParallelBBJ.
-	w := workers
-	if w > len(alive) {
-		w = len(alive)
-	}
 	top := pqueue.NewTopK[Pair](k)
-	if w <= 1 {
-		e := pool.Get()
-		defer pool.Put(e)
-		for _, q := range alive {
-			scores := e.BackWalkScores(b.cfg.Measure, q, d)
-			for _, p := range b.cfg.P {
-				pr := Pair{p, q}
-				top.AddTie(pr, scores[p], pairTie(pr))
-			}
-		}
-		return collect(top), nil
-	}
-	tops := make([]*pqueue.TopK[Pair], w)
-	var wg sync.WaitGroup
-	for wi := 0; wi < w; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			e := pool.Get()
-			defer pool.Put(e)
-			tp := pqueue.NewTopK[Pair](k)
-			for qi := wi; qi < len(alive); qi += w {
-				q := alive[qi]
-				scores := e.BackWalkScores(b.cfg.Measure, q, d)
-				for _, p := range b.cfg.P {
-					pr := Pair{p, q}
-					tp.AddTie(pr, scores[p], pairTie(pr))
-				}
-			}
+	tops := make([]*pqueue.TopK[Pair], workers)
+	b.scatterScores(pool, alive, d, workers, func(wi, qi int, scores []float64) {
+		tp := tops[wi]
+		if tp == nil {
+			tp = pqueue.NewTopK[Pair](k)
 			tops[wi] = tp
-		}(wi)
-	}
-	wg.Wait()
+		}
+		q := alive[qi]
+		for _, p := range b.cfg.P {
+			pr := Pair{p, q}
+			tp.AddTie(pr, scores[p], pairTie(pr))
+		}
+	})
 	for _, tp := range tops {
+		if tp == nil {
+			continue
+		}
 		pairs, scores := tp.Sorted()
 		for i := range pairs {
 			top.AddTie(pairs[i], scores[i], pairTie(pairs[i]))

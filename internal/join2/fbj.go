@@ -2,16 +2,21 @@ package join2
 
 import (
 	"repro/internal/dht"
+	"repro/internal/graph"
 	"repro/internal/pqueue"
 )
 
 // FBJ is the Forward Basic Join (§V-B): it evaluates h_d(p, q) for every pair
 // with a per-pair forward absorbing walk and keeps the k best. Complexity
 // O(|P|·|Q|·d·|E|) — the baseline every other algorithm is measured against.
-// The joiner reuses one engine across TopK calls, so it is single-goroutine.
+// The per-pair walks run through the batched kernel, Config.BatchWidth pair
+// columns per CSR traversal, which amortizes the dominant full-depth sweeps
+// without changing a bit of any score. The joiner reuses its engines across
+// TopK calls, so it is single-goroutine.
 type FBJ struct {
 	cfg Config
 	e   *dht.Engine
+	be  *dht.BatchEngine
 }
 
 // NewFBJ validates the config and returns the joiner.
@@ -31,13 +36,48 @@ func (f *FBJ) TopK(k int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	top := pqueue.NewTopK[Pair](k)
+	d := f.cfg.D
+	if f.cfg.batchRounds(d) && f.cfg.MaxPairs() >= 2 {
+		if f.be == nil {
+			f.be = f.cfg.batchEngine()
+		}
+		bw := f.be.W
+		ps := make([]graph.NodeID, 0, bw)
+		qs := make([]graph.NodeID, 0, bw)
+		flush := func() {
+			if len(ps) == 0 {
+				return
+			}
+			rows := f.be.ForwardProbsBatch(f.cfg.Measure, ps, qs, d)
+			for c := range ps {
+				pr := Pair{ps[c], qs[c]}
+				s := f.cfg.Params.Score(rows[c])
+				if f.cfg.Measure == dht.FirstHit && pr.P == pr.Q {
+					s = 0 // h(v,v) = 0 by definition, as in ForwardScoreAt
+				}
+				top.AddTie(pr, s, pairTie(pr))
+			}
+			ps, qs = ps[:0], qs[:0]
+		}
+		for _, p := range f.cfg.P {
+			for _, q := range f.cfg.Q {
+				ps = append(ps, p)
+				qs = append(qs, q)
+				if len(ps) == bw {
+					flush()
+				}
+			}
+		}
+		flush()
+		return collect(top), nil
+	}
 	if f.e == nil {
 		if f.e, err = f.cfg.engine(); err != nil {
 			return nil, err
 		}
 	}
 	e := f.e
-	top := pqueue.NewTopK[Pair](k)
 	for _, p := range f.cfg.P {
 		for _, q := range f.cfg.Q {
 			pr := Pair{p, q}

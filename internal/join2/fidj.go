@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/dht"
+	"repro/internal/graph"
 	"repro/internal/pqueue"
 )
 
@@ -12,10 +13,17 @@ import (
 // walk length l = 2^(j-1): short walks are cheap and already give usable
 // bounds (h_l is a lower bound of h_d; h_l + X⁺ₗ an upper bound), so many
 // source nodes p ∈ P are pruned before the expensive full-depth walks of the
-// final round. Worst case remains O(|P|·|Q|·d·|E|).
+// final round. Worst case remains O(|P|·|Q|·d·|E|). Deep rounds run each
+// source's |Q| forward walks through the batched kernel, Config.BatchWidth
+// pair columns per CSR traversal.
 type FIDJ struct {
 	cfg Config
 	e   *dht.Engine
+	be  *dht.BatchEngine
+
+	// batching scratch: the repeated-source column and one row of scores
+	ps       []graph.NodeID
+	scoreBuf []float64
 
 	// PrunedPerRound records, for each deepening round, how many nodes of P
 	// were discarded. Populated by TopK; used by ablation reports.
@@ -33,6 +41,46 @@ func NewFIDJ(cfg Config) (*FIDJ, error) {
 // Name implements Joiner.
 func (f *FIDJ) Name() string { return "F-IDJ" }
 
+// scoresForSource fills and returns a row with the forward truncated scores
+// h_l(p, q) for every q ∈ Q, batching the walks when l is deep enough. The
+// row is owned by the joiner and valid until the next call.
+func (f *FIDJ) scoresForSource(p graph.NodeID, l int) []float64 {
+	qs := f.cfg.Q
+	if cap(f.scoreBuf) < len(qs) {
+		f.scoreBuf = make([]float64, len(qs))
+	}
+	scores := f.scoreBuf[:len(qs)]
+	if !f.cfg.batchRounds(l) || len(qs) < 2 {
+		for qi, q := range qs {
+			scores[qi] = f.e.ForwardScoreKind(f.cfg.Measure, p, q, l)
+		}
+		return scores
+	}
+	if f.be == nil {
+		f.be = f.cfg.batchEngine()
+	}
+	bw := f.be.W
+	if cap(f.ps) < bw {
+		f.ps = make([]graph.NodeID, bw)
+	}
+	for c := range f.ps[:bw] {
+		f.ps[c] = p
+	}
+	firstHit := f.cfg.Measure == dht.FirstHit
+	for base := 0; base < len(qs); base += bw {
+		end := min(base+bw, len(qs))
+		rows := f.be.ForwardProbsBatch(f.cfg.Measure, f.ps[:end-base], qs[base:end], l)
+		for ci, q := range qs[base:end] {
+			if firstHit && p == q {
+				scores[base+ci] = 0 // h(v,v) = 0 by definition, as in ForwardScoreAt
+				continue
+			}
+			scores[base+ci] = f.cfg.Params.Score(rows[ci])
+		}
+	}
+	return scores
+}
+
 // TopK implements Joiner.
 func (f *FIDJ) TopK(k int) ([]Result, error) {
 	k, err := f.cfg.clampK(k)
@@ -44,7 +92,6 @@ func (f *FIDJ) TopK(k int) ([]Result, error) {
 			return nil, err
 		}
 	}
-	e := f.e
 	d := f.cfg.D
 	f.PrunedPerRound = f.PrunedPerRound[:0]
 
@@ -61,9 +108,9 @@ func (f *FIDJ) TopK(k int) ([]Result, error) {
 			if !alive[pi] {
 				continue
 			}
+			scores := f.scoresForSource(p, l)
 			best := math.Inf(-1)
-			for _, q := range f.cfg.Q {
-				hl := e.ForwardScoreKind(f.cfg.Measure, p, q, l)
+			for _, hl := range scores {
 				lower.Add(struct{}{}, hl)
 				if hl > best {
 					best = hl
@@ -88,9 +135,10 @@ func (f *FIDJ) TopK(k int) ([]Result, error) {
 		if !alive[pi] {
 			continue
 		}
-		for _, q := range f.cfg.Q {
+		scores := f.scoresForSource(p, d)
+		for qi, q := range f.cfg.Q {
 			pr := Pair{p, q}
-			top.AddTie(pr, e.ForwardScoreKind(f.cfg.Measure, p, q, f.cfg.D), pairTie(pr))
+			top.AddTie(pr, scores[qi], pairTie(pr))
 		}
 	}
 	return collect(top), nil

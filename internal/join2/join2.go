@@ -48,6 +48,24 @@ type Config struct {
 	// GOMAXPROCS. Results are bit-identical at any worker count.
 	Workers int
 
+	// BatchWidth is the column width of the batched walk kernel
+	// (dht.BatchEngine) used for deep walks: B-IDJ's later deepening rounds
+	// and final exact round, B-BJ's per-target walks, and F-BJ's forward
+	// walks. 0 selects dht.DefaultBatchWidth, 1 disables batching (every
+	// walk runs on the solo engine, as in PR 1), and any other positive
+	// value is used as-is. Walks shorter than batchMinSteps always run solo
+	// through the β-prefilled column regardless of this setting — their
+	// frontiers are too sparse for column batching to pay. Results are
+	// bit-identical at any width.
+	BatchWidth int
+
+	// MemoSize bounds the (kind, q, l)-keyed memo of backward score columns
+	// that B-BJ and the incremental join consult before re-walking a target
+	// at full depth: 0 selects dht.DefaultMemoSize, a negative value
+	// disables the memo. Each retained column costs O(|V|) floats, which is
+	// why the default stays small.
+	MemoSize int
+
 	// Counters, when non-nil, accumulates the walk work of every engine the
 	// join creates (including pooled worker engines) via atomic adds.
 	Counters *dht.Counters
@@ -94,14 +112,61 @@ func (c *Config) engine() (*dht.Engine, error) {
 	return e, nil
 }
 
-// enginePool builds an engine pool for the config's worker joins.
+// enginePool builds an engine pool for the config's worker joins, carrying
+// the config's batch width so GetBatch hands out matching batch engines.
 func (c *Config) enginePool() (*dht.EnginePool, error) {
 	pl, err := dht.NewEnginePool(c.Graph, c.Params, c.D)
 	if err != nil {
 		return nil, err
 	}
 	pl.Sink = c.Counters
+	pl.BatchWidth = c.batchWidth()
 	return pl, nil
+}
+
+// batchMinSteps is the shortest walk the joiners hand to the batched kernel.
+// Shorter walks (the l = 1, 2 deepening rounds) touch so few nodes that the
+// batch's zero lanes cost more than the amortized CSR traversal saves; they
+// stay on the solo engine's β-prefilled column, which serves them in O(walk
+// frontier) time.
+const batchMinSteps = 3
+
+// batchWidth resolves Config.BatchWidth: 0 → default, ≤ 1 → solo.
+func (c *Config) batchWidth() int {
+	switch {
+	case c.BatchWidth == 0:
+		return dht.DefaultBatchWidth
+	case c.BatchWidth < 1:
+		return 1
+	default:
+		return c.BatchWidth
+	}
+}
+
+// batchEngine builds a batch engine for the config, attached to its counter
+// sink. The config was validated by the joiner constructor, so this cannot
+// fail.
+func (c *Config) batchEngine() *dht.BatchEngine {
+	be, err := dht.NewBatchEngine(c.Graph, c.Params, c.D, c.batchWidth())
+	if err != nil {
+		panic(err) // unreachable: Validate ran in the joiner constructor
+	}
+	be.Sink = c.Counters
+	return be
+}
+
+// newMemo builds the config's score-column memo, nil when disabled.
+func (c *Config) newMemo() *dht.ScoreMemo {
+	if c.MemoSize < 0 {
+		return nil
+	}
+	return dht.NewScoreMemo(c.MemoSize)
+}
+
+// batchRounds reports whether walks of length l should use the batched
+// kernel under this config.
+func (c *Config) batchRounds(l int) bool {
+	return c.batchWidth() > 1 && l >= batchMinSteps
 }
 
 // workerCount resolves Config.Workers against the number of independent

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/dht"
+	"repro/internal/graph"
 	"repro/internal/pqueue"
 )
 
@@ -47,9 +48,17 @@ func (b *ParallelBBJ) TopK(k int) ([]Result, error) {
 		}
 	}
 	pool := b.pool
+	d := b.cfg.D
+	// Deep walks run batched: each worker consumes whole width-sized chunks
+	// of Q, one engine sweep per chunk, and the worker count is capped at
+	// the chunk count so worker count × batch width stay tuned together.
+	bw := 1
+	if b.cfg.batchRounds(d) && len(b.cfg.Q) >= 2 {
+		bw = b.cfg.batchWidth()
+	}
 	workers := b.workers
-	if workers > len(b.cfg.Q) {
-		workers = len(b.cfg.Q)
+	if chunks := (len(b.cfg.Q) + bw - 1) / bw; workers > chunks {
+		workers = chunks
 	}
 	parts := make([]*pqueue.TopK[Pair], workers)
 	var wg sync.WaitGroup
@@ -57,15 +66,30 @@ func (b *ParallelBBJ) TopK(k int) ([]Result, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			e := pool.Get()
-			defer pool.Put(e)
 			top := pqueue.NewTopK[Pair](k)
-			for qi := w; qi < len(b.cfg.Q); qi += workers {
-				q := b.cfg.Q[qi]
-				scores := e.BackWalkScores(b.cfg.Measure, q, b.cfg.D)
+			addColumn := func(q graph.NodeID, scores []float64) {
 				for _, p := range b.cfg.P {
 					pr := Pair{p, q}
 					top.AddTie(pr, scores[p], pairTie(pr))
+				}
+			}
+			if bw > 1 {
+				be := pool.GetBatch()
+				defer pool.PutBatch(be)
+				for base := w * bw; base < len(b.cfg.Q); base += workers * bw {
+					end := min(base+bw, len(b.cfg.Q))
+					chunk := b.cfg.Q[base:end]
+					cols := be.BackWalkScoresBatch(b.cfg.Measure, chunk, d)
+					for ci, q := range chunk {
+						addColumn(q, cols[ci])
+					}
+				}
+			} else {
+				e := pool.Get()
+				defer pool.Put(e)
+				for qi := w; qi < len(b.cfg.Q); qi += workers {
+					q := b.cfg.Q[qi]
+					addColumn(q, e.BackWalkScores(b.cfg.Measure, q, d))
 				}
 			}
 			parts[w] = top
