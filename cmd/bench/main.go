@@ -29,6 +29,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/join2"
+	"repro/internal/service"
 )
 
 // Result is one benchmark measurement, flattened for JSON.
@@ -231,6 +232,40 @@ func benchSet() []spec {
 			}
 		}
 	}
+	// The service pair: an identical repeated top-k workload through the
+	// serving layer's shared pools/caches versus per-request construction —
+	// the number that justifies njoind's existence. A third variant defeats
+	// the result LRU to isolate the pool/memo reuse win.
+	serviceBench := func(svcCfg *service.Config) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := joinCfg(b)
+			p := service.SetRef{IDs: cfg.P}
+			q := service.SetRef{IDs: cfg.Q}
+			if svcCfg == nil { // one-shot: rebuild everything per request
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					j, err := join2.NewBIDJY(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := j.TopK(50); err != nil {
+						b.Fatal(err)
+					}
+				}
+				return
+			}
+			svc := service.New(*svcCfg)
+			if err := svc.LoadGraph("g", cfg.Graph, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Join2("g", p, q, 50, service.Query{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
 	return []spec{
 		{"Fig9a2WayAlgos", expBench("fig9a")},
 		{"Fig7aYeastVsN", expBench("fig7a")},
@@ -241,5 +276,8 @@ func benchSet() []spec {
 		{"FBJTop50", joinBench(func(c join2.Config) (join2.Joiner, error) { return join2.NewFBJ(c) }, 50)},
 		{"BackWalkSolo", kernelBench(1, 8)},
 		{"BatchBackWalkW8", kernelBench(8, 8)},
+		{"ServiceJoin2Repeat", serviceBench(&service.Config{})},
+		{"ServiceJoin2ColdResults", serviceBench(&service.Config{ResultCacheSize: -1})},
+		{"OneShotJoin2Repeat", serviceBench(nil)},
 	}
 }

@@ -1,0 +1,115 @@
+// Command njoind is the long-lived join server: it keeps a bounded registry
+// of named graphs in memory and serves top-k 2-way and n-way DHT joins over
+// HTTP/JSON, reusing engines, score-column memos, relabelings, and recent
+// results across requests (see internal/service). Results are bit-identical
+// to the corresponding one-shot dhtjoin calls.
+//
+// Usage:
+//
+//	njoind -addr :8080
+//	njoind -addr :8080 -graph yeast=yeast.graph -graph dblp=dblp.graph
+//
+// API (JSON; see internal/service.NewHandler):
+//
+//	PUT    /graphs/{name}   load a text-format graph (request body = file)
+//	GET    /graphs          list loaded graphs
+//	DELETE /graphs/{name}   drop a graph
+//	POST   /join2           {"graph":"g","p":{"set":"U"},"q":{"set":"D"},"k":10}
+//	POST   /joinN           {"graph":"g","sets":[...],"shape":"chain","k":5}
+//	GET    /score           ?graph=g&u=3&v=8
+//	GET    /stats           service counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+// graphFlags collects repeated -graph name=path pairs.
+type graphFlags []string
+
+func (g *graphFlags) String() string { return strings.Join(*g, ",") }
+func (g *graphFlags) Set(v string) error {
+	*g = append(*g, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxGraphs   = flag.Int("max-graphs", 0, "graph registry capacity (0 = default 16)")
+		maxSessions = flag.Int("max-sessions", 0, "session cache capacity (0 = default 32)")
+		resultCache = flag.Int("result-cache", 0, "per-session result LRU capacity (0 = default 128, negative disables)")
+		memoSize    = flag.Int("memo", 0, "per-session score-column memo capacity (0 = default 256, negative disables)")
+		maxConc     = flag.Int("max-concurrency", 0, "total join workers in flight (0 = GOMAXPROCS)")
+		preload     graphFlags
+	)
+	flag.Var(&preload, "graph", "preload a graph as name=path (repeatable)")
+	flag.Parse()
+	if err := run(*addr, service.Config{
+		MaxGraphs:       *maxGraphs,
+		MaxSessions:     *maxSessions,
+		ResultCacheSize: *resultCache,
+		MemoSize:        *memoSize,
+		MaxConcurrency:  *maxConc,
+	}, preload); err != nil {
+		fmt.Fprintln(os.Stderr, "njoind:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg service.Config, preload []string) error {
+	svc := service.New(cfg)
+	for _, spec := range preload {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-graph wants name=path, got %q", spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = svc.LoadGraphText(name, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading %q: %w", spec, err)
+		}
+		fmt.Fprintf(os.Stderr, "njoind: loaded graph %q from %s\n", name, path)
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "njoind: serving on %s\n", addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "njoind: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}

@@ -13,34 +13,22 @@ import (
 type Relabeling = graph.Relabeling
 
 // RelabelMode selects the locality-aware node ordering applied to the graph
-// before a join. The walk kernels scan the CSR row arrays and O(|V|) mass
-// vectors constantly; reordering nodes so hot rows cluster (degree) or
-// neighborhoods stay in nearby blocks (BFS) makes those scans
-// cache-friendlier without changing any score beyond floating-point
-// summation order within a row.
-type RelabelMode int
+// before a join (see graph.RelabelMode, which this aliases). The walk kernels
+// scan the CSR row arrays and O(|V|) mass vectors constantly; reordering
+// nodes so hot rows cluster (degree) or neighborhoods stay in nearby blocks
+// (BFS) makes those scans cache-friendlier without changing any score beyond
+// floating-point summation order within a row.
+type RelabelMode = graph.RelabelMode
 
 const (
 	// RelabelOff runs joins on the graph as built (the default).
-	RelabelOff RelabelMode = iota
+	RelabelOff = graph.NoRelabel
 	// RelabelDegree orders nodes by descending total degree.
-	RelabelDegree
+	RelabelDegree = graph.ByDegree
 	// RelabelBFS orders nodes in breadth-first visit order from high-degree
 	// roots.
-	RelabelBFS
+	RelabelBFS = graph.ByBFS
 )
-
-// String names the mode.
-func (m RelabelMode) String() string {
-	switch m {
-	case RelabelDegree:
-		return "degree"
-	case RelabelBFS:
-		return "bfs"
-	default:
-		return "off"
-	}
-}
 
 // Relabel returns the graph reordered under the given mode together with
 // the id map: feed the relabeled graph and Relabeling.MapToNew'd node sets
@@ -48,14 +36,7 @@ func (m RelabelMode) String() string {
 // graph around should relabel once and reuse the pair; the Options.Relabel
 // knob does exactly that internally through a per-graph cache.
 func Relabel(g *Graph, mode RelabelMode) (*Graph, *Relabeling) {
-	switch mode {
-	case RelabelDegree:
-		return graph.RelabelDegree(g)
-	case RelabelBFS:
-		return graph.RelabelBFS(g)
-	default:
-		return g, nil
-	}
+	return graph.Relabel(g, mode)
 }
 
 // relabelKey identifies one cached relabeled graph.
@@ -77,14 +58,67 @@ type relabeled struct {
 // copies become collectable.
 const relabelCacheCap = 4
 
-// relabelCache memoizes Relabel per (graph, mode), so repeated Options-level
+// relabelLRU memoizes Relabel per (graph, mode), so repeated Options-level
 // joins on the same graph pay the O(|E| log |E|) rebuild once. Graphs are
 // immutable, which is what makes the pointer a sound key.
-var relabelCache = struct {
+type relabelLRU struct {
 	sync.Mutex
+	cap     int
 	entries map[relabelKey]*relabeled
 	order   []relabelKey // most recently used last
-}{entries: make(map[relabelKey]*relabeled, relabelCacheCap)}
+}
+
+var relabelCache = newRelabelLRU(relabelCacheCap)
+
+func newRelabelLRU(capacity int) *relabelLRU {
+	return &relabelLRU{cap: capacity, entries: make(map[relabelKey]*relabeled, capacity)}
+}
+
+// touchLocked moves key to the most-recently-used position. The caller holds
+// the lock and has verified the key is present.
+func (c *relabelLRU) touchLocked(key relabelKey) {
+	for i, k := range c.order {
+		if k == key {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = key
+			return
+		}
+	}
+}
+
+// lookup returns the cached entry for key, refreshing its recency.
+func (c *relabelLRU) lookup(key relabelKey) (*relabeled, bool) {
+	c.Lock()
+	defer c.Unlock()
+	rl, ok := c.entries[key]
+	if ok {
+		c.touchLocked(key)
+	}
+	return rl, ok
+}
+
+// insert publishes rl under key, evicting the least recently used entry when
+// full. When another goroutine raced the caller's rebuild and already
+// published an entry for key, that entry is shared — and its recency is
+// refreshed, exactly as a lookup hit would: the key is demonstrably hot (two
+// goroutines just asked for it), so it must not stay in line for eviction as
+// "oldest".
+func (c *relabelLRU) insert(key relabelKey, rl *relabeled) *relabeled {
+	c.Lock()
+	defer c.Unlock()
+	if prev, ok := c.entries[key]; ok {
+		c.touchLocked(key)
+		return prev
+	}
+	if len(c.order) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = rl
+	c.order = append(c.order, key)
+	return rl
+}
 
 // relabeledFor returns the cached reordering of g under mode.
 func relabeledFor(g *Graph, mode RelabelMode) (*Graph, *Relabeling) {
@@ -92,35 +126,12 @@ func relabeledFor(g *Graph, mode RelabelMode) (*Graph, *Relabeling) {
 		return g, nil
 	}
 	key := relabelKey{g, mode}
-	c := &relabelCache
-	c.Lock()
-	if rl, ok := c.entries[key]; ok {
-		for i, k := range c.order {
-			if k == key {
-				copy(c.order[i:], c.order[i+1:])
-				c.order[len(c.order)-1] = key
-				break
-			}
-		}
-		c.Unlock()
+	if rl, ok := relabelCache.lookup(key); ok {
 		return rl.g, rl.r
 	}
-	c.Unlock()
 	// Rebuild outside the lock: Relabel is O(|E| log |E|) and g immutable.
 	rg, r := Relabel(g, mode)
-	rl := &relabeled{rg, r}
-	c.Lock()
-	defer c.Unlock()
-	if prev, ok := c.entries[key]; ok {
-		return prev.g, prev.r // another goroutine won the race; share its copy
-	}
-	if len(c.order) >= relabelCacheCap {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.entries, oldest)
-	}
-	c.entries[key] = rl
-	c.order = append(c.order, key)
+	rl := relabelCache.insert(key, &relabeled{rg, r})
 	return rl.g, rl.r
 }
 

@@ -1,0 +1,107 @@
+package dhtjoin
+
+import (
+	"io"
+
+	"repro/internal/service"
+)
+
+// Service is the library facade over the long-lived serving layer
+// (internal/service): it owns a bounded registry of named graphs and, per
+// (graph, params, d, relabel) configuration, shared engine pools, a
+// concurrency-safe score-column memo, the cached relabeling, and an LRU of
+// recent top-k results. All methods are safe for concurrent use, and every
+// join result is bit-identical to the corresponding one-shot call
+// (TopKPairs / TopK / Score) with the same Options.
+//
+// Use it when the same graphs are queried repeatedly — a server, a notebook
+// session, a batch evaluator. One-shot calls remain the right tool for
+// single queries.
+type Service struct {
+	s *service.Service
+}
+
+// ServiceConfig sizes a Service; the zero value selects the defaults (see
+// internal/service.Config).
+type ServiceConfig = service.Config
+
+// ServiceStats is the monotone counter snapshot returned by Service.Stats.
+type ServiceStats = service.Stats
+
+// GraphInfo describes one loaded graph.
+type GraphInfo = service.GraphInfo
+
+// NewService returns an empty serving layer.
+func NewService(cfg ServiceConfig) *Service {
+	return &Service{s: service.New(cfg)}
+}
+
+// LoadGraph registers g under name together with the node sets joins may
+// reference by name. Loading an existing name replaces it; loading a new
+// name into a full registry fails.
+func (s *Service) LoadGraph(name string, g *Graph, sets ...*NodeSet) error {
+	return s.s.LoadGraph(name, g, sets)
+}
+
+// LoadGraphText reads a text-format graph (with its node sets) from r and
+// registers it under name.
+func (s *Service) LoadGraphText(name string, r io.Reader) error {
+	return s.s.LoadGraphText(name, r)
+}
+
+// DropGraph removes the named graph and its cached sessions.
+func (s *Service) DropGraph(name string) bool { return s.s.DropGraph(name) }
+
+// Graphs lists the loaded graphs sorted by name.
+func (s *Service) Graphs() []GraphInfo { return s.s.Graphs() }
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() ServiceStats { return s.s.Stats() }
+
+// toQuery maps Options onto the serving layer's query form. The field sets
+// are isomorphic and both resolve defaults identically, which is what keeps
+// served results bit-identical to one-shot calls.
+func toQuery(o *Options) service.Query {
+	if o == nil {
+		return service.Query{}
+	}
+	return service.Query{
+		Params:     o.Params,
+		Epsilon:    o.Epsilon,
+		D:          o.D,
+		Measure:    o.Measure,
+		Agg:        o.Agg,
+		M:          o.M,
+		Distinct:   o.Distinct,
+		Workers:    o.Workers,
+		BatchWidth: o.BatchWidth,
+		Relabel:    o.Relabel,
+	}
+}
+
+// TopKPairs serves a top-k 2-way join on the named graph, bit-identical to
+// the package-level TopKPairs with the same Options.
+func (s *Service) TopKPairs(graphName string, p, q *NodeSet, k int, opts *Options) ([]PairResult, error) {
+	return s.s.Join2(graphName,
+		service.SetRef{IDs: p.Nodes()}, service.SetRef{IDs: q.Nodes()}, k, toQuery(opts))
+}
+
+// TopK serves a top-k n-way join on the named graph, bit-identical to the
+// package-level TopK with the same Options.
+func (s *Service) TopK(graphName string, query *QueryGraph, k int, opts *Options) ([]Answer, error) {
+	sets := make([]service.SetRef, query.NumSets())
+	for i := range sets {
+		sets[i] = service.SetRef{IDs: query.Set(i).Nodes()}
+	}
+	edges := make([][2]int, 0, len(query.Edges()))
+	for _, e := range query.Edges() {
+		edges = append(edges, [2]int{e.From, e.To})
+	}
+	return s.s.JoinN(graphName, sets, edges, k, toQuery(opts))
+}
+
+// Score serves the truncated score h_d(u, v) on the named graph,
+// bit-identical to the package-level Score.
+func (s *Service) Score(graphName string, u, v NodeID, opts *Options) (float64, error) {
+	return s.s.Score(graphName, u, v, toQuery(opts))
+}

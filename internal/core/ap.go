@@ -63,6 +63,8 @@ func (t TwoWayKind) newJoiner(cfg join2.Config) (join2.Joiner, error) {
 
 // edgeConfig derives the 2-way join config for one query edge. counters,
 // when non-nil, aggregates the edge's engine work (shared across edges).
+// The spec's caller-owned pool and memo are threaded through so every edge
+// join draws on the same shared resources.
 func edgeConfig(spec *Spec, e QEdge, counters *dht.Counters) join2.Config {
 	return join2.Config{
 		Graph:      spec.Graph,
@@ -74,6 +76,8 @@ func edgeConfig(spec *Spec, e QEdge, counters *dht.Counters) join2.Config {
 		Workers:    spec.Workers,
 		BatchWidth: spec.BatchWidth,
 		Counters:   counters,
+		Pool:       spec.Pool,
+		Memo:       spec.Memo,
 	}
 }
 
@@ -108,13 +112,16 @@ func (a *AP) Name() string { return "AP" }
 // Run implements Algorithm.
 func (a *AP) Run() ([]Answer, error) {
 	a.Stats = RunStats{}
-	ctrs := &dht.Counters{}
+	ctrs := a.spec.runCounters()
 	srcs, err := buildSources(&a.spec, ctrs, func(cfg join2.Config) (edgeSource, error) {
 		j, err := a.twoWay.newJoiner(cfg)
 		if err != nil {
 			return nil, err
 		}
 		list, err := j.TopK(cfg.MaxPairs())
+		if r, ok := j.(interface{ Release() }); ok {
+			r.Release() // the list is materialized; pooled engines go back now
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/dht"
 	"repro/internal/join2"
 )
 
@@ -42,7 +41,7 @@ func (a *PJ) Name() string { return "PJ" }
 // Run implements Algorithm.
 func (a *PJ) Run() ([]Answer, error) {
 	a.Stats = RunStats{}
-	ctrs := &dht.Counters{}
+	ctrs := a.spec.runCounters()
 	srcs, err := buildSources(&a.spec, ctrs, func(cfg join2.Config) (edgeSource, error) {
 		j, err := a.twoWay.newJoiner(cfg)
 		if err != nil {
@@ -53,6 +52,7 @@ func (a *PJ) Run() ([]Answer, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer releaseSources(srcs)
 	d := &driver{spec: &a.spec, srcs: srcs, stats: &a.Stats}
 	answers, err := d.run()
 	a.Stats.addCounters(ctrs)
@@ -99,7 +99,7 @@ func (a *PJI) Name() string { return "PJ-i" }
 // Run implements Algorithm.
 func (a *PJI) Run() ([]Answer, error) {
 	a.Stats = RunStats{}
-	ctrs := &dht.Counters{}
+	ctrs := a.spec.runCounters()
 	srcs, err := buildSources(&a.spec, ctrs, func(cfg join2.Config) (edgeSource, error) {
 		inc, err := join2.NewIncremental(cfg, a.variant)
 		if err != nil {
@@ -114,6 +114,7 @@ func (a *PJI) Run() ([]Answer, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer releaseSources(srcs)
 	d := &driver{spec: &a.spec, srcs: srcs, stats: &a.Stats, noBound: a.DisableCornerBound}
 	answers, err := d.run()
 	a.Stats.addCounters(ctrs)

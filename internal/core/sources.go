@@ -53,6 +53,20 @@ func buildSources(spec *Spec, counters *dht.Counters, build func(cfg join2.Confi
 	return srcs, nil
 }
 
+// releaser is implemented by edge sources that hold pooled engines; the
+// algorithms release their sources after the PBRJ drive so a caller-owned
+// pool (Spec.Pool) gets its scratch back between requests.
+type releaser interface{ release() }
+
+// releaseSources returns every source's pooled resources.
+func releaseSources(srcs []edgeSource) {
+	for _, s := range srcs {
+		if r, ok := s.(releaser); ok {
+			r.release()
+		}
+	}
+}
+
 // listSource streams a fully materialized, descending-sorted result list —
 // the AP strategy, where every pair of the edge's node sets has been scored
 // up front.
@@ -82,6 +96,13 @@ type rejoinSource struct {
 	list      []join2.Result
 	pos       int
 	refetches *int64
+}
+
+// release returns the joiner's pooled engines (see releaser).
+func (s *rejoinSource) release() {
+	if r, ok := s.joiner.(interface{ Release() }); ok {
+		r.Release()
+	}
 }
 
 func newRejoinSource(j join2.Joiner, m, maxPairs int, refetches *int64) (*rejoinSource, error) {
@@ -135,6 +156,9 @@ type incSource struct {
 	pos       int
 	refetches *int64
 }
+
+// release returns the incremental state's pooled engine (see releaser).
+func (s *incSource) release() { s.inc.Release() }
 
 func newIncSource(inc *join2.Incremental, m int, refetches *int64) (*incSource, error) {
 	list, err := inc.Run(m)

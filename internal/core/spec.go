@@ -42,6 +42,24 @@ type Spec struct {
 	// (join2.Config.BatchWidth): 0 selects the default width, 1 disables
 	// batching. Results are identical at any setting.
 	BatchWidth int
+
+	// Pool, when non-nil, supplies the engines of every per-edge 2-way join
+	// (join2.Config.Pool): the joins check engines out per call/round and the
+	// algorithms return them after Run, so a long-lived owner (the serving
+	// layer) shares one pool's scratch across requests. Must be built for
+	// the same (Graph, Params, D); Validate rejects a mismatch.
+	Pool *dht.EnginePool
+
+	// Memo, when non-nil, is the shared score-column memo handed to every
+	// per-edge 2-way join (join2.Config.Memo). ScoreMemo is concurrency-safe,
+	// so the per-edge joins — which may run on worker goroutines — share it
+	// directly; the caller binds it to this spec's (graph, params, d).
+	Memo *dht.ScoreMemo
+
+	// Counters, when non-nil, additionally receives every engine counter
+	// increment of the run (chained behind the run-scoped counters that feed
+	// RunStats), so a long-lived owner can keep process-lifetime walk totals.
+	Counters *dht.Counters
 }
 
 // keepTuple applies the Distinct filter.
@@ -82,7 +100,16 @@ func (s *Spec) Validate() error {
 	if s.K <= 0 {
 		return fmt.Errorf("core: k must be positive, got %d", s.K)
 	}
+	if p := s.Pool; p != nil && (p.G != s.Graph || p.Params != s.Params || p.D != s.D) {
+		return fmt.Errorf("core: caller pool built for a different (graph, params, d) configuration")
+	}
 	return nil
+}
+
+// runCounters returns the run-scoped counter sink for one Run invocation,
+// chained to the spec's lifetime counters when set.
+func (s *Spec) runCounters() *dht.Counters {
+	return &dht.Counters{Chain: s.Counters}
 }
 
 // clampK limits k to the candidate-space size.

@@ -1,0 +1,124 @@
+package dht
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func memoCol(v float64, n int) []float64 {
+	col := make([]float64, n)
+	for i := range col {
+		col[i] = v
+	}
+	return col
+}
+
+func TestScoreMemoLRU(t *testing.T) {
+	m := NewScoreMemo(2)
+	if m.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", m.Cap())
+	}
+	m.Put(FirstHit, 1, 8, memoCol(1, 4))
+	m.Put(FirstHit, 2, 8, memoCol(2, 4))
+	if _, ok := m.Get(FirstHit, 1, 8); !ok {
+		t.Fatal("q=1 missing")
+	}
+	// q=2 is now LRU; inserting q=3 must evict it.
+	m.Put(FirstHit, 3, 8, memoCol(3, 4))
+	if _, ok := m.Get(FirstHit, 2, 8); ok {
+		t.Fatal("q=2 should have been evicted")
+	}
+	if col, ok := m.Get(FirstHit, 1, 8); !ok || col[0] != 1 {
+		t.Fatalf("q=1 = %v,%v, want kept", col, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	// Distinct walk lengths and kinds are distinct keys.
+	m.Put(FirstHit, 1, 4, memoCol(9, 4))
+	if col, ok := m.Get(FirstHit, 1, 4); !ok || col[0] != 9 {
+		t.Fatal("(q=1, steps=4) not keyed separately")
+	}
+	if m.Hits() == 0 || m.Misses() == 0 {
+		t.Fatalf("hit/miss counters not tracking: %d/%d", m.Hits(), m.Misses())
+	}
+}
+
+// TestScoreMemoColumnsImmutable pins the property the concurrency safety
+// rests on: a column returned by Get stays valid and unchanged after the
+// entry is evicted and after further Puts — published columns are never
+// rewritten or recycled, and Put copies the caller's slice so later caller
+// mutations don't leak in.
+func TestScoreMemoColumnsImmutable(t *testing.T) {
+	m := NewScoreMemo(1)
+	src := memoCol(5, 4)
+	m.Put(FirstHit, 1, 8, src)
+	col, ok := m.Get(FirstHit, 1, 8)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	src[0] = -1 // caller reuses its buffer; the memo must hold a copy
+	m.Put(FirstHit, 2, 8, memoCol(6, 4))
+	m.Put(FirstHit, 3, 8, memoCol(7, 4))
+	for i, v := range col {
+		if v != 5 {
+			t.Fatalf("evicted column mutated at %d: %v", i, v)
+		}
+	}
+	// Re-Put under a live key keeps the published column.
+	col2, _ := m.Get(FirstHit, 3, 8)
+	m.Put(FirstHit, 3, 8, memoCol(8, 4))
+	if col2[0] != 7 {
+		t.Fatal("re-Put rewrote a published column")
+	}
+}
+
+// TestScoreMemoConcurrent hammers one memo from many goroutines (run under
+// -race in CI). Keys deliberately collide across goroutines so the same
+// shard sees concurrent Get/Put/eviction traffic.
+func TestScoreMemoConcurrent(t *testing.T) {
+	for _, capacity := range []int{4, 128} { // single-shard and sharded
+		m := NewScoreMemo(capacity)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				buf := make([]float64, 16)
+				for i := 0; i < 500; i++ {
+					q := graph.NodeID((w + i) % 20)
+					want := float64(q)*100 + float64(i%3)
+					steps := i % 3
+					if col, ok := m.Get(FirstHit, q, steps); ok {
+						if col[0] != float64(q)*100+float64(steps) {
+							t.Errorf("cap %d: column for (%d,%d) holds %v", capacity, q, steps, col[0])
+							return
+						}
+						continue
+					}
+					for j := range buf {
+						buf[j] = want
+					}
+					m.Put(FirstHit, q, steps, buf)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if m.Len() > m.Cap() {
+			t.Fatalf("cap %d: Len %d exceeds Cap %d", capacity, m.Len(), m.Cap())
+		}
+	}
+}
+
+func TestScoreMemoNil(t *testing.T) {
+	var m *ScoreMemo
+	if _, ok := m.Get(FirstHit, 0, 1); ok {
+		t.Fatal("nil memo hit")
+	}
+	m.Put(FirstHit, 0, 1, []float64{1})
+	if m.Len() != 0 || m.Cap() != 0 || m.Hits() != 0 || m.Misses() != 0 {
+		t.Fatal("nil memo not inert")
+	}
+}

@@ -14,13 +14,23 @@ type Counters struct {
 	Walks         int64 // walk invocations
 	EdgeSweeps    int64 // full O(|E|) dense relaxation sweeps
 	FrontierEdges int64 // edges relaxed by sparse frontier pushes
+
+	// Chain, when non-nil, additionally receives every increment. It lets a
+	// run-scoped counter (an algorithm's RunStats source) forward its deltas
+	// to a process-lifetime counter (the serving layer's /stats) without the
+	// engines knowing about either. Set it before the counter is shared with
+	// any engine; it is read without synchronization afterwards.
+	Chain *Counters
 }
 
-// add accumulates one walk's deltas atomically.
+// add accumulates one walk's deltas atomically, forwarding down the chain.
 func (c *Counters) add(walks, sweeps, frontierEdges int64) {
 	atomic.AddInt64(&c.Walks, walks)
 	atomic.AddInt64(&c.EdgeSweeps, sweeps)
 	atomic.AddInt64(&c.FrontierEdges, frontierEdges)
+	if c.Chain != nil {
+		c.Chain.add(walks, sweeps, frontierEdges)
+	}
 }
 
 // Snapshot returns a consistent copy using atomic loads, safe to call while

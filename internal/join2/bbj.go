@@ -38,6 +38,13 @@ func NewBBJ(cfg Config) (*BBJ, error) {
 // Name implements Joiner.
 func (b *BBJ) Name() string { return "B-BJ" }
 
+// Release returns the joiner's cached engines to the caller-owned pool
+// (Config.Pool); no-op without one. The memo is untouched — a caller-owned
+// memo outlives the joiner by design, and a joiner-built one is garbage.
+func (b *BBJ) Release() {
+	b.cfg.releaseEngines(&b.e, &b.be)
+}
+
 // TopK implements Joiner.
 func (b *BBJ) TopK(k int) ([]Result, error) {
 	k, err := b.cfg.clampK(k)

@@ -109,6 +109,16 @@ func (b *BIDJ) TopK(k int) ([]Result, error) {
 	return b.run(b.e, k), nil
 }
 
+// Release returns the joiner's cached engines to the caller-owned pool
+// (Config.Pool), so a serving layer that constructs joiners per request
+// recycles their O(|V|) scratch. No-op without a caller pool. The joiner
+// stays usable — engines are re-checked out lazily — but the idiomatic
+// pattern is Release after the last TopK. The Y⁺ₗ table is retained: it
+// depends only on (P, Q, d) and is the joiner's to keep.
+func (b *BIDJ) Release() {
+	b.cfg.releaseEngines(&b.e, &b.be)
+}
+
 // ubound returns the U⁺ₗ provider, building (and caching) the Y table on
 // first use. The table only depends on P, Q, and d — not on which q's remain
 // alive — so one build serves every TopK call of the joiner's lifetime.
@@ -250,7 +260,7 @@ func (b *BIDJ) scatterScores(pool *dht.EnginePool, qs []graph.NodeID, l, workers
 		go func(wi int) {
 			defer wg.Done()
 			if bw > 1 {
-				be := pool.GetBatch()
+				be := b.cfg.checkoutBatch(pool)
 				defer pool.PutBatch(be)
 				for base := wi * bw; base < len(qs); base += w * bw {
 					end := min(base+bw, len(qs))
@@ -260,7 +270,7 @@ func (b *BIDJ) scatterScores(pool *dht.EnginePool, qs []graph.NodeID, l, workers
 					}
 				}
 			} else {
-				e := pool.Get()
+				e := b.cfg.checkout(pool)
 				defer pool.Put(e)
 				for qi := wi; qi < len(qs); qi += w {
 					fn(wi, qi, e.BackWalkScores(b.cfg.Measure, qs[qi], l))
@@ -293,7 +303,7 @@ func (b *BIDJ) runParallel(k, workers int) ([]Result, error) {
 	// The Y table is built once on a pooled engine (one serial O(d·|E|)
 	// walk from all of P simultaneously); every worker of every round reads
 	// the same table.
-	e0 := pool.Get()
+	e0 := b.cfg.checkout(pool)
 	ubound := b.ubound(e0)
 	pool.Put(e0)
 

@@ -30,6 +30,12 @@ func NewFBJ(cfg Config) (*FBJ, error) {
 // Name implements Joiner.
 func (f *FBJ) Name() string { return "F-BJ" }
 
+// Release returns the joiner's cached engines to the caller-owned pool
+// (Config.Pool); no-op without one.
+func (f *FBJ) Release() {
+	f.cfg.releaseEngines(&f.e, &f.be)
+}
+
 // TopK implements Joiner.
 func (f *FBJ) TopK(k int) ([]Result, error) {
 	k, err := f.cfg.clampK(k)

@@ -41,6 +41,12 @@ func NewFIDJ(cfg Config) (*FIDJ, error) {
 // Name implements Joiner.
 func (f *FIDJ) Name() string { return "F-IDJ" }
 
+// Release returns the joiner's cached engines to the caller-owned pool
+// (Config.Pool); no-op without one.
+func (f *FIDJ) Release() {
+	f.cfg.releaseEngines(&f.e, &f.be)
+}
+
 // scoresForSource fills and returns a row with the forward truncated scores
 // h_l(p, q) for every q ∈ Q, batching the walks when l is deep enough. The
 // row is owned by the joiner and valid until the next call.

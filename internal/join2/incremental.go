@@ -181,3 +181,10 @@ func (inc *Incremental) refine(q graph.NodeID, l int) {
 
 // Pending returns the number of pairs still held in F.
 func (inc *Incremental) Pending() int { return inc.f.Len() }
+
+// Release returns the join state's engine to the caller-owned pool
+// (Config.Pool); no-op without one. Call it once no further Next pulls are
+// needed — afterwards the state must not be used.
+func (inc *Incremental) Release() {
+	inc.cfg.releaseEngines(&inc.e, nil)
+}

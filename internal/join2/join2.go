@@ -69,6 +69,24 @@ type Config struct {
 	// Counters, when non-nil, accumulates the walk work of every engine the
 	// join creates (including pooled worker engines) via atomic adds.
 	Counters *dht.Counters
+
+	// Pool, when non-nil, supplies the join's engines (solo and batched)
+	// instead of per-joiner construction: serial paths check one engine out
+	// and keep it until Release, worker rounds check engines in and out per
+	// round, so a long-lived owner (the serving layer) shares one pool's
+	// O(|V|) scratch across requests. The pool must be built for the same
+	// (Graph, Params, D); Validate rejects a mismatch. With a caller pool the
+	// pool's BatchWidth governs batch-engine width (Config.BatchWidth still
+	// decides WHETHER deep rounds batch) — results are bit-identical at any
+	// width, so sharing pool-width engines never changes an answer.
+	Pool *dht.EnginePool
+
+	// Memo, when non-nil, replaces the joiner-constructed score-column memo
+	// (MemoSize is then ignored). ScoreMemo is safe for concurrent use, so a
+	// long-lived owner can share one memo across the concurrent requests of
+	// a (graph, params, d, measure) configuration; the caller is responsible
+	// for binding the memo to exactly one such configuration.
+	Memo *dht.ScoreMemo
 }
 
 // Validate checks the configuration.
@@ -96,13 +114,20 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("join2: Q contains out-of-range node %d", u)
 		}
 	}
+	if p := c.Pool; p != nil && (p.G != c.Graph || p.Params != c.Params || p.D != c.D) {
+		return fmt.Errorf("join2: caller pool built for a different (graph, params, d) configuration")
+	}
 	return nil
 }
 
-// engine builds a DHT engine for the config, attached to its counter sink.
+// engine builds (or, with a caller pool, checks out) a DHT engine for the
+// config, attached to its counter sink.
 func (c *Config) engine() (*dht.Engine, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if c.Pool != nil {
+		return c.checkout(c.Pool), nil
 	}
 	e, err := dht.NewEngine(c.Graph, c.Params, c.D)
 	if err != nil {
@@ -112,9 +137,13 @@ func (c *Config) engine() (*dht.Engine, error) {
 	return e, nil
 }
 
-// enginePool builds an engine pool for the config's worker joins, carrying
-// the config's batch width so GetBatch hands out matching batch engines.
+// enginePool returns the caller-owned pool when one is set, otherwise builds
+// a pool for the config's worker joins, carrying the config's batch width so
+// GetBatch hands out matching batch engines.
 func (c *Config) enginePool() (*dht.EnginePool, error) {
+	if c.Pool != nil {
+		return c.Pool, nil
+	}
 	pl, err := dht.NewEnginePool(c.Graph, c.Params, c.D)
 	if err != nil {
 		return nil, err
@@ -122,6 +151,28 @@ func (c *Config) enginePool() (*dht.EnginePool, error) {
 	pl.Sink = c.Counters
 	pl.BatchWidth = c.batchWidth()
 	return pl, nil
+}
+
+// checkout hands out a pool engine with the config's counter sink attached.
+// A caller-owned pool may carry its owner's sink (or none); the config's
+// Counters must win for the duration of this checkout so run-scoped stats
+// see the walks — owners that also want lifetime totals chain them
+// (dht.Counters.Chain).
+func (c *Config) checkout(pool *dht.EnginePool) *dht.Engine {
+	e := pool.Get()
+	if c.Counters != nil {
+		e.Sink = c.Counters
+	}
+	return e
+}
+
+// checkoutBatch is checkout for batch engines.
+func (c *Config) checkoutBatch(pool *dht.EnginePool) *dht.BatchEngine {
+	be := pool.GetBatch()
+	if c.Counters != nil {
+		be.Sink = c.Counters
+	}
+	return be
 }
 
 // batchMinSteps is the shortest walk the joiners hand to the batched kernel.
@@ -143,10 +194,13 @@ func (c *Config) batchWidth() int {
 	}
 }
 
-// batchEngine builds a batch engine for the config, attached to its counter
-// sink. The config was validated by the joiner constructor, so this cannot
-// fail.
+// batchEngine builds (or, with a caller pool, checks out) a batch engine for
+// the config, attached to its counter sink. The config was validated by the
+// joiner constructor, so construction cannot fail.
 func (c *Config) batchEngine() *dht.BatchEngine {
+	if c.Pool != nil {
+		return c.checkoutBatch(c.Pool)
+	}
 	be, err := dht.NewBatchEngine(c.Graph, c.Params, c.D, c.batchWidth())
 	if err != nil {
 		panic(err) // unreachable: Validate ran in the joiner constructor
@@ -155,12 +209,40 @@ func (c *Config) batchEngine() *dht.BatchEngine {
 	return be
 }
 
-// newMemo builds the config's score-column memo, nil when disabled.
+// newMemo returns the caller-owned memo when one is set, otherwise builds
+// the config's score-column memo (nil when disabled).
 func (c *Config) newMemo() *dht.ScoreMemo {
+	if c.Memo != nil {
+		return c.Memo
+	}
 	if c.MemoSize < 0 {
 		return nil
 	}
 	return dht.NewScoreMemo(c.MemoSize)
+}
+
+// releaseEngines returns a joiner's cached engines to the caller-owned pool
+// (no-op without one — the engines are simply garbage). Joiner Release
+// methods call this with their cached engine slots; the slots are nil'd so a
+// released joiner lazily re-checks out if used again.
+func (c *Config) releaseEngines(e **dht.Engine, be **dht.BatchEngine) {
+	if c.Pool == nil {
+		if e != nil {
+			*e = nil
+		}
+		if be != nil {
+			*be = nil
+		}
+		return
+	}
+	if e != nil && *e != nil {
+		c.Pool.Put(*e)
+		*e = nil
+	}
+	if be != nil && *be != nil {
+		c.Pool.PutBatch(*be)
+		*be = nil
+	}
 }
 
 // batchRounds reports whether walks of length l should use the batched

@@ -74,7 +74,7 @@ func (b *ParallelBBJ) TopK(k int) ([]Result, error) {
 				}
 			}
 			if bw > 1 {
-				be := pool.GetBatch()
+				be := b.cfg.checkoutBatch(pool)
 				defer pool.PutBatch(be)
 				for base := w * bw; base < len(b.cfg.Q); base += workers * bw {
 					end := min(base+bw, len(b.cfg.Q))
@@ -85,7 +85,7 @@ func (b *ParallelBBJ) TopK(k int) ([]Result, error) {
 					}
 				}
 			} else {
-				e := pool.Get()
+				e := b.cfg.checkout(pool)
 				defer pool.Put(e)
 				for qi := w; qi < len(b.cfg.Q); qi += workers {
 					q := b.cfg.Q[qi]

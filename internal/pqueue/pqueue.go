@@ -4,7 +4,27 @@
 // needs key lookup, priority updates, and peeking at the two best entries).
 package pqueue
 
-import "sort"
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// checkFinite rejects NaN and ±Inf scores at the queue boundary. Both heaps
+// order entries with plain float comparisons, and every comparison against
+// NaN is false — a NaN admitted into a heap sits wherever it landed, never
+// sifts, and silently corrupts the order invariant (the incremental join's F
+// structure would then serve wrong winners without any error). Infinities
+// are rejected too: no DHT score or monotone aggregate of scores is ever
+// infinite, so an Inf priority is a caller bug (e.g. a division by a zero
+// degree) that should surface at the insertion site, not as a mis-ranked
+// result. Panicking (rather than clamping) is deliberate — see
+// graph.Builder.AddEdge, which treats invalid weights the same way.
+func checkFinite(where string, prio float64) {
+	if math.IsNaN(prio) || math.IsInf(prio, 0) {
+		panic(fmt.Sprintf("pqueue: %s called with non-finite priority %v", where, prio))
+	}
+}
 
 // TopK keeps the k items with the largest scores. Equal scores are broken by
 // an optional caller-supplied tie key (lower wins), then by insertion order
@@ -79,8 +99,10 @@ func (t *TopK[T]) Add(item T, score float64) bool {
 }
 
 // AddTie is Add with an explicit tie key: among equal scores, lower tie keys
-// rank ahead and may displace retained items with higher tie keys.
+// rank ahead and may displace retained items with higher tie keys. Scores
+// must be finite; NaN and ±Inf panic (see checkFinite).
 func (t *TopK[T]) AddTie(item T, score float64, tie int64) bool {
+	checkFinite("TopK.AddTie", score)
 	s := scored[T]{item: item, score: score, tie: tie, seq: t.seq}
 	if len(t.items) < t.k {
 		t.seq++
@@ -172,7 +194,12 @@ func (h *Indexed[K, V]) Get(key K) (V, float64, bool) {
 }
 
 // Set inserts or replaces the entry under key with the given priority.
+// Priorities must be finite; NaN and ±Inf panic (see checkFinite) — the
+// update path compares prio against the stored priority to pick a sift
+// direction, and both comparisons are false for NaN, which would leave the
+// entry mis-positioned and the heap silently corrupted.
 func (h *Indexed[K, V]) Set(key K, prio float64, val V) {
+	checkFinite("Indexed.Set", prio)
 	if i, ok := h.index[key]; ok {
 		old := h.prio[i]
 		h.prio[i] = prio

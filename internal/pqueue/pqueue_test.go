@@ -1,11 +1,65 @@
 package pqueue
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
 )
+
+// TestNonFinitePrioritiesPanic: NaN defeats every float comparison both heaps
+// order by, so a NaN priority would sit mis-positioned and silently corrupt
+// the incremental join's F structure; the queues must reject it (and ±Inf) at
+// the boundary instead.
+func TestNonFinitePrioritiesPanic(t *testing.T) {
+	bad := []struct {
+		name string
+		v    float64
+	}{
+		{"NaN", math.NaN()},
+		{"+Inf", math.Inf(1)},
+		{"-Inf", math.Inf(-1)},
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	for _, b := range bad {
+		mustPanic("TopK.Add "+b.name, func() {
+			tk := NewTopK[int](2)
+			tk.Add(1, b.v)
+		})
+		mustPanic("TopK.AddTie "+b.name, func() {
+			tk := NewTopK[int](2)
+			tk.AddTie(1, b.v, 0)
+		})
+		mustPanic("Indexed.Set insert "+b.name, func() {
+			h := NewIndexed[string, int]()
+			h.Set("a", b.v, 0)
+		})
+		mustPanic("Indexed.Set update "+b.name, func() {
+			h := NewIndexed[string, int]()
+			h.Set("a", 1, 0)
+			h.Set("a", b.v, 0)
+		})
+	}
+	// Finite values, including zero and negatives, stay accepted.
+	tk := NewTopK[int](2)
+	tk.Add(1, -1e300)
+	tk.Add(2, 0)
+	h := NewIndexed[string, int]()
+	h.Set("a", -1e300, 0)
+	h.Set("a", 0, 0)
+	if h.Len() != 1 || tk.Len() != 2 {
+		t.Fatal("finite priorities were rejected")
+	}
+}
 
 func TestTopKBasic(t *testing.T) {
 	tk := NewTopK[string](3)

@@ -1,0 +1,55 @@
+package service
+
+import "sync"
+
+// admission is the per-request worker admission controller: a counting
+// grant of worker tokens with a fixed total. Every request holds at least
+// one token while it runs, so at most `total` join workers are in flight
+// across all concurrent requests — concurrent joins shrink their worker
+// counts instead of oversubscribing GOMAXPROCS (worker count never changes
+// a result, so admission is invisible in the responses).
+//
+// acquire grants min(want, free) but never blocks a request forever behind
+// large ones: when no token is free it waits until one is released. Partial
+// grants are deliberate — granting what's available and shrinking the
+// request's worker count keeps throughput monotone and makes the
+// "each request holds ≥ 1 token" invariant deadlock-free (no request ever
+// waits while holding tokens).
+type admission struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	free int
+}
+
+func newAdmission(total int) *admission {
+	if total < 1 {
+		total = 1
+	}
+	a := &admission{free: total}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// acquire blocks until at least one token is free, then grants up to want
+// tokens (at least one). want must be >= 1.
+func (a *admission) acquire(want int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.free == 0 {
+		a.cond.Wait()
+	}
+	granted := want
+	if granted > a.free {
+		granted = a.free
+	}
+	a.free -= granted
+	return granted
+}
+
+// release returns n tokens and wakes waiters.
+func (a *admission) release(n int) {
+	a.mu.Lock()
+	a.free += n
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}

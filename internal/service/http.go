@@ -1,0 +1,341 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/dht"
+	"repro/internal/graph"
+	"repro/internal/rankjoin"
+)
+
+// maxGraphBody bounds an uploaded graph file (text format) at 256 MiB — far
+// above the evaluation datasets, low enough that a stray upload cannot OOM
+// the server.
+const maxGraphBody = 256 << 20
+
+// OptionsJSON is the wire form of a Query. All fields are optional; zero
+// values select the paper's defaults, exactly as dhtjoin.Options does.
+type OptionsJSON struct {
+	Lambda     float64 `json:"lambda,omitempty"`  // DHTλ decay (default 0.2)
+	DHTE       bool    `json:"dhte,omitempty"`    // use the DHTe parameterization
+	PPR        bool    `json:"ppr,omitempty"`     // Personalized PageRank params (damping = lambda); implies measure "reach" unless measure is set explicitly
+	Epsilon    float64 `json:"epsilon,omitempty"` // truncation accuracy target (default 1e-6)
+	D          int     `json:"d,omitempty"`       // forced truncation depth (overrides epsilon)
+	Agg        string  `json:"agg,omitempty"`     // SUM | MIN | MAX | AVG (n-way; default MIN)
+	M          int     `json:"m,omitempty"`       // per-edge budget (n-way; default 50)
+	Distinct   bool    `json:"distinct,omitempty"`
+	Measure    string  `json:"measure,omitempty"` // "dht" (default) | "reach"
+	Workers    int     `json:"workers,omitempty"`
+	BatchWidth int     `json:"batch_width,omitempty"`
+	Relabel    string  `json:"relabel,omitempty"` // off | degree | bfs
+}
+
+// toQuery resolves the wire options into a Query.
+func (o *OptionsJSON) toQuery() (Query, error) {
+	var q Query
+	if o == nil {
+		return q, nil
+	}
+	switch {
+	case o.DHTE && o.PPR:
+		return q, fmt.Errorf("options: dhte and ppr are mutually exclusive")
+	case o.DHTE:
+		q.Params = dht.DHTE()
+	case o.PPR:
+		c := o.Lambda
+		if c == 0 {
+			c = 0.2
+		}
+		q.Params = dht.PPR(c)
+		q.Measure = dht.Reach
+	case o.Lambda != 0:
+		q.Params = dht.DHTLambda(o.Lambda)
+	}
+	switch o.Measure {
+	case "":
+		// keep (PPR may have implied Reach)
+	case "dht":
+		q.Measure = dht.FirstHit // explicit choice wins over the PPR implication
+	case "reach":
+		q.Measure = dht.Reach
+	default:
+		return q, fmt.Errorf("options: unknown measure %q (want dht or reach)", o.Measure)
+	}
+	if o.Agg != "" {
+		agg, err := rankjoin.ByName(o.Agg)
+		if err != nil {
+			return q, err
+		}
+		q.Agg = agg
+	}
+	mode, err := graph.ParseRelabelMode(o.Relabel)
+	if err != nil {
+		return q, err
+	}
+	q.Relabel = mode
+	q.Epsilon = o.Epsilon
+	q.D = o.D
+	q.M = o.M
+	q.Distinct = o.Distinct
+	q.Workers = o.Workers
+	q.BatchWidth = o.BatchWidth
+	return q, nil
+}
+
+// SetRefJSON is the wire form of a SetRef.
+type SetRefJSON struct {
+	Set string         `json:"set,omitempty"` // named set declared by the graph
+	IDs []graph.NodeID `json:"ids,omitempty"` // explicit node list
+}
+
+func (r SetRefJSON) toRef() SetRef { return SetRef{Name: r.Set, IDs: r.IDs} }
+
+// join2Request is the POST /join2 body.
+type join2Request struct {
+	Graph   string       `json:"graph"`
+	P       SetRefJSON   `json:"p"`
+	Q       SetRefJSON   `json:"q"`
+	K       int          `json:"k"`
+	Options *OptionsJSON `json:"options,omitempty"`
+}
+
+// pairJSON is one served 2-way result.
+type pairJSON struct {
+	P     graph.NodeID `json:"p"`
+	Q     graph.NodeID `json:"q"`
+	Score float64      `json:"score"`
+}
+
+// joinNRequest is the POST /joinN body. The query graph is given either as a
+// shape over the sets (chain | triangle | star | clique) or as explicit
+// edges indexing into sets.
+type joinNRequest struct {
+	Graph   string       `json:"graph"`
+	Sets    []SetRefJSON `json:"sets"`
+	Shape   string       `json:"shape,omitempty"`
+	Edges   [][2]int     `json:"edges,omitempty"`
+	K       int          `json:"k"`
+	Options *OptionsJSON `json:"options,omitempty"`
+}
+
+// answerJSON is one served n-way answer.
+type answerJSON struct {
+	Nodes []graph.NodeID `json:"nodes"`
+	Score float64        `json:"score"`
+}
+
+// shapeEdges expands a named query shape over n sets into explicit edges,
+// mirroring core.Chain/Triangle/Star/Clique.
+func shapeEdges(shape string, n int) ([][2]int, error) {
+	switch shape {
+	case "chain":
+		if n < 2 {
+			return nil, fmt.Errorf("chain needs >= 2 sets, got %d", n)
+		}
+		edges := make([][2]int, 0, n-1)
+		for i := 0; i+1 < n; i++ {
+			edges = append(edges, [2]int{i, i + 1})
+		}
+		return edges, nil
+	case "triangle":
+		if n != 3 {
+			return nil, fmt.Errorf("triangle needs exactly 3 sets, got %d", n)
+		}
+		return [][2]int{{0, 1}, {1, 2}, {2, 0}}, nil
+	case "star":
+		if n < 2 {
+			return nil, fmt.Errorf("star needs >= 2 sets, got %d", n)
+		}
+		edges := make([][2]int, 0, n-1)
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{0, i})
+		}
+		return edges, nil
+	case "clique":
+		if n < 2 {
+			return nil, fmt.Errorf("clique needs >= 2 sets, got %d", n)
+		}
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+		return edges, nil
+	}
+	return nil, fmt.Errorf("unknown shape %q (want chain, triangle, star, or clique)", shape)
+}
+
+// NewHandler returns the njoind HTTP API over svc:
+//
+//	PUT    /graphs/{name}   load a text-format graph (body = graph file)
+//	GET    /graphs          list loaded graphs
+//	DELETE /graphs/{name}   drop a graph
+//	POST   /join2           top-k 2-way join (B-IDJ-Y)
+//	POST   /joinN           top-k n-way join (PJ-i)
+//	GET    /score           single pair score (?graph=&u=&v=[&lambda=&d=...])
+//	GET    /stats           service counters
+//
+// Responses are JSON; errors are {"error": "..."} with a 4xx/5xx status.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("PUT /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		body := http.MaxBytesReader(w, r.Body, maxGraphBody)
+		if err := svc.LoadGraphText(name, body); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		for _, info := range svc.Graphs() {
+			if info.Name == name {
+				writeJSON(w, http.StatusOK, info)
+				return
+			}
+		}
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("graph %q vanished after load", name))
+	})
+
+	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": svc.Graphs()})
+	})
+
+	mux.HandleFunc("DELETE /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !svc.DropGraph(name) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q loaded", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+	})
+
+	mux.HandleFunc("POST /join2", func(w http.ResponseWriter, r *http.Request) {
+		var req join2Request
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		query, err := req.Options.toQuery()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := svc.Join2(req.Graph, req.P.toRef(), req.Q.toRef(), req.K, query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		pairs := make([]pairJSON, len(res))
+		for i, pr := range res {
+			pairs[i] = pairJSON{P: pr.Pair.P, Q: pr.Pair.Q, Score: pr.Score}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": pairs})
+	})
+
+	mux.HandleFunc("POST /joinN", func(w http.ResponseWriter, r *http.Request) {
+		var req joinNRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		query, err := req.Options.toQuery()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		edges := req.Edges
+		if len(edges) == 0 {
+			shape := req.Shape
+			if shape == "" {
+				shape = "chain"
+			}
+			if edges, err = shapeEdges(shape, len(req.Sets)); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		refs := make([]SetRef, len(req.Sets))
+		for i, s := range req.Sets {
+			refs[i] = s.toRef()
+		}
+		answers, err := svc.JoinN(req.Graph, refs, edges, req.K, query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		out := make([]answerJSON, len(answers))
+		for i, a := range answers {
+			out[i] = answerJSON{Nodes: a.Nodes, Score: a.Score}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"answers": out})
+	})
+
+	mux.HandleFunc("GET /score", func(w http.ResponseWriter, r *http.Request) {
+		qp := r.URL.Query()
+		u, errU := strconv.Atoi(qp.Get("u"))
+		v, errV := strconv.Atoi(qp.Get("v"))
+		if errU != nil || errV != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("score: u and v must be integer node ids"))
+			return
+		}
+		opts := OptionsJSON{}
+		if s := qp.Get("lambda"); s != "" {
+			if opts.Lambda, errU = strconv.ParseFloat(s, 64); errU != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("score: bad lambda %q", s))
+				return
+			}
+		}
+		if s := qp.Get("d"); s != "" {
+			if opts.D, errU = strconv.Atoi(s); errU != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("score: bad d %q", s))
+				return
+			}
+		}
+		if s := qp.Get("epsilon"); s != "" {
+			if opts.Epsilon, errU = strconv.ParseFloat(s, 64); errU != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("score: bad epsilon %q", s))
+				return
+			}
+		}
+		opts.Measure = qp.Get("measure")
+		opts.DHTE = qp.Get("dhte") == "true"
+		opts.PPR = qp.Get("ppr") == "true"
+		query, err := opts.toQuery()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		score, err := svc.Score(qp.Get("graph"), graph.NodeID(u), graph.NodeID(v), query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"score": score})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+
+	return mux
+}
+
+// decodeJSON strictly decodes a request body.
+func decodeJSON(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(into)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// startServer loads the test graph through the HTTP API and returns the
+// httptest server plus the reference graph and sets.
+func startServer(t *testing.T) (*httptest.Server, *graph.Graph, []*graph.NodeSet) {
+	t.Helper()
+	g, sets := testGraph(t)
+	srv := httptest.NewServer(NewHandler(New(Config{})))
+	t.Cleanup(srv.Close)
+
+	var buf bytes.Buffer
+	if err := graph.WriteText(&buf, g, sets...); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/graphs/test", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("PUT /graphs/test: %s: %s", resp.Status, body)
+	}
+	var info GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != g.NumNodes() || info.Edges != g.NumEdges() {
+		t.Fatalf("load response %+v does not describe the graph", info)
+	}
+	return srv, g, sets
+}
+
+// postJSON posts a JSON body and decodes the JSON response into out.
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPEndToEnd is the njoind integration test: load a graph over HTTP,
+// fire concurrent join2 and joinN requests, and require every response to be
+// bit-identical to the corresponding direct dhtjoin-equivalent call; then
+// verify the stats endpoint moved monotonically.
+func TestHTTPEndToEnd(t *testing.T) {
+	srv, g, sets := startServer(t)
+
+	want2 := refJoin2(t, g, sets[0].Nodes(), sets[1].Nodes(), 10)
+	wantN := refJoinN(t, g, sets, 5)
+
+	var before Stats
+	if code := getJSON(t, srv.URL+"/stats", &before); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+
+	join2Req := map[string]any{
+		"graph": "test",
+		"p":     map[string]any{"set": sets[0].Name},
+		"q":     map[string]any{"set": sets[1].Name},
+		"k":     10,
+	}
+	joinNReq := map[string]any{
+		"graph": "test",
+		"sets": []map[string]any{
+			{"set": sets[0].Name}, {"set": sets[1].Name}, {"set": sets[2].Name},
+		},
+		"shape": "chain",
+		"k":     5,
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if (w+i)%2 == 0 {
+					var out struct {
+						Results []pairJSON `json:"results"`
+					}
+					if code := postJSON(t, srv.URL+"/join2", join2Req, &out); code != http.StatusOK {
+						errs <- fmt.Errorf("POST /join2 = %d", code)
+						return
+					}
+					if len(out.Results) != len(want2) {
+						errs <- fmt.Errorf("join2: %d results, want %d", len(out.Results), len(want2))
+						return
+					}
+					for r := range out.Results {
+						if out.Results[r].P != want2[r].Pair.P ||
+							out.Results[r].Q != want2[r].Pair.Q ||
+							out.Results[r].Score != want2[r].Score {
+							errs <- fmt.Errorf("join2 rank %d: %+v != %+v", r, out.Results[r], want2[r])
+							return
+						}
+					}
+				} else {
+					var out struct {
+						Answers []answerJSON `json:"answers"`
+					}
+					if code := postJSON(t, srv.URL+"/joinN", joinNReq, &out); code != http.StatusOK {
+						errs <- fmt.Errorf("POST /joinN = %d", code)
+						return
+					}
+					if len(out.Answers) != len(wantN) {
+						errs <- fmt.Errorf("joinN: %d answers, want %d", len(out.Answers), len(wantN))
+						return
+					}
+					for r := range out.Answers {
+						if out.Answers[r].Score != wantN[r].Score {
+							errs <- fmt.Errorf("joinN rank %d: score %v != %v", r, out.Answers[r].Score, wantN[r].Score)
+							return
+						}
+						for j := range out.Answers[r].Nodes {
+							if out.Answers[r].Nodes[j] != wantN[r].Nodes[j] {
+								errs <- fmt.Errorf("joinN rank %d: nodes %v != %v", r, out.Answers[r].Nodes, wantN[r].Nodes)
+								return
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var after Stats
+	if code := getJSON(t, srv.URL+"/stats", &after); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	if after.Join2Requests <= before.Join2Requests || after.JoinNRequests <= before.JoinNRequests {
+		t.Fatalf("request counters did not advance: %+v -> %+v", before, after)
+	}
+	if after.Walks < before.Walks || after.ResultMisses < before.ResultMisses {
+		t.Fatalf("stats counters regressed: %+v -> %+v", before, after)
+	}
+	if after.ResultHits == 0 {
+		t.Fatal("repeated identical requests produced no result-cache hits")
+	}
+}
+
+// TestHTTPScoreAndGraphLifecycle covers /score, /graphs listing, and DELETE.
+func TestHTTPScoreAndGraphLifecycle(t *testing.T) {
+	srv, g, sets := startServer(t)
+	u, v := sets[0].Nodes()[0], sets[1].Nodes()[0]
+
+	// /score must equal the direct engine evaluation (dhtjoin.Score).
+	svc := New(Config{})
+	if err := svc.LoadGraph("ref", g, sets); err != nil {
+		t.Fatal(err)
+	}
+	want, err := svc.Score("ref", u, v, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scoreResp struct {
+		Score float64 `json:"score"`
+	}
+	url := fmt.Sprintf("%s/score?graph=test&u=%d&v=%d", srv.URL, u, v)
+	if code := getJSON(t, url, &scoreResp); code != http.StatusOK {
+		t.Fatalf("GET /score = %d", code)
+	}
+	if scoreResp.Score != want {
+		t.Fatalf("score = %v, want %v", scoreResp.Score, want)
+	}
+
+	var list struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}
+	if code := getJSON(t, srv.URL+"/graphs", &list); code != http.StatusOK || len(list.Graphs) != 1 {
+		t.Fatalf("GET /graphs = %d, %+v", code, list)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/graphs/test", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /graphs/test = %d", resp.StatusCode)
+	}
+	// Joins on the dropped graph now fail with a client error.
+	var errResp map[string]any
+	code := postJSON(t, srv.URL+"/join2", map[string]any{
+		"graph": "test",
+		"p":     map[string]any{"ids": []int{0}},
+		"q":     map[string]any{"ids": []int{1}},
+		"k":     1,
+	}, &errResp)
+	if code != http.StatusBadRequest {
+		t.Fatalf("join2 on dropped graph = %d, want 400", code)
+	}
+}
+
+// TestHTTPBadRequests: malformed bodies and unknown fields are rejected.
+func TestHTTPBadRequests(t *testing.T) {
+	srv, _, sets := startServer(t)
+	var out map[string]any
+	if code := postJSON(t, srv.URL+"/join2", map[string]any{
+		"graph": "test", "bogus": 1,
+	}, &out); code != http.StatusBadRequest {
+		t.Fatalf("unknown field = %d, want 400", code)
+	}
+	if code := postJSON(t, srv.URL+"/join2", map[string]any{
+		"graph": "test",
+		"p":     map[string]any{"set": sets[0].Name},
+		"q":     map[string]any{"set": sets[1].Name},
+		"k":     5,
+		"options": map[string]any{
+			"relabel": "sideways",
+		},
+	}, &out); code != http.StatusBadRequest {
+		t.Fatalf("bad relabel mode = %d, want 400", code)
+	}
+	if code := postJSON(t, srv.URL+"/joinN", map[string]any{
+		"graph": "test",
+		"sets":  []map[string]any{{"set": sets[0].Name}, {"set": sets[1].Name}},
+		"shape": "pentagram",
+		"k":     5,
+	}, &out); code != http.StatusBadRequest {
+		t.Fatalf("bad shape = %d, want 400", code)
+	}
+}

@@ -1,0 +1,79 @@
+package service
+
+import "sync"
+
+// resultLRU is a mutex-protected LRU of recent top-k results keyed by the
+// request signature. Values are stored as immutable snapshots (the service
+// deep-copies on put and on get where aliasing could leak), so concurrent
+// hits are race-free.
+type resultLRU struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]any
+	order   []string // most recently used last
+}
+
+// newResultLRU returns a cache of the given capacity; capacity < 0 disables
+// caching (every get misses, every put is dropped).
+func newResultLRU(capacity int) *resultLRU {
+	if capacity < 0 {
+		return nil
+	}
+	return &resultLRU{cap: capacity, entries: make(map[string]any, capacity)}
+}
+
+func (c *resultLRU) get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	for i, k := range c.order {
+		if k == key {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = key
+			break
+		}
+	}
+	return v, true
+}
+
+func (c *resultLRU) put(key string, v any) {
+	if c == nil || c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = v
+		for i, k := range c.order {
+			if k == key {
+				copy(c.order[i:], c.order[i+1:])
+				c.order[len(c.order)-1] = key
+				break
+			}
+		}
+		return
+	}
+	if len(c.order) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = v
+	c.order = append(c.order, key)
+}
+
+// len reports the number of cached results.
+func (c *resultLRU) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

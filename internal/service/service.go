@@ -1,0 +1,785 @@
+// Package service is the long-lived query-serving layer over the join
+// library: a Service owns a bounded registry of named graphs and, per
+// (graph, params, d, relabel-mode) configuration, a session holding the
+// shared resources that make cross-request reuse safe and worthwhile — a
+// dht.EnginePool (engines and batch engines recycled across requests), a
+// concurrency-safe score-column memo, the cached locality relabeling, and an
+// LRU of recent top-k results. A per-request admission controller caps the
+// total worker goroutines in flight, so concurrent requests cannot
+// oversubscribe GOMAXPROCS.
+//
+// Results are bit-identical to the corresponding one-shot dhtjoin calls:
+// the service resolves defaults exactly as dhtjoin.Options does, worker
+// count and batch width never change a result (ties break on the canonical
+// pair key), memo-served columns are byte-for-byte the columns a fresh walk
+// would produce, and the result LRU stores exactly what the join returned.
+package service
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dht"
+	"repro/internal/graph"
+	"repro/internal/join2"
+	"repro/internal/rankjoin"
+)
+
+// Config sizes the service. The zero value selects the defaults.
+type Config struct {
+	// MaxGraphs bounds the graph registry; Load fails when full (graphs pin
+	// O(|V|+|E|) memory each, so eviction behind a serving client's back
+	// would be worse than an explicit error). Default 16.
+	MaxGraphs int
+
+	// MaxSessions bounds the per-configuration session cache; least
+	// recently used sessions (their pool, memo, and result cache) are
+	// evicted. Default 32.
+	MaxSessions int
+
+	// ResultCacheSize is each session's LRU capacity of recent top-k
+	// results. 0 selects 128; negative disables result caching.
+	ResultCacheSize int
+
+	// MemoSize is each session's score-column memo capacity. 0 selects 256
+	// (sharded; see dht.NewScoreMemo); negative disables the memo.
+	MemoSize int
+
+	// MaxConcurrency caps the total join workers in flight across all
+	// concurrent requests (the admission controller grants each request
+	// between 1 and its resolved worker count). 0 selects GOMAXPROCS.
+	MaxConcurrency int
+}
+
+func (c Config) withDefaults() Config {
+	// MaxGraphs, MaxSessions, and MaxConcurrency have no meaningful
+	// "disabled" state (the service needs at least one of each), so any
+	// value below 1 selects the default rather than, say, wedging the
+	// session LRU eviction on an empty order slice. ResultCacheSize and
+	// MemoSize keep their documented negative-disables convention.
+	if c.MaxGraphs < 1 {
+		c.MaxGraphs = 16
+	}
+	if c.MaxSessions < 1 {
+		c.MaxSessions = 32
+	}
+	if c.ResultCacheSize == 0 {
+		c.ResultCacheSize = 128
+	}
+	if c.MemoSize == 0 {
+		c.MemoSize = 256
+	}
+	if c.MaxConcurrency < 1 {
+		c.MaxConcurrency = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Query carries one request's join options; the zero value means the
+// paper's defaults, resolved identically to dhtjoin.Options (DHTλ with
+// λ = 0.2, ε = 1e-6, MIN aggregation, m = 50, B-IDJ-Y / PJ-i).
+type Query struct {
+	// Params are the DHT coefficients; zero means DHTLambda(0.2).
+	Params dht.Params
+	// Epsilon bounds the truncation error; zero means 1e-6. Ignored when D
+	// is set.
+	Epsilon float64
+	// D forces the truncation depth directly.
+	D int
+	// Measure selects first-hit DHT (zero) or reach probabilities.
+	Measure dht.Kind
+	// Agg is the n-way aggregate; nil means Min.
+	Agg rankjoin.Aggregate
+	// M is the initial per-edge budget of the n-way join; zero means 50.
+	M int
+	// Distinct drops n-way answers repeating a node across positions.
+	Distinct bool
+	// Workers requests a worker count; the admission controller may grant
+	// fewer (results are identical at any count). 0/1 serial, negative
+	// GOMAXPROCS.
+	Workers int
+	// BatchWidth tunes the batched walk kernel; 0 default, 1 disables.
+	BatchWidth int
+	// Relabel applies the locality-aware reordering (cached per graph).
+	Relabel graph.RelabelMode
+}
+
+// resolve applies the defaults; it must stay in lockstep with
+// dhtjoin.Options.resolve so served results are bit-identical to one-shot
+// calls (the integration tests pin this).
+func (q *Query) resolve() (dht.Params, int, rankjoin.Aggregate, int, error) {
+	p := q.Params
+	if p == (dht.Params{}) {
+		p = dht.DHTLambda(0.2)
+	}
+	if err := p.Validate(); err != nil {
+		return dht.Params{}, 0, nil, 0, err
+	}
+	d := q.D
+	if d == 0 {
+		eps := q.Epsilon
+		if eps == 0 {
+			eps = 1e-6
+		}
+		d = p.StepsForEpsilon(eps)
+	}
+	if d < 1 {
+		return dht.Params{}, 0, nil, 0, fmt.Errorf("service: depth d must be >= 1, got %d", d)
+	}
+	agg := q.Agg
+	if agg == nil {
+		agg = rankjoin.Min
+	}
+	m := q.M
+	if m == 0 {
+		m = 50
+	}
+	if m < 0 {
+		return dht.Params{}, 0, nil, 0, fmt.Errorf("service: m must be >= 0, got %d", m)
+	}
+	return p, d, agg, m, nil
+}
+
+// SetRef names the node set of one join position: either a set declared by
+// the loaded graph (Name) or an explicit node list (IDs). Exactly one must
+// be set.
+type SetRef struct {
+	Name string
+	IDs  []graph.NodeID
+}
+
+// GraphInfo describes one registry entry.
+type GraphInfo struct {
+	Name  string   `json:"name"`
+	Nodes int      `json:"nodes"`
+	Edges int      `json:"edges"`
+	Sets  []string `json:"sets"`
+}
+
+// Stats is a snapshot of the service's monotone work counters plus the
+// registry/session gauges.
+type Stats struct {
+	Graphs   int `json:"graphs"`   // gauge: loaded graphs
+	Sessions int `json:"sessions"` // gauge: live sessions
+
+	Join2Requests int64 `json:"join2_requests"`
+	JoinNRequests int64 `json:"joinn_requests"`
+	ScoreRequests int64 `json:"score_requests"`
+
+	ResultHits   int64 `json:"result_hits"`
+	ResultMisses int64 `json:"result_misses"`
+	MemoHits     int64 `json:"memo_hits"`
+	MemoMisses   int64 `json:"memo_misses"`
+
+	Walks         int64 `json:"walks"`
+	EdgeSweeps    int64 `json:"edge_sweeps"`
+	FrontierEdges int64 `json:"frontier_edges"`
+}
+
+// relabeledGraph pairs a reordered graph with its id map.
+type relabeledGraph struct {
+	g *graph.Graph
+	r *graph.Relabeling
+}
+
+// graphEntry is one registry slot.
+type graphEntry struct {
+	g    *graph.Graph
+	sets map[string]*graph.NodeSet
+
+	mu        sync.Mutex
+	relabeled map[graph.RelabelMode]*relabeledGraph // built once per mode
+}
+
+// relabeledFor returns the cached reordering, building it on first use. The
+// build runs under the entry lock: concurrent first requests for one mode
+// must not both pay the O(|E| log |E|) rebuild, and later requests hit the
+// map without rebuilding.
+func (ge *graphEntry) relabeledFor(mode graph.RelabelMode) *relabeledGraph {
+	if mode == graph.NoRelabel {
+		return &relabeledGraph{g: ge.g}
+	}
+	ge.mu.Lock()
+	defer ge.mu.Unlock()
+	if rl, ok := ge.relabeled[mode]; ok {
+		return rl
+	}
+	rg, r := graph.Relabel(ge.g, mode)
+	rl := &relabeledGraph{g: rg, r: r}
+	if ge.relabeled == nil {
+		ge.relabeled = make(map[graph.RelabelMode]*relabeledGraph, 2)
+	}
+	ge.relabeled[mode] = rl
+	return rl
+}
+
+// sessionKey identifies one shared-resource session. The graph pointer (not
+// the registry name) keys it, so reloading a name invalidates naturally and
+// two names sharing a graph share a session.
+type sessionKey struct {
+	g       *graph.Graph
+	params  dht.Params
+	d       int
+	relabel graph.RelabelMode
+}
+
+// session owns the shared per-configuration resources.
+type session struct {
+	g       *graph.Graph      // possibly relabeled
+	rl      *graph.Relabeling // nil when not relabeled
+	pool    *dht.EnginePool   // engines + batch engines, recycled across requests
+	memo    *dht.ScoreMemo    // concurrency-safe score columns
+	results *resultLRU        // recent top-k results, original id space
+}
+
+// Service is the concurrent query-serving subsystem. All methods are safe
+// for concurrent use.
+type Service struct {
+	cfg Config
+
+	mu           sync.Mutex
+	graphs       map[string]*graphEntry
+	sessions     map[sessionKey]*session
+	sessionOrder []sessionKey // most recently used last
+
+	adm      *admission
+	counters dht.Counters // lifetime engine work, fed by every session pool
+
+	join2Reqs, joinNReqs, scoreReqs    atomic.Int64
+	resultHits, resultMisses           atomic.Int64
+	retiredMemoHits, retiredMemoMisses atomic.Int64 // from evicted sessions
+}
+
+// New returns a Service sized by cfg (zero value = defaults).
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:      cfg,
+		graphs:   make(map[string]*graphEntry),
+		sessions: make(map[sessionKey]*session),
+		adm:      newAdmission(cfg.MaxConcurrency),
+	}
+}
+
+// LoadGraph registers g under name with its node sets. Loading an existing
+// name replaces it (old sessions die with their graph pointer); loading a
+// new name into a full registry fails.
+func (s *Service) LoadGraph(name string, g *graph.Graph, sets []*graph.NodeSet) error {
+	if name == "" {
+		return fmt.Errorf("service: graph name must be non-empty")
+	}
+	if g == nil {
+		return fmt.Errorf("service: nil graph")
+	}
+	byName := make(map[string]*graph.NodeSet, len(sets))
+	for _, set := range sets {
+		if err := set.Validate(g); err != nil {
+			return err
+		}
+		byName[set.Name] = set
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, replacing := s.graphs[name]
+	if !replacing && len(s.graphs) >= s.cfg.MaxGraphs {
+		return fmt.Errorf("service: graph registry full (%d); drop one first", s.cfg.MaxGraphs)
+	}
+	s.graphs[name] = &graphEntry{g: g, sets: byName}
+	if replacing {
+		s.purgeSessionsLocked(old.g)
+	}
+	return nil
+}
+
+// LoadGraphText reads a text-format graph (with node sets) and registers it.
+func (s *Service) LoadGraphText(name string, r io.Reader) error {
+	g, sets, err := graph.ReadText(r)
+	if err != nil {
+		return err
+	}
+	return s.LoadGraph(name, g, sets)
+}
+
+// DropGraph removes the named graph and its sessions; reports existence.
+func (s *Service) DropGraph(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ge, ok := s.graphs[name]
+	if !ok {
+		return false
+	}
+	delete(s.graphs, name)
+	s.purgeSessionsLocked(ge.g)
+	return true
+}
+
+// purgeSessionsLocked drops every session keyed on g, retiring their memo
+// stats so Stats counters stay monotone.
+func (s *Service) purgeSessionsLocked(g *graph.Graph) {
+	kept := s.sessionOrder[:0]
+	for _, key := range s.sessionOrder {
+		if key.g != g {
+			kept = append(kept, key)
+			continue
+		}
+		s.retireSessionLocked(key)
+	}
+	s.sessionOrder = kept
+}
+
+// retireSessionLocked removes one session, folding its memo counters into
+// the retired accumulators.
+func (s *Service) retireSessionLocked(key sessionKey) {
+	if sess, ok := s.sessions[key]; ok {
+		s.retiredMemoHits.Add(sess.memo.Hits())
+		s.retiredMemoMisses.Add(sess.memo.Misses())
+		delete(s.sessions, key)
+	}
+}
+
+// Graphs lists the registry sorted by name.
+func (s *Service) Graphs() []GraphInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for name, ge := range s.graphs {
+		info := GraphInfo{Name: name, Nodes: ge.g.NumNodes(), Edges: ge.g.NumEdges()}
+		for sn := range ge.sets {
+			info.Sets = append(info.Sets, sn)
+		}
+		sort.Strings(info.Sets)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// graphFor resolves a registry name.
+func (s *Service) graphFor(name string) (*graphEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ge, ok := s.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("service: no graph %q loaded", name)
+	}
+	return ge, nil
+}
+
+// sessionFor returns (creating if needed) the shared session for the
+// resolved configuration, refreshing its LRU recency.
+func (s *Service) sessionFor(ge *graphEntry, params dht.Params, d int, mode graph.RelabelMode) (*session, error) {
+	key := sessionKey{g: ge.g, params: params, d: d, relabel: mode}
+	s.mu.Lock()
+	if sess, ok := s.sessions[key]; ok {
+		s.touchSessionLocked(key)
+		s.mu.Unlock()
+		return sess, nil
+	}
+	s.mu.Unlock()
+
+	// Build outside the lock: the relabel rebuild is O(|E| log |E|).
+	rl := ge.relabeledFor(mode)
+	pool, err := dht.NewEnginePool(rl.g, params, d)
+	if err != nil {
+		return nil, err
+	}
+	pool.Sink = &s.counters
+	sess := &session{
+		g:       rl.g,
+		rl:      rl.r,
+		pool:    pool,
+		memo:    newSessionMemo(s.cfg.MemoSize),
+		results: newResultLRU(s.cfg.ResultCacheSize),
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.sessions[key]; ok {
+		s.touchSessionLocked(key) // lost the build race; share the winner
+		return prev, nil
+	}
+	// The graph may have been dropped (or replaced under its name) while the
+	// session was being built lock-free. Caching the session then would pin
+	// the dead graph's memory in an entry no future request can reach — the
+	// request in flight still gets its session, it just isn't retained.
+	if !s.graphLiveLocked(ge.g) {
+		return sess, nil
+	}
+	if len(s.sessionOrder) >= s.cfg.MaxSessions {
+		oldest := s.sessionOrder[0]
+		s.sessionOrder = s.sessionOrder[1:]
+		s.retireSessionLocked(oldest)
+	}
+	s.sessions[key] = sess
+	s.sessionOrder = append(s.sessionOrder, key)
+	return sess, nil
+}
+
+// graphLiveLocked reports whether g still backs a registry entry (caller
+// holds s.mu). O(MaxGraphs), which is small by construction.
+func (s *Service) graphLiveLocked(g *graph.Graph) bool {
+	for _, ge := range s.graphs {
+		if ge.g == g {
+			return true
+		}
+	}
+	return false
+}
+
+// touchSessionLocked moves key to the MRU position (caller holds s.mu and
+// has verified presence).
+func (s *Service) touchSessionLocked(key sessionKey) {
+	for i, k := range s.sessionOrder {
+		if k == key {
+			copy(s.sessionOrder[i:], s.sessionOrder[i+1:])
+			s.sessionOrder[len(s.sessionOrder)-1] = key
+			return
+		}
+	}
+}
+
+// newSessionMemo builds a session memo honoring the disable convention.
+func newSessionMemo(size int) *dht.ScoreMemo {
+	if size < 0 {
+		return nil
+	}
+	return dht.NewScoreMemo(size)
+}
+
+// resolveSet maps a SetRef to node ids in the entry's graph.
+func (ge *graphEntry) resolveSet(ref SetRef) ([]graph.NodeID, error) {
+	switch {
+	case ref.Name != "" && ref.IDs != nil:
+		return nil, fmt.Errorf("service: set ref must have either a name or ids, not both")
+	case ref.Name != "":
+		set, ok := ge.sets[ref.Name]
+		if !ok {
+			return nil, fmt.Errorf("service: graph declares no node set %q", ref.Name)
+		}
+		return set.Nodes(), nil
+	case len(ref.IDs) > 0:
+		n := ge.g.NumNodes()
+		for _, id := range ref.IDs {
+			if id < 0 || int(id) >= n {
+				return nil, fmt.Errorf("service: node %d out of range [0,%d)", id, n)
+			}
+		}
+		return ref.IDs, nil
+	}
+	return nil, fmt.Errorf("service: empty set ref")
+}
+
+// refKey serializes a SetRef for the result-cache key. Explicit id lists are
+// written in full — a hashed key could collide and silently serve another
+// request's results — and names are length-prefixed for the same reason:
+// set names are caller-chosen strings, so a name containing the key
+// delimiters could otherwise alias a different request's key.
+func refKey(sb *strings.Builder, ref SetRef) {
+	if ref.Name != "" {
+		fmt.Fprintf(sb, "n%d:%s", len(ref.Name), ref.Name)
+		return
+	}
+	fmt.Fprintf(sb, "i%d:", len(ref.IDs))
+	for _, id := range ref.IDs {
+		sb.WriteString(strconv.Itoa(int(id)))
+		sb.WriteByte(',')
+	}
+}
+
+// queryKey serializes the parts of a resolved query shared by all ops.
+func queryKey(sb *strings.Builder, params dht.Params, d int, q *Query) {
+	fmt.Fprintf(sb, "|p=%v,%v,%v|d=%d|ms=%d", params.Alpha, params.Beta, params.Lambda, d, q.Measure)
+}
+
+// Join2 runs (or serves from cache) a top-k 2-way join from p to q with
+// B-IDJ-Y, exactly as dhtjoin.TopKPairs would evaluate it.
+func (s *Service) Join2(graphName string, p, q SetRef, k int, query Query) ([]join2.Result, error) {
+	s.join2Reqs.Add(1)
+	if k <= 0 {
+		return nil, fmt.Errorf("service: k must be positive, got %d", k)
+	}
+	params, d, _, _, err := query.resolve()
+	if err != nil {
+		return nil, err
+	}
+	ge, err := s.graphFor(graphName)
+	if err != nil {
+		return nil, err
+	}
+	pn, err := ge.resolveSet(p)
+	if err != nil {
+		return nil, err
+	}
+	qn, err := ge.resolveSet(q)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.sessionFor(ge, params, d, query.Relabel)
+	if err != nil {
+		return nil, err
+	}
+
+	var sb strings.Builder
+	sb.WriteString("join2|")
+	refKey(&sb, p)
+	sb.WriteByte('|')
+	refKey(&sb, q)
+	fmt.Fprintf(&sb, "|k=%d", k)
+	queryKey(&sb, params, d, &query)
+	key := sb.String()
+	if cached, ok := sess.results.get(key); ok {
+		s.resultHits.Add(1)
+		res := cached.([]join2.Result)
+		out := make([]join2.Result, len(res))
+		copy(out, res)
+		return out, nil
+	}
+	s.resultMisses.Add(1)
+
+	granted := s.adm.acquire(resolveWorkers(query.Workers))
+	defer s.adm.release(granted)
+
+	cfg := join2.Config{
+		Graph:      sess.g,
+		Params:     params,
+		D:          d,
+		P:          pn,
+		Q:          qn,
+		Measure:    query.Measure,
+		Workers:    granted,
+		BatchWidth: query.BatchWidth,
+		Pool:       sess.pool,
+		Memo:       sess.memo,
+	}
+	if sess.rl != nil {
+		cfg.P = sess.rl.MapToNew(cfg.P)
+		cfg.Q = sess.rl.MapToNew(cfg.Q)
+	}
+	j, err := join2.NewBIDJY(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer j.Release()
+	res, err := j.TopK(k)
+	if err != nil {
+		return nil, err
+	}
+	if sess.rl != nil {
+		for i := range res {
+			res[i].Pair.P = sess.rl.ToOld(res[i].Pair.P)
+			res[i].Pair.Q = sess.rl.ToOld(res[i].Pair.Q)
+		}
+	}
+	stored := make([]join2.Result, len(res))
+	copy(stored, res)
+	sess.results.put(key, stored)
+	return res, nil
+}
+
+// JoinN runs (or serves from cache) a top-k n-way join with PJ-i over the
+// query graph described by sets and edges (edges index into sets), exactly
+// as dhtjoin.TopK would evaluate it.
+func (s *Service) JoinN(graphName string, sets []SetRef, edges [][2]int, k int, query Query) ([]core.Answer, error) {
+	s.joinNReqs.Add(1)
+	if k <= 0 {
+		return nil, fmt.Errorf("service: k must be positive, got %d", k)
+	}
+	params, d, agg, m, err := query.resolve()
+	if err != nil {
+		return nil, err
+	}
+	ge, err := s.graphFor(graphName)
+	if err != nil {
+		return nil, err
+	}
+	nodeSets := make([]*graph.NodeSet, len(sets))
+	for i, ref := range sets {
+		ids, err := ge.resolveSet(ref)
+		if err != nil {
+			return nil, err
+		}
+		name := ref.Name
+		if name == "" {
+			name = fmt.Sprintf("R%d", i)
+		}
+		nodeSets[i] = graph.NewNodeSet(name, ids)
+	}
+	sess, err := s.sessionFor(ge, params, d, query.Relabel)
+	if err != nil {
+		return nil, err
+	}
+
+	// The aggregate enters the cache key by name, which identifies it only
+	// for the built-in aggregates; a caller-supplied implementation could
+	// share a name with a different function, so those requests bypass the
+	// result cache rather than risk serving another aggregate's answers.
+	cacheable := builtinAgg(agg)
+	var key string
+	if cacheable {
+		var sb strings.Builder
+		sb.WriteString("joinN|")
+		for _, ref := range sets {
+			refKey(&sb, ref)
+			sb.WriteByte('|')
+		}
+		for _, e := range edges {
+			fmt.Fprintf(&sb, "e%d-%d,", e[0], e[1])
+		}
+		fmt.Fprintf(&sb, "|k=%d|agg=%s|m=%d|dist=%v", k, agg.Name(), m, query.Distinct)
+		queryKey(&sb, params, d, &query)
+		key = sb.String()
+		if cached, ok := sess.results.get(key); ok {
+			s.resultHits.Add(1)
+			return copyAnswers(cached.([]core.Answer)), nil
+		}
+		s.resultMisses.Add(1)
+	}
+
+	granted := s.adm.acquire(resolveWorkers(query.Workers))
+	defer s.adm.release(granted)
+
+	querySets := nodeSets
+	if sess.rl != nil {
+		querySets = make([]*graph.NodeSet, len(nodeSets))
+		for i, set := range nodeSets {
+			querySets[i] = sess.rl.MapSetToNew(set)
+		}
+	}
+	qg := core.NewQueryGraph(querySets...)
+	for _, e := range edges {
+		qg.AddEdge(e[0], e[1])
+	}
+	spec := core.Spec{
+		Graph:      sess.g,
+		Query:      qg,
+		Params:     params,
+		D:          d,
+		Agg:        agg,
+		K:          k,
+		Distinct:   query.Distinct,
+		Measure:    query.Measure,
+		Workers:    granted,
+		BatchWidth: query.BatchWidth,
+		Pool:       sess.pool,
+		Memo:       sess.memo,
+		Counters:   &s.counters,
+	}
+	alg, err := core.NewPJI(spec, m)
+	if err != nil {
+		return nil, err
+	}
+	answers, err := alg.Run()
+	if err != nil {
+		return nil, err
+	}
+	if sess.rl != nil {
+		for _, a := range answers {
+			for i := range a.Nodes {
+				a.Nodes[i] = sess.rl.ToOld(a.Nodes[i])
+			}
+		}
+	}
+	if cacheable {
+		sess.results.put(key, copyAnswers(answers))
+	}
+	return answers, nil
+}
+
+// Score computes the truncated score h_d(u, v) exactly as dhtjoin.Score (on
+// the graph as loaded; relabeling is a join-side optimization and is ignored
+// here, matching the one-shot facade).
+func (s *Service) Score(graphName string, u, v graph.NodeID, query Query) (float64, error) {
+	s.scoreReqs.Add(1)
+	params, d, _, _, err := query.resolve()
+	if err != nil {
+		return 0, err
+	}
+	ge, err := s.graphFor(graphName)
+	if err != nil {
+		return 0, err
+	}
+	n := ge.g.NumNodes()
+	if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+		return 0, fmt.Errorf("service: node pair (%d,%d) out of range [0,%d)", u, v, n)
+	}
+	sess, err := s.sessionFor(ge, params, d, graph.NoRelabel)
+	if err != nil {
+		return 0, err
+	}
+	granted := s.adm.acquire(1)
+	defer s.adm.release(granted)
+	e := sess.pool.Get()
+	defer sess.pool.Put(e)
+	return e.ForwardScoreKind(query.Measure, u, v, d), nil
+}
+
+// Stats snapshots the service counters. All int64 fields are monotone over
+// the service's lifetime; Graphs and Sessions are gauges.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	graphs := len(s.graphs)
+	sessions := len(s.sessions)
+	memoHits, memoMisses := s.retiredMemoHits.Load(), s.retiredMemoMisses.Load()
+	for _, sess := range s.sessions {
+		memoHits += sess.memo.Hits()
+		memoMisses += sess.memo.Misses()
+	}
+	s.mu.Unlock()
+	snap := s.counters.Snapshot()
+	return Stats{
+		Graphs:        graphs,
+		Sessions:      sessions,
+		Join2Requests: s.join2Reqs.Load(),
+		JoinNRequests: s.joinNReqs.Load(),
+		ScoreRequests: s.scoreReqs.Load(),
+		ResultHits:    s.resultHits.Load(),
+		ResultMisses:  s.resultMisses.Load(),
+		MemoHits:      memoHits,
+		MemoMisses:    memoMisses,
+		Walks:         snap.Walks,
+		EdgeSweeps:    snap.EdgeSweeps,
+		FrontierEdges: snap.FrontierEdges,
+	}
+}
+
+// builtinAgg reports whether agg is one of the package-provided aggregates,
+// whose Name() uniquely identifies it. (Interface equality is safe here:
+// comparison against these comparable struct values never inspects a
+// non-comparable dynamic type on the other side.)
+func builtinAgg(agg rankjoin.Aggregate) bool {
+	switch agg {
+	case rankjoin.Sum, rankjoin.Min, rankjoin.Max, rankjoin.Avg:
+		return true
+	}
+	return false
+}
+
+// resolveWorkers normalizes a requested worker count to [1, GOMAXPROCS·1].
+func resolveWorkers(w int) int {
+	if w < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// copyAnswers deep-copies answers (Nodes slices included) so cached tuples
+// can never be mutated by a caller.
+func copyAnswers(in []core.Answer) []core.Answer {
+	out := make([]core.Answer, len(in))
+	for i, a := range in {
+		nodes := make([]graph.NodeID, len(a.Nodes))
+		copy(nodes, a.Nodes)
+		out[i] = core.Answer{Nodes: nodes, Score: a.Score}
+	}
+	return out
+}
