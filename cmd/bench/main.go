@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -260,9 +261,60 @@ func benchSet() []spec {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := svc.Join2("g", p, q, 50, service.Query{}); err != nil {
+				if _, err := svc.Join2(context.Background(), "g", p, q, 50, service.Query{}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}
+	}
+	// The streaming pair: time-to-first-result (open the incremental
+	// stream with a minimal initial batch and pull once) versus a streamed
+	// top-50 (same stream drained to 50). Compare the first against
+	// BIDJYTop50 to see the latency the stream inversion buys, and the
+	// second against BIDJYTop50 to see what incremental production costs
+	// when the caller wants the full prefix anyway.
+	streamBench := func(initial, pulls int) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := joinCfg(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := join2.NewIncrementalStream(cfg, join2.BoundY, join2.StreamSpec{Initial: initial})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for n := 0; n < pulls; n++ {
+					if _, ok, err := st.Next(); err != nil || !ok {
+						b.Fatalf("pull %d: ok=%v err=%v", n, ok, err)
+					}
+				}
+				st.Release()
+			}
+		}
+	}
+	// The served stream: first result through the full service stack
+	// (admission, session pool, memo) with the result cache defeated, so
+	// the number tracks real streaming work, not a cache hit.
+	serviceStreamBench := func() func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := joinCfg(b)
+			svc := service.New(service.Config{ResultCacheSize: -1})
+			if err := svc.LoadGraph("g", cfg.Graph, nil); err != nil {
+				b.Fatal(err)
+			}
+			p := service.SetRef{IDs: cfg.P}
+			q := service.SetRef{IDs: cfg.Q}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// M sizes the stream's initial batch; 1 minimizes latency.
+				st, err := svc.OpenJoin2(ctx, "g", p, q, service.Query{M: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok, err := st.Next(); err != nil || !ok {
+					b.Fatalf("first result: ok=%v err=%v", ok, err)
+				}
+				st.Stop()
 			}
 		}
 	}
@@ -276,6 +328,9 @@ func benchSet() []spec {
 		{"FBJTop50", joinBench(func(c join2.Config) (join2.Joiner, error) { return join2.NewFBJ(c) }, 50)},
 		{"BackWalkSolo", kernelBench(1, 8)},
 		{"BatchBackWalkW8", kernelBench(8, 8)},
+		{"StreamFirstResult", streamBench(1, 1)},
+		{"StreamTop50", streamBench(1, 50)},
+		{"ServiceStreamFirstResult", serviceStreamBench()},
 		{"ServiceJoin2Repeat", serviceBench(&service.Config{})},
 		{"ServiceJoin2ColdResults", serviceBench(&service.Config{ResultCacheSize: -1})},
 		{"OneShotJoin2Repeat", serviceBench(nil)},

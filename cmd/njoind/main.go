@@ -1,8 +1,8 @@
 // Command njoind is the long-lived join server: it keeps a bounded registry
 // of named graphs in memory and serves top-k 2-way and n-way DHT joins over
 // HTTP/JSON, reusing engines, score-column memos, relabelings, and recent
-// results across requests (see internal/service). Results are bit-identical
-// to the corresponding one-shot dhtjoin calls.
+// result prefixes across requests (see internal/service). Results are
+// bit-identical to the corresponding one-shot dhtjoin calls.
 //
 // Usage:
 //
@@ -18,6 +18,15 @@
 //	POST   /joinN           {"graph":"g","sets":[...],"shape":"chain","k":5}
 //	GET    /score           ?graph=g&u=3&v=8
 //	GET    /stats           service counters
+//
+// Both join endpoints stream: add "stream":true to receive NDJSON — one
+// rank-ordered result per line, flushed as the joiners confirm it, ended by
+// a {"done":true,...} terminator ("k":0 streams until the ranking is
+// exhausted). Add "cursor":n to resume after the first n results — the
+// "next page" continuation; non-streaming responses with a cursor carry
+// "next_cursor" and "exhausted". Handlers run under the request context:
+// closing the connection mid-stream aborts the join and returns its engines
+// to the server's pool. Errors are {"error":{"status":...,"message":...}}.
 package main
 
 import (

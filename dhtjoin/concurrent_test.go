@@ -1,6 +1,7 @@
 package dhtjoin
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -74,7 +75,7 @@ func TestConcurrentOptionsJoins(t *testing.T) {
 						return
 					}
 				case 2: // service facade: shared pool + memo + result LRU
-					got, err := svc.TopKPairs("g", p, q, 10, nil)
+					got, err := svc.TopKPairs(context.Background(), "g", p, q, 10, nil)
 					if err != nil {
 						errs <- err
 						return
@@ -84,7 +85,7 @@ func TestConcurrentOptionsJoins(t *testing.T) {
 						return
 					}
 				default: // service n-way with relabel
-					got, err := svc.TopK("g", query, 6, &Options{Relabel: RelabelBFS, Workers: 2})
+					got, err := svc.TopK(context.Background(), "g", query, 6, &Options{Relabel: RelabelBFS, Workers: 2})
 					if err != nil {
 						errs <- err
 						return
@@ -164,7 +165,7 @@ func TestServiceFacadeBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := svc.TopKPairs("g", p, q, 8, opts)
+		got, err := svc.TopKPairs(context.Background(), "g", p, q, 8, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +176,7 @@ func TestServiceFacadeBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotN, err := svc.TopK("g", Chain(p, q), 5, opts)
+		gotN, err := svc.TopK(context.Background(), "g", Chain(p, q), 5, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func TestServiceFacadeBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotS, err := svc.Score("g", u, v, opts)
+		gotS, err := svc.Score(context.Background(), "g", u, v, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

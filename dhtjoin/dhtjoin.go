@@ -13,7 +13,10 @@
 //     aggregate of per-edge DHT scores, evaluated with the incremental
 //     partial join PJ-i (or NL / AP / PJ).
 //
-// Quick start:
+// Both query families execute as context-aware pull streams of
+// rank-ordered results (the algorithms are incremental by construction —
+// B-IDJ confirms pairs as it deepens, PJ-i derives the (m+1)-th tuple from
+// the m-th), so callers never have to pick k up front:
 //
 //	b := dhtjoin.NewBuilder(4, false)
 //	b.AddEdge(0, 1, 1)
@@ -22,12 +25,28 @@
 //	g := b.Build()
 //	P := dhtjoin.NewNodeSet("P", []dhtjoin.NodeID{0, 1})
 //	Q := dhtjoin.NewNodeSet("Q", []dhtjoin.NodeID{2, 3})
+//
+//	query := dhtjoin.NewPairQuery(g, P, Q)
+//	for r, err := range query.Results(ctx) { // iter.Seq2, descending score
+//		if err != nil { ... }
+//		use(r.Pair, r.Score)
+//		if enough() {
+//			break // the join stops deepening; engines are released
+//		}
+//	}
+//
+// OpenPairs/OpenAnswers return explicit handles with Next/NextK/Stop for
+// "give me the next k" pagination. The batch calls remain as thin wrappers
+// that drain a stream:
+//
 //	pairs, _ := dhtjoin.TopKPairs(g, P, Q, 3, nil)
 //
-// See the examples/ directory for complete programs.
+// and the first m streamed results are always bit-identical to the
+// one-shot top-m. See the examples/ directory for complete programs.
 package dhtjoin
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -195,27 +214,26 @@ func (o *Options) resolve() (Params, int, Aggregate, int, error) {
 }
 
 // TopKPairs runs a top-k 2-way join from P to Q with B-IDJ-Y, returning the
-// k pairs with the highest DHT scores in descending order.
+// k pairs with the highest DHT scores in descending order. It is a thin
+// wrapper over the streaming Query API — it opens the pair stream with an
+// initial batch of k and drains it — so the result is bit-identical to the
+// first k elements of NewPairQuery(g, p, q).Results(ctx). Callers that want
+// early termination, "next k" continuation, or cancellation should use the
+// Query API directly.
 func TopKPairs(g *Graph, p, q *NodeSet, k int, opts *Options) ([]PairResult, error) {
-	params, d, _, _, err := opts.resolve()
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidK, k)
+	}
+	s, err := NewPairQuery(g, p, q).WithOptions(opts).openPairs(context.Background(), k, true)
 	if err != nil {
 		return nil, err
 	}
-	cfg := join2.Config{Graph: g, Params: params, D: d, P: p.Nodes(), Q: q.Nodes()}
-	var r *Relabeling
-	if opts != nil {
-		cfg.Measure = opts.Measure
-		cfg.Workers = opts.Workers
-		cfg.BatchWidth = opts.BatchWidth
-		r = relabelPairConfig(&cfg, opts.Relabel)
-	}
-	j, err := join2.NewBIDJY(cfg)
+	defer s.Stop()
+	res, err := s.NextK(k)
 	if err != nil {
 		return nil, err
 	}
-	res, err := j.TopK(k)
-	restorePairIDs(res, r)
-	return res, err
+	return res, nil
 }
 
 // Score computes the truncated DHT score h_d(u, v) directly.
@@ -258,28 +276,24 @@ func ScoresFrom(g *Graph, v NodeID, opts *Options, out []float64) ([]float64, er
 }
 
 // TopK runs a top-k n-way join over the query graph with PJ-i, returning the
-// k answers with the highest aggregate scores in descending order.
+// k answers with the highest aggregate scores in descending order. Like
+// TopKPairs it is a thin wrapper that drains the streaming Query API:
+// bit-identical to the first k elements of
+// NewJoinQuery(g, query).Answers(ctx).
 func TopK(g *Graph, query *QueryGraph, k int, opts *Options) ([]Answer, error) {
-	params, d, agg, m, err := opts.resolve()
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidK, k)
+	}
+	s, err := NewJoinQuery(g, query).WithOptions(opts).OpenAnswers(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	spec := core.Spec{Graph: g, Query: query, Params: params, D: d, Agg: agg, K: k}
-	var r *Relabeling
-	if opts != nil {
-		spec.Distinct = opts.Distinct
-		spec.Measure = opts.Measure
-		spec.Workers = opts.Workers
-		spec.BatchWidth = opts.BatchWidth
-		r = relabelSpec(&spec, opts.Relabel)
-	}
-	alg, err := core.NewPJI(spec, m)
+	defer s.Stop()
+	answers, err := s.NextK(k)
 	if err != nil {
 		return nil, err
 	}
-	answers, err := alg.Run()
-	restoreAnswerIDs(answers, r)
-	return answers, err
+	return answers, nil
 }
 
 // Steps exposes the Lemma-1 bound: the walk depth needed so that the

@@ -1,0 +1,35 @@
+package dhtjoin
+
+import "errors"
+
+// Typed validation errors. The facade checks inputs up front and wraps these
+// sentinels (with fmt.Errorf("%w: ...")), so callers can branch with
+// errors.Is instead of matching message strings — and njoind can map them to
+// HTTP 400 responses with a consistent JSON error envelope.
+var (
+	// ErrNilGraph reports a nil *Graph.
+	ErrNilGraph = errors.New("dhtjoin: nil graph")
+
+	// ErrEmptyNodeSet reports a nil or empty node set in a pair query.
+	ErrEmptyNodeSet = errors.New("dhtjoin: node set is nil or empty")
+
+	// ErrInvalidK reports a non-positive k.
+	ErrInvalidK = errors.New("dhtjoin: k must be positive")
+
+	// ErrInvalidQueryGraph reports an n-way query graph that fails
+	// validation: fewer than two sets, an empty set, an edge whose endpoint
+	// indexes no set (mismatched arity), duplicate or self-loop edges, or a
+	// disconnected edge structure.
+	ErrInvalidQueryGraph = errors.New("dhtjoin: invalid query graph")
+
+	// ErrInvalidOptions reports Options that do not resolve: bad DHT
+	// coefficients, a non-positive depth, or a negative per-edge budget.
+	ErrInvalidOptions = errors.New("dhtjoin: invalid options")
+
+	// ErrQueryForm reports a Query holding neither — or both — of the two
+	// query forms (a (P, Q) pair of node sets, or an n-way query graph).
+	ErrQueryForm = errors.New("dhtjoin: query needs exactly one of pair sets or a query graph")
+
+	// ErrStreamStopped reports a pull from a stream after Stop.
+	ErrStreamStopped = errors.New("dhtjoin: stream already stopped")
+)

@@ -1,6 +1,7 @@
 package dhtjoin_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,4 +68,53 @@ func ExampleSteps() {
 	fmt.Println(dhtjoin.Steps(dhtjoin.DHTLambda(0.2), 1e-6))
 	// Output:
 	// 8
+}
+
+func ExampleQuery_Results() {
+	g := square()
+	p := dhtjoin.NewNodeSet("P", []dhtjoin.NodeID{0, 1})
+	q := dhtjoin.NewNodeSet("Q", []dhtjoin.NodeID{2, 3})
+	// Results is an iter.Seq2: range over it and break whenever enough —
+	// the join stops deepening and releases its engines immediately.
+	query := dhtjoin.NewPairQuery(g, p, q)
+	n := 0
+	for r, err := range query.Results(context.Background()) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("(%d,%d) %.4f\n", r.Pair.P, r.Pair.Q, r.Score)
+		if n++; n == 2 {
+			break
+		}
+	}
+	// Output:
+	// (1,2) -1.1149
+	// (0,2) -1.1486
+}
+
+func ExamplePairStream_NextK() {
+	g := square()
+	p := dhtjoin.NewNodeSet("P", []dhtjoin.NodeID{0, 1})
+	q := dhtjoin.NewNodeSet("Q", []dhtjoin.NodeID{2, 3})
+	// OpenPairs hands out an explicit handle: NextK pages through the
+	// ranking ("give me the next k"), Stop releases the stream.
+	s, err := dhtjoin.NewPairQuery(g, p, q).OpenPairs(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Stop()
+	for page := 1; page <= 2; page++ {
+		results, err := s.NextK(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			fmt.Printf("page %d: (%d,%d) %.4f\n", page, r.Pair.P, r.Pair.Q, r.Score)
+		}
+	}
+	// Output:
+	// page 1: (1,2) -1.1149
+	// page 1: (0,2) -1.1486
+	// page 2: (0,3) -1.1594
+	// page 2: (1,3) -1.2319
 }

@@ -1,0 +1,358 @@
+package dhtjoin
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"repro/internal/core"
+	"repro/internal/join2"
+)
+
+// Query is the query-centric entry point: a value describing one join —
+// graph, either a (P, Q) pair of node sets or an n-way query graph, and
+// options — whose execution yields a context-aware pull stream of
+// rank-ordered results instead of a batch slice. Build one with
+// NewPairQuery or NewJoinQuery, refine it with WithOptions, then either
+//
+//   - range over Results(ctx) / Answers(ctx) (Go 1.23+ iterators) — the
+//     stream stops, and every pooled engine is released, as soon as the
+//     loop breaks or ctx is cancelled; or
+//   - hold a handle from OpenPairs(ctx) / OpenAnswers(ctx) for explicit
+//     Next / NextK / Stop control ("give me the next k" pagination).
+//
+// The streamed ranking is exactly the batch ranking: the first m results of
+// any stream are bit-identical (same pairs, same float64 scores, same
+// order) to the one-shot top-m call with the same options — TopKPairs and
+// TopK are in fact thin wrappers that drain a stream. A Query value is
+// immutable after construction and may be executed any number of times;
+// each execution is independent. Streams themselves are single-goroutine.
+type Query struct {
+	g    *Graph
+	p, q *NodeSet
+	join *QueryGraph
+	opts *Options
+}
+
+// NewPairQuery describes a 2-way join from p to q over g, evaluated with
+// B-IDJ-Y (the paper's best 2-way algorithm) and streamed through the
+// incremental F structure of §VI-D.
+func NewPairQuery(g *Graph, p, q *NodeSet) *Query {
+	return &Query{g: g, p: p, q: q}
+}
+
+// NewJoinQuery describes an n-way join over the query graph, evaluated with
+// PJ-i.
+func NewJoinQuery(g *Graph, join *QueryGraph) *Query {
+	return &Query{g: g, join: join}
+}
+
+// WithOptions returns a copy of the query carrying opts (nil selects the
+// paper's defaults, as everywhere else).
+func (qy *Query) WithOptions(opts *Options) *Query {
+	cp := *qy
+	cp.opts = opts
+	return &cp
+}
+
+// Validate checks the query's inputs without executing it, returning the
+// package's typed errors (wrapped, so use errors.Is).
+func (qy *Query) Validate() error {
+	if qy == nil || qy.g == nil {
+		return ErrNilGraph
+	}
+	pairForm := qy.p != nil || qy.q != nil
+	if pairForm == (qy.join != nil) {
+		return ErrQueryForm
+	}
+	if pairForm {
+		if qy.p == nil || qy.p.Len() == 0 {
+			return fmt.Errorf("%w (P)", ErrEmptyNodeSet)
+		}
+		if qy.q == nil || qy.q.Len() == 0 {
+			return fmt.Errorf("%w (Q)", ErrEmptyNodeSet)
+		}
+		if err := qy.p.Validate(qy.g); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidQueryGraph, err)
+		}
+		if err := qy.q.Validate(qy.g); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidQueryGraph, err)
+		}
+	} else if err := qy.join.Validate(qy.g); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidQueryGraph, err)
+	}
+	if _, _, _, _, err := qy.opts.resolve(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	return nil
+}
+
+// openPairs validates and opens the 2-way stream with the given initial
+// batch budget (0 selects the resolved per-edge budget, Options.M). batch
+// marks a drain-exactly-initial caller (TopKPairs): the stream then skips
+// the incremental F structure — populating it costs O(|P|·|Q|) heap
+// insertions that a caller who never pulls past the initial batch would
+// pay for nothing — and runs one plain top-k join behind a doubling
+// re-join, which prices the wrapper identically to a direct joiner call.
+func (qy *Query) openPairs(ctx context.Context, initial int, batch bool) (*PairStream, error) {
+	if err := qy.Validate(); err != nil {
+		return nil, err
+	}
+	if qy.join != nil {
+		return nil, fmt.Errorf("%w: 2-way stream requested for an n-way query", ErrQueryForm)
+	}
+	params, d, _, m, err := qy.opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if initial <= 0 {
+		initial = m
+	}
+	cfg := join2.Config{Graph: qy.g, Params: params, D: d, P: qy.p.Nodes(), Q: qy.q.Nodes()}
+	var rl *Relabeling
+	if qy.opts != nil {
+		cfg.Measure = qy.opts.Measure
+		cfg.Workers = qy.opts.Workers
+		cfg.BatchWidth = qy.opts.BatchWidth
+		rl = relabelPairConfig(&cfg, qy.opts.Relabel)
+	}
+	st, err := join2.NewBIDJYStream(cfg, join2.StreamSpec{Initial: initial}, batch)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &PairStream{ctx: ctx, st: st, rl: rl}, nil
+}
+
+// OpenPairs opens the rank-ordered pair stream of a 2-way query. The caller
+// owns the handle: pull with Next or NextK, and Stop when done — Stop (or
+// draining to exhaustion, or a ctx error) releases every pooled engine.
+func (qy *Query) OpenPairs(ctx context.Context) (*PairStream, error) {
+	return qy.openPairs(ctx, 0, false)
+}
+
+// Results executes a 2-way query as a pull-based iterator: pairs arrive in
+// descending score order, and breaking out of the loop (or cancelling ctx)
+// stops the underlying join and releases its engines. A query error is
+// yielded as the final (zero, err) element.
+//
+//	for pr, err := range query.Results(ctx) {
+//		if err != nil { ... }
+//		// use pr.Pair, pr.Score; break whenever enough
+//	}
+func (qy *Query) Results(ctx context.Context) iter.Seq2[PairResult, error] {
+	return func(yield func(PairResult, error) bool) {
+		s, err := qy.OpenPairs(ctx)
+		if err != nil {
+			yield(PairResult{}, err)
+			return
+		}
+		defer s.Stop()
+		for {
+			r, ok, err := s.Next()
+			if err != nil {
+				yield(PairResult{}, err)
+				return
+			}
+			if !ok {
+				return
+			}
+			if !yield(r, nil) {
+				return
+			}
+		}
+	}
+}
+
+// openAnswers validates and opens the n-way stream with the given initial
+// per-edge budget (0 selects the resolved Options.M).
+func (qy *Query) openAnswers(ctx context.Context, initial int) (*AnswerStream, error) {
+	if err := qy.Validate(); err != nil {
+		return nil, err
+	}
+	if qy.join == nil {
+		return nil, fmt.Errorf("%w: n-way stream requested for a 2-way query", ErrQueryForm)
+	}
+	params, d, agg, m, err := qy.opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if initial > 0 {
+		m = initial
+	}
+	// K is required by Spec.Validate but never bounds a stream; the PBRJ
+	// emission loop is k-free by construction.
+	spec := core.Spec{Graph: qy.g, Query: qy.join, Params: params, D: d, Agg: agg, K: 1}
+	var rl *Relabeling
+	if qy.opts != nil {
+		spec.Distinct = qy.opts.Distinct
+		spec.Measure = qy.opts.Measure
+		spec.Workers = qy.opts.Workers
+		spec.BatchWidth = qy.opts.BatchWidth
+		rl = relabelSpec(&spec, qy.opts.Relabel)
+	}
+	alg, err := core.NewPJI(spec, m)
+	if err != nil {
+		return nil, err
+	}
+	st, err := alg.Stream()
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &AnswerStream{ctx: ctx, st: st, rl: rl}, nil
+}
+
+// OpenAnswers opens the rank-ordered answer stream of an n-way query; see
+// OpenPairs for the handle contract.
+func (qy *Query) OpenAnswers(ctx context.Context) (*AnswerStream, error) {
+	return qy.openAnswers(ctx, 0)
+}
+
+// Answers executes an n-way query as a pull-based iterator — the n-way
+// analogue of Results, with the same stop-and-release contract.
+func (qy *Query) Answers(ctx context.Context) iter.Seq2[Answer, error] {
+	return func(yield func(Answer, error) bool) {
+		s, err := qy.OpenAnswers(ctx)
+		if err != nil {
+			yield(Answer{}, err)
+			return
+		}
+		defer s.Stop()
+		for {
+			a, ok, err := s.Next()
+			if err != nil {
+				yield(Answer{}, err)
+				return
+			}
+			if !ok {
+				return
+			}
+			if !yield(a, nil) {
+				return
+			}
+		}
+	}
+}
+
+// PairStream is the pull handle of a 2-way query: results arrive one at a
+// time in descending score order (prefix-identical to the batch ranking).
+// Single-goroutine, like the engines it drives.
+type PairStream struct {
+	ctx       context.Context
+	st        join2.Stream
+	rl        *Relabeling
+	stopped   bool
+	exhausted bool
+}
+
+// Next returns the next-best pair. ok is false once the |P|·|Q| candidate
+// space is exhausted (the stream auto-stops and further calls keep
+// reporting ok=false); pulling after an explicit Stop returns
+// ErrStreamStopped instead. A cancelled context surfaces as
+// (zero, false, ctx.Err()) and also stops the stream.
+func (s *PairStream) Next() (PairResult, bool, error) {
+	if s.exhausted {
+		return PairResult{}, false, nil
+	}
+	if s.stopped {
+		return PairResult{}, false, ErrStreamStopped
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.Stop()
+		return PairResult{}, false, err
+	}
+	r, ok, err := s.st.Next()
+	if err != nil || !ok {
+		if err == nil {
+			s.exhausted = true
+		}
+		s.Stop()
+		return PairResult{}, ok, err
+	}
+	if s.rl != nil {
+		r.Pair.P = s.rl.ToOld(r.Pair.P)
+		r.Pair.Q = s.rl.ToOld(r.Pair.Q)
+	}
+	return r, true, nil
+}
+
+// NextK pulls up to k further results — the "give me the next k"
+// continuation. Fewer than k are returned at exhaustion (on error, the
+// results drained before it come back alongside); k must be positive.
+func (s *PairStream) NextK(k int) ([]PairResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidK, k)
+	}
+	return join2.Drain(k, s.Next)
+}
+
+// Stop ends the stream and releases every pooled engine it holds. It is
+// idempotent and always safe — including mid-stream, which is the whole
+// point: early termination must not leak pool entries.
+func (s *PairStream) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.st.Release()
+}
+
+// AnswerStream is the pull handle of an n-way query; same contract as
+// PairStream.
+type AnswerStream struct {
+	ctx       context.Context
+	st        core.TupleStream
+	rl        *Relabeling
+	stopped   bool
+	exhausted bool
+}
+
+// Next returns the next-best answer; see PairStream.Next for the contract.
+func (s *AnswerStream) Next() (Answer, bool, error) {
+	if s.exhausted {
+		return Answer{}, false, nil
+	}
+	if s.stopped {
+		return Answer{}, false, ErrStreamStopped
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.Stop()
+		return Answer{}, false, err
+	}
+	a, ok, err := s.st.Next()
+	if err != nil || !ok {
+		if err == nil {
+			s.exhausted = true
+		}
+		s.Stop()
+		return Answer{}, ok, err
+	}
+	if s.rl != nil {
+		for i := range a.Nodes {
+			a.Nodes[i] = s.rl.ToOld(a.Nodes[i])
+		}
+	}
+	return a, true, nil
+}
+
+// NextK pulls up to k further answers; see PairStream.NextK.
+func (s *AnswerStream) NextK(k int) ([]Answer, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidK, k)
+	}
+	return join2.Drain(k, s.Next)
+}
+
+// Stop ends the stream and releases its pooled engines; idempotent.
+func (s *AnswerStream) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.st.Release()
+}

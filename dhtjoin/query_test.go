@@ -1,0 +1,231 @@
+package dhtjoin
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func queryWorld(t testing.TB) (*Graph, []*NodeSet) {
+	t.Helper()
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{14, 14, 12}, PIn: 0.25, POut: 0.08, Seed: 21, MaxWeight: 3, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, sets
+}
+
+// TestResultsPrefixMatchesTopKPairs: ranging over Results and breaking after
+// m results must reproduce TopKPairs(m) bit-identically, for every m.
+func TestResultsPrefixMatchesTopKPairs(t *testing.T) {
+	g, sets := queryWorld(t)
+	p, q := sets[0], sets[1]
+	for _, opts := range []*Options{nil, {Workers: 3}, {Relabel: RelabelDegree}} {
+		query := NewPairQuery(g, p, q).WithOptions(opts)
+		var streamed []PairResult
+		for r, err := range query.Results(context.Background()) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed = append(streamed, r)
+			if len(streamed) == 40 {
+				break
+			}
+		}
+		for _, m := range []int{1, 7, 40} {
+			want, err := TopKPairs(g, p, q, m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) != m {
+				t.Fatalf("TopKPairs(%d) returned %d", m, len(want))
+			}
+			for i := range want {
+				if streamed[i].Pair != want[i].Pair || streamed[i].Score != want[i].Score {
+					t.Fatalf("opts=%+v m=%d rank %d: streamed %+v, batch %+v",
+						opts, m, i, streamed[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAnswersPrefixMatchesTopK: the n-way iterator against the batch TopK.
+func TestAnswersPrefixMatchesTopK(t *testing.T) {
+	g, sets := queryWorld(t)
+	join := Chain(sets[0], sets[1], sets[2])
+	query := NewJoinQuery(g, join)
+	var streamed []Answer
+	for a, err := range query.Answers(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, a)
+		if len(streamed) == 25 {
+			break
+		}
+	}
+	for _, m := range []int{1, 6, 25} {
+		want, err := TopK(g, join, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != m {
+			t.Fatalf("TopK(%d) returned %d", m, len(want))
+		}
+		for i := range want {
+			if streamed[i].Score != want[i].Score {
+				t.Fatalf("m=%d rank %d: streamed %v, batch %v", m, i, streamed[i], want[i])
+			}
+			for j := range want[i].Nodes {
+				if streamed[i].Nodes[j] != want[i].Nodes[j] {
+					t.Fatalf("m=%d rank %d: streamed %v, batch %v",
+						m, i, streamed[i].Nodes, want[i].Nodes)
+				}
+			}
+		}
+	}
+}
+
+// TestNextKContinuation: paging through a stream with NextK must
+// concatenate to the one-shot ranking — the "give me the next k" contract.
+func TestNextKContinuation(t *testing.T) {
+	g, sets := queryWorld(t)
+	p, q := sets[0], sets[1]
+	s, err := NewPairQuery(g, p, q).OpenPairs(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	var pages []PairResult
+	for i := 0; i < 4; i++ {
+		page, err := s.NextK(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, page...)
+	}
+	want, err := TopKPairs(g, p, q, 36, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != len(want) {
+		t.Fatalf("paged %d results, batch %d", len(pages), len(want))
+	}
+	for i := range want {
+		if pages[i] != want[i] {
+			t.Fatalf("rank %d: paged %+v, batch %+v", i, pages[i], want[i])
+		}
+	}
+}
+
+// TestStreamCancellation: a cancelled context must surface its error from
+// Next and stop the stream; pulling after an explicit Stop must report
+// ErrStreamStopped.
+func TestStreamCancellation(t *testing.T) {
+	g, sets := queryWorld(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := NewPairQuery(g, sets[0], sets[1]).OpenPairs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Next(); !ok || err != nil {
+		t.Fatalf("pre-cancel next: ok=%v err=%v", ok, err)
+	}
+	cancel()
+	if _, ok, err := s.Next(); ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel next: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := s.Next(); ok || !errors.Is(err, ErrStreamStopped) {
+		t.Fatalf("post-stop next: ok=%v err=%v", ok, err)
+	}
+
+	// The iterator form: cancellation ends the range with the ctx error.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	n := 0
+	var sawErr error
+	for _, err := range NewPairQuery(g, sets[0], sets[1]).Results(ctx2) {
+		if err != nil {
+			sawErr = err
+			break
+		}
+		n++
+		if n == 3 {
+			cancel2()
+		}
+	}
+	if !errors.Is(sawErr, context.Canceled) {
+		t.Fatalf("iterator saw %d results, err=%v", n, sawErr)
+	}
+}
+
+// TestQueryTypedErrors: facade validation must wrap the typed sentinels.
+func TestQueryTypedErrors(t *testing.T) {
+	g, sets := queryWorld(t)
+	p, q := sets[0], sets[1]
+	empty := NewNodeSet("empty", nil)
+
+	if _, err := TopKPairs(nil, p, q, 3, nil); !errors.Is(err, ErrNilGraph) {
+		t.Fatalf("nil graph: %v", err)
+	}
+	if _, err := TopKPairs(g, empty, q, 3, nil); !errors.Is(err, ErrEmptyNodeSet) {
+		t.Fatalf("empty P: %v", err)
+	}
+	if _, err := TopKPairs(g, p, nil, 3, nil); !errors.Is(err, ErrEmptyNodeSet) {
+		t.Fatalf("nil Q: %v", err)
+	}
+	if _, err := TopKPairs(g, p, q, 0, nil); !errors.Is(err, ErrInvalidK) {
+		t.Fatalf("k=0: %v", err)
+	}
+	if _, err := TopKPairs(g, p, q, -2, nil); !errors.Is(err, ErrInvalidK) {
+		t.Fatalf("k<0: %v", err)
+	}
+	if _, err := TopKPairs(g, p, q, 3, &Options{M: -1}); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("bad options: %v", err)
+	}
+
+	if _, err := TopK(nil, Chain(p, q), 3, nil); !errors.Is(err, ErrNilGraph) {
+		t.Fatalf("n-way nil graph: %v", err)
+	}
+	if _, err := TopK(g, nil, 3, nil); !errors.Is(err, ErrQueryForm) {
+		t.Fatalf("nil query graph: %v", err)
+	}
+	bad := NewQueryGraph(p, q).AddEdge(0, 5) // arity mismatch: no set 5
+	if _, err := TopK(g, bad, 3, nil); !errors.Is(err, ErrInvalidQueryGraph) {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+	if _, err := TopK(g, Chain(p, empty), 3, nil); !errors.Is(err, ErrInvalidQueryGraph) {
+		t.Fatalf("empty set in query graph: %v", err)
+	}
+
+	// Form confusion: a pair query has no n-way stream and vice versa.
+	if _, err := NewPairQuery(g, p, q).OpenAnswers(context.Background()); !errors.Is(err, ErrQueryForm) {
+		t.Fatalf("pair query OpenAnswers: %v", err)
+	}
+	if _, err := NewJoinQuery(g, Chain(p, q)).OpenPairs(context.Background()); !errors.Is(err, ErrQueryForm) {
+		t.Fatalf("join query OpenPairs: %v", err)
+	}
+}
+
+// TestAnswerStreamStopIdempotent: Stop twice, and NextK after exhaustion,
+// must be harmless.
+func TestAnswerStreamStopIdempotent(t *testing.T) {
+	g, sets := queryWorld(t)
+	s, err := NewJoinQuery(g, Chain(sets[0], sets[1])).OpenAnswers(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NextK(3); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	s.Stop()
+	if _, ok, err := s.Next(); ok || !errors.Is(err, ErrStreamStopped) {
+		t.Fatalf("next after stop: ok=%v err=%v", ok, err)
+	}
+}

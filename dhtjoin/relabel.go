@@ -147,17 +147,6 @@ func relabelPairConfig(cfg *join2.Config, mode RelabelMode) *Relabeling {
 	return r
 }
 
-// restorePairIDs maps join results back to the original id space.
-func restorePairIDs(res []PairResult, r *Relabeling) {
-	if r == nil {
-		return
-	}
-	for i := range res {
-		res[i].Pair.P = r.ToOld(res[i].Pair.P)
-		res[i].Pair.Q = r.ToOld(res[i].Pair.Q)
-	}
-}
-
 // relabelSpec rewrites an n-way spec (graph and query node sets) into the
 // relabeled id space.
 func relabelSpec(spec *core.Spec, mode RelabelMode) *Relabeling {
@@ -176,16 +165,4 @@ func relabelSpec(spec *core.Spec, mode RelabelMode) *Relabeling {
 	spec.Graph = rg
 	spec.Query = q
 	return r
-}
-
-// restoreAnswerIDs maps n-way answers back to the original id space.
-func restoreAnswerIDs(answers []Answer, r *Relabeling) {
-	if r == nil {
-		return
-	}
-	for _, a := range answers {
-		for i := range a.Nodes {
-			a.Nodes[i] = r.ToOld(a.Nodes[i])
-		}
-	}
 }

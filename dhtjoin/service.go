@@ -1,6 +1,8 @@
 package dhtjoin
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"repro/internal/service"
@@ -80,15 +82,66 @@ func toQuery(o *Options) service.Query {
 }
 
 // TopKPairs serves a top-k 2-way join on the named graph, bit-identical to
-// the package-level TopKPairs with the same Options.
-func (s *Service) TopKPairs(graphName string, p, q *NodeSet, k int, opts *Options) ([]PairResult, error) {
-	return s.s.Join2(graphName,
+// the package-level TopKPairs with the same Options. ctx cancels the work
+// (including the wait for worker admission); nil means Background.
+func (s *Service) TopKPairs(ctx context.Context, graphName string, p, q *NodeSet, k int, opts *Options) ([]PairResult, error) {
+	if p == nil || p.Len() == 0 || q == nil || q.Len() == 0 {
+		return nil, ErrEmptyNodeSet
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidK, k)
+	}
+	return s.s.Join2(ctx, graphName,
 		service.SetRef{IDs: p.Nodes()}, service.SetRef{IDs: q.Nodes()}, k, toQuery(opts))
 }
 
+// OpenPairs serves a 2-way join as a rank-ordered pull stream through the
+// service's shared engine pools: Next/NextK for "give me the next k", Stop
+// to end early — the stream returns its engines to the session pool and
+// publishes the drained prefix to the result cache, so a later TopKPairs
+// for any k it covers is served without a join.
+func (s *Service) OpenPairs(ctx context.Context, graphName string, p, q *NodeSet, opts *Options) (*ServicePairStream, error) {
+	if p == nil || p.Len() == 0 || q == nil || q.Len() == 0 {
+		return nil, ErrEmptyNodeSet
+	}
+	return s.s.OpenJoin2(ctx, graphName,
+		service.SetRef{IDs: p.Nodes()}, service.SetRef{IDs: q.Nodes()}, toQuery(opts))
+}
+
+// ServicePairStream is the streaming handle returned by Service.OpenPairs.
+type ServicePairStream = service.Join2Stream
+
+// ServiceAnswerStream is the streaming handle returned by Service.OpenAnswers.
+type ServiceAnswerStream = service.JoinNStream
+
 // TopK serves a top-k n-way join on the named graph, bit-identical to the
-// package-level TopK with the same Options.
-func (s *Service) TopK(graphName string, query *QueryGraph, k int, opts *Options) ([]Answer, error) {
+// package-level TopK with the same Options. ctx as in TopKPairs.
+func (s *Service) TopK(ctx context.Context, graphName string, query *QueryGraph, k int, opts *Options) ([]Answer, error) {
+	sets, edges, err := splitQueryGraph(query)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidK, k)
+	}
+	return s.s.JoinN(ctx, graphName, sets, edges, k, toQuery(opts))
+}
+
+// OpenAnswers serves an n-way join as a rank-ordered pull stream; see
+// OpenPairs for the handle contract.
+func (s *Service) OpenAnswers(ctx context.Context, graphName string, query *QueryGraph, opts *Options) (*ServiceAnswerStream, error) {
+	sets, edges, err := splitQueryGraph(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.s.OpenJoinN(ctx, graphName, sets, edges, toQuery(opts))
+}
+
+// splitQueryGraph flattens a QueryGraph into the serving layer's wire form.
+func splitQueryGraph(query *QueryGraph) ([]service.SetRef, [][2]int, error) {
+	if query == nil {
+		return nil, nil, ErrInvalidQueryGraph
+	}
 	sets := make([]service.SetRef, query.NumSets())
 	for i := range sets {
 		sets[i] = service.SetRef{IDs: query.Set(i).Nodes()}
@@ -97,11 +150,11 @@ func (s *Service) TopK(graphName string, query *QueryGraph, k int, opts *Options
 	for _, e := range query.Edges() {
 		edges = append(edges, [2]int{e.From, e.To})
 	}
-	return s.s.JoinN(graphName, sets, edges, k, toQuery(opts))
+	return sets, edges, nil
 }
 
 // Score serves the truncated score h_d(u, v) on the named graph,
 // bit-identical to the package-level Score.
-func (s *Service) Score(graphName string, u, v NodeID, opts *Options) (float64, error) {
-	return s.s.Score(graphName, u, v, toQuery(opts))
+func (s *Service) Score(ctx context.Context, graphName string, u, v NodeID, opts *Options) (float64, error) {
+	return s.s.Score(ctx, graphName, u, v, toQuery(opts))
 }

@@ -1,9 +1,14 @@
 // Package repro is a from-scratch Go reproduction of Zhang, Cheng, and Kao,
 // "Evaluating Multi-Way Joins over Discounted Hitting Time" (ICDE 2014).
 //
-// The public API lives in the dhtjoin subpackage; the implementation is in
-// internal/ (graph substrate, DHT engine, 2-way joins, rank join, multi-way
-// join operators, synthetic datasets, evaluation, and experiment drivers).
-// The benchmarks in this package regenerate every table and figure of the
-// paper's evaluation section; see DESIGN.md and EXPERIMENTS.md.
+// The public API lives in the dhtjoin subpackage, built around a
+// query-centric streaming model: a dhtjoin.Query executes as a
+// context-aware iter.Seq2 of rank-ordered results (break to stop the join
+// early), with batch top-k calls kept as thin wrappers that drain the
+// stream. The implementation is in internal/ (graph substrate, DHT engine,
+// 2-way joins, rank join, multi-way join operators, synthetic datasets,
+// evaluation, and experiment drivers), and cmd/njoind serves the same
+// streams over HTTP as NDJSON. The benchmarks in this package regenerate
+// every table and figure of the paper's evaluation section; see DESIGN.md
+// and EXPERIMENTS.md.
 package repro

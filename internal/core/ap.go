@@ -109,8 +109,11 @@ func NewAPWith(spec Spec, kind TwoWayKind) (*AP, error) {
 // Name implements Algorithm.
 func (a *AP) Name() string { return "AP" }
 
-// Run implements Algorithm.
-func (a *AP) Run() ([]Answer, error) {
+// Stream opens the rank-ordered answer stream over fully materialized
+// per-edge lists (every pair of every edge is scored up front — AP's
+// defining cost; only the PBRJ drive itself is incremental). The caller
+// must Release the stream.
+func (a *AP) Stream() (TupleStream, error) {
 	a.Stats = RunStats{}
 	ctrs := a.spec.runCounters()
 	srcs, err := buildSources(&a.spec, ctrs, func(cfg join2.Config) (edgeSource, error) {
@@ -130,10 +133,17 @@ func (a *AP) Run() ([]Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &driver{spec: &a.spec, srcs: srcs, stats: &a.Stats}
-	answers, err := d.run()
-	a.Stats.addCounters(ctrs)
-	return answers, err
+	return newPBRJStream(&a.spec, srcs, &a.Stats, ctrs, false), nil
+}
+
+// Run implements Algorithm by draining the stream to k.
+func (a *AP) Run() ([]Answer, error) {
+	st, err := a.Stream()
+	if err != nil {
+		return nil, err
+	}
+	defer st.Release()
+	return drainTuples(st, a.spec.clampK())
 }
 
 // bruteForceJoin recomputes the join exactly from fully materialized edge

@@ -76,13 +76,15 @@ func TestExpanderIncompletePartial(t *testing.T) {
 	}
 }
 
-// failingSource checks error propagation through the PBRJ driver.
+// failingSource checks error propagation through the PBRJ stream.
 type failingSource struct{ calls int }
 
-func (s *failingSource) next() (join2.Result, bool, error) {
+func (s *failingSource) Next() (join2.Result, bool, error) {
 	s.calls++
 	return join2.Result{}, false, errors.New("stream broke")
 }
+
+func (s *failingSource) Release() {}
 
 func TestDriverPropagatesSourceError(t *testing.T) {
 	g, sets := testWorld(t, 1, 4, 4)
@@ -94,9 +96,10 @@ func TestDriverPropagatesSourceError(t *testing.T) {
 		Agg:    rankjoin.Min,
 		K:      3,
 	}
-	d := &driver{spec: &spec, srcs: []edgeSource{&failingSource{}}}
-	if _, err := d.run(); err == nil || err.Error() != "stream broke" {
-		t.Fatalf("driver error = %v", err)
+	st := newPBRJStream(&spec, []edgeSource{&failingSource{}}, nil, nil, false)
+	defer st.Release()
+	if _, _, err := st.Next(); err == nil || err.Error() != "stream broke" {
+		t.Fatalf("stream error = %v", err)
 	}
 }
 
@@ -107,11 +110,11 @@ func TestListSource(t *testing.T) {
 		{Pair: join2.Pair{P: 0, Q: 2}, Score: 1},
 	}}
 	for i := 0; i < 2; i++ {
-		if _, ok, err := s.next(); !ok || err != nil {
+		if _, ok, err := s.Next(); !ok || err != nil {
 			t.Fatalf("next %d failed", i)
 		}
 	}
-	if _, ok, _ := s.next(); ok {
+	if _, ok, _ := s.Next(); ok {
 		t.Fatal("exhausted source kept producing")
 	}
 }
@@ -132,14 +135,15 @@ func TestRejoinSourceStreamsWholeSpace(t *testing.T) {
 		t.Fatal(err)
 	}
 	var refetches int64
-	s, err := newRejoinSource(j, 3, cfg.MaxPairs(), &refetches)
+	s, err := join2.NewRejoinStream(j, join2.StreamSpec{Initial: 3, Refetches: &refetches})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Release()
 	seen := make(map[join2.Pair]bool)
 	prev := 1e18
 	for {
-		r, ok, err := s.next()
+		r, ok, err := s.Next()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -42,6 +42,7 @@ func JoinLists(query *QueryGraph, lists [][]join2.Result, agg rankjoin.Aggregate
 	// graph and DHT parameters are unused on this path (scores come from
 	// the lists), so stand-ins keep Validate-independent fields consistent.
 	spec := &Spec{Query: query, Agg: agg, K: k, Distinct: distinct}
-	d := &driver{spec: spec, srcs: srcs}
-	return d.run()
+	st := newPBRJStream(spec, srcs, nil, nil, false)
+	defer st.Release()
+	return drainTuples(st, spec.clampK())
 }

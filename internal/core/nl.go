@@ -29,13 +29,32 @@ func (a *NL) Name() string { return "NL" }
 
 // Run implements Algorithm.
 func (a *NL) Run() ([]Answer, error) {
+	return a.rank(a.spec.clampK())
+}
+
+// Stream returns the rank-ordered answer stream. Nothing about brute-force
+// enumeration is incremental, so the entire ranking (the full candidate
+// space — O(Π|R_i|) memory) is computed up front and replayed; NL streams
+// exist for interface completeness, not latency.
+func (a *NL) Stream() (TupleStream, error) {
+	answers, err := a.rank(a.spec.Query.MaxAnswers())
+	if err != nil {
+		return nil, err
+	}
+	return &listTupleStream{answers: answers}, nil
+}
+
+// rank enumerates the candidate space and keeps the k best. Ties are broken
+// by insertion order (the odometer enumeration), which is deterministic, so
+// the top-k ranking is always a prefix of the top-(k+1) ranking — the
+// prefix invariant Stream relies on.
+func (a *NL) rank(k int) ([]Answer, error) {
 	e, err := dht.NewEngine(a.spec.Graph, a.spec.Params, a.spec.D)
 	if err != nil {
 		return nil, err
 	}
 	q := a.spec.Query
 	n := q.NumSets()
-	k := a.spec.clampK()
 	out := pqueue.NewTopK[Answer](k)
 
 	idx := make([]int, n) // odometer over the node sets

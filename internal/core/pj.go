@@ -38,8 +38,11 @@ func NewPJWith(spec Spec, m int, kind TwoWayKind) (*PJ, error) {
 // Name implements Algorithm.
 func (a *PJ) Name() string { return "PJ" }
 
-// Run implements Algorithm.
-func (a *PJ) Run() ([]Answer, error) {
+// Stream opens the rank-ordered answer stream: PJ's per-edge sources re-run
+// their 2-way join from scratch with a +1 budget whenever they run dry
+// (Algorithm 1, steps 9–10) — the deliberately wasteful baseline PJ-i
+// improves on. The caller must Release the stream.
+func (a *PJ) Stream() (TupleStream, error) {
 	a.Stats = RunStats{}
 	ctrs := a.spec.runCounters()
 	srcs, err := buildSources(&a.spec, ctrs, func(cfg join2.Config) (edgeSource, error) {
@@ -47,16 +50,26 @@ func (a *PJ) Run() ([]Answer, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newRejoinSource(j, a.m, cfg.MaxPairs(), &a.Stats.Refetches)
+		// PJ must keep the from-scratch re-join strategy even for B-IDJ
+		// joiners (OpenStream would upgrade those to the incremental F
+		// structure, i.e. to PJ-i), so the rejoin stream is named directly.
+		// m = 0 is allowed: the initial batch is then a top-1 join.
+		return join2.NewRejoinStream(j, join2.StreamSpec{Initial: a.m, Refetches: &a.Stats.Refetches})
 	})
 	if err != nil {
 		return nil, err
 	}
-	defer releaseSources(srcs)
-	d := &driver{spec: &a.spec, srcs: srcs, stats: &a.Stats}
-	answers, err := d.run()
-	a.Stats.addCounters(ctrs)
-	return answers, err
+	return newPBRJStream(&a.spec, srcs, &a.Stats, ctrs, false), nil
+}
+
+// Run implements Algorithm by draining the stream to k.
+func (a *PJ) Run() ([]Answer, error) {
+	st, err := a.Stream()
+	if err != nil {
+		return nil, err
+	}
+	defer st.Release()
+	return drainTuples(st, a.spec.clampK())
 }
 
 // PJI is the Incremental Partial Join (PJ-i, §VI-D): identical to PJ except
@@ -96,27 +109,32 @@ func NewPJIWith(spec Spec, m int, variant join2.BoundVariant) (*PJI, error) {
 // Name implements Algorithm.
 func (a *PJI) Name() string { return "PJ-i" }
 
-// Run implements Algorithm.
-func (a *PJI) Run() ([]Answer, error) {
+// Stream opens the rank-ordered answer stream: each per-edge source is the
+// incremental F structure of §VI-D, so every pull past the initial top-m
+// refines only the pairs contending for the next rank. The caller must
+// Release the stream (that is what returns the pooled engines and folds the
+// walk counters into Stats).
+func (a *PJI) Stream() (TupleStream, error) {
 	a.Stats = RunStats{}
 	ctrs := a.spec.runCounters()
 	srcs, err := buildSources(&a.spec, ctrs, func(cfg join2.Config) (edgeSource, error) {
-		inc, err := join2.NewIncremental(cfg, a.variant)
-		if err != nil {
-			return nil, err
-		}
-		m := a.m
-		if m == 0 {
-			m = 1 // Incremental.Run needs a positive initial budget
-		}
-		return newIncSource(inc, m, &a.Stats.Refetches)
+		return join2.NewIncrementalStream(cfg, a.variant, join2.StreamSpec{
+			Initial:   a.m, // 0 selects 1: Incremental.Run needs a positive budget
+			Refetches: &a.Stats.Refetches,
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
-	defer releaseSources(srcs)
-	d := &driver{spec: &a.spec, srcs: srcs, stats: &a.Stats, noBound: a.DisableCornerBound}
-	answers, err := d.run()
-	a.Stats.addCounters(ctrs)
-	return answers, err
+	return newPBRJStream(&a.spec, srcs, &a.Stats, ctrs, a.DisableCornerBound), nil
+}
+
+// Run implements Algorithm by draining the stream to k.
+func (a *PJI) Run() ([]Answer, error) {
+	st, err := a.Stream()
+	if err != nil {
+		return nil, err
+	}
+	defer st.Release()
+	return drainTuples(st, a.spec.clampK())
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 
@@ -9,19 +8,36 @@ import (
 	"repro/internal/join2"
 )
 
-// buildSources constructs one edgeSource per query edge via build, running
-// the constructions concurrently when the spec enables workers — the initial
-// top-m joins of PJ/PJ-i and the all-pairs materialization of AP are the
-// dominant per-edge costs, and they are independent across edges. The
-// edge-level fan-out is bounded by the resolved worker count (a semaphore),
-// so Spec.Workers caps this level's goroutines too. counters is threaded
-// into every edge's join config.
+// edgeSource streams the 2-way join results of one query edge in descending
+// score order — it is exactly a join2.Stream. Implementations differ in how
+// the stream is produced: a fully materialized list (AP), repeated
+// from-scratch top-(m+i) joins (PJ, join2.NewRejoinStream), or the
+// incremental F structure (PJ-i, join2.NewIncrementalStream).
+type edgeSource = join2.Stream
+
+// buildSources constructs one edgeSource per query edge via build and primes
+// each (runs its initial top-m batch), priming concurrently when the spec
+// enables workers — the initial joins of PJ/PJ-i and the all-pairs
+// materialization of AP are the dominant per-edge costs, and they are
+// independent across edges. The edge-level fan-out is bounded by the
+// resolved worker count (a semaphore), so Spec.Workers caps this level's
+// goroutines too. counters is threaded into every edge's join config.
+//
+// On any error the already-built sources are released, so a caller-owned
+// engine pool (Spec.Pool) gets every checked-out engine back even when a
+// later edge fails.
 func buildSources(spec *Spec, counters *dht.Counters, build func(cfg join2.Config) (edgeSource, error)) ([]edgeSource, error) {
 	edges := spec.Query.Edges()
 	srcs := make([]edgeSource, len(edges))
 	errs := make([]error, len(edges))
 	mk := func(ei int) {
 		srcs[ei], errs[ei] = build(edgeConfig(spec, edges[ei], counters))
+		if errs[ei] != nil {
+			return
+		}
+		if p, ok := srcs[ei].(join2.Primer); ok {
+			errs[ei] = p.Prime()
+		}
 	}
 	w := spec.Workers
 	if w < 0 {
@@ -47,22 +63,19 @@ func buildSources(spec *Spec, counters *dht.Counters, build func(cfg join2.Confi
 	}
 	for _, err := range errs {
 		if err != nil {
+			releaseSources(srcs)
 			return nil, err
 		}
 	}
 	return srcs, nil
 }
 
-// releaser is implemented by edge sources that hold pooled engines; the
-// algorithms release their sources after the PBRJ drive so a caller-owned
-// pool (Spec.Pool) gets its scratch back between requests.
-type releaser interface{ release() }
-
-// releaseSources returns every source's pooled resources.
+// releaseSources returns every source's pooled resources; nil entries (from
+// a failed build) are skipped.
 func releaseSources(srcs []edgeSource) {
 	for _, s := range srcs {
-		if r, ok := s.(releaser); ok {
-			r.release()
+		if s != nil {
+			s.Release()
 		}
 	}
 }
@@ -75,7 +88,7 @@ type listSource struct {
 	pos  int
 }
 
-func (s *listSource) next() (join2.Result, bool, error) {
+func (s *listSource) Next() (join2.Result, bool, error) {
 	if s.pos >= len(s.list) {
 		return join2.Result{}, false, nil
 	}
@@ -84,102 +97,5 @@ func (s *listSource) next() (join2.Result, bool, error) {
 	return r, true, nil
 }
 
-// rejoinSource is PJ's edge stream: an initial top-m join, then — whenever
-// the list runs dry — a from-scratch top-(m+1), top-(m+2), … join, keeping
-// only the newly exposed last pair (Algorithm 1, steps 9–10, implemented "by
-// simply running a top-(m+1) join"). Deliberately wasteful: this is the cost
-// PJ-i removes.
-type rejoinSource struct {
-	joiner    join2.Joiner
-	maxPairs  int
-	m         int
-	list      []join2.Result
-	pos       int
-	refetches *int64
-}
-
-// release returns the joiner's pooled engines (see releaser).
-func (s *rejoinSource) release() {
-	if r, ok := s.joiner.(interface{ Release() }); ok {
-		r.Release()
-	}
-}
-
-func newRejoinSource(j join2.Joiner, m, maxPairs int, refetches *int64) (*rejoinSource, error) {
-	if m < 0 {
-		return nil, fmt.Errorf("core: negative m %d", m)
-	}
-	s := &rejoinSource{joiner: j, maxPairs: maxPairs, m: m, refetches: refetches}
-	if m > 0 {
-		list, err := j.TopK(min(m, maxPairs))
-		if err != nil {
-			return nil, err
-		}
-		s.list = list
-	}
-	return s, nil
-}
-
-func (s *rejoinSource) next() (join2.Result, bool, error) {
-	if s.pos < len(s.list) {
-		r := s.list[s.pos]
-		s.pos++
-		return r, true, nil
-	}
-	if len(s.list) >= s.maxPairs {
-		return join2.Result{}, false, nil
-	}
-	// Re-run the 2-way join from scratch for one more result.
-	s.m = len(s.list) + 1
-	if s.refetches != nil {
-		*s.refetches++
-	}
-	list, err := s.joiner.TopK(s.m)
-	if err != nil {
-		return join2.Result{}, false, err
-	}
-	s.list = list
-	if s.pos >= len(s.list) {
-		return join2.Result{}, false, nil
-	}
-	r := s.list[s.pos]
-	s.pos++
-	return r, true, nil
-}
-
-// incSource is PJ-i's edge stream: the initial top-m join populates the F
-// structure, after which each additional pair is produced incrementally
-// (§VI-D).
-type incSource struct {
-	inc       *join2.Incremental
-	list      []join2.Result
-	pos       int
-	refetches *int64
-}
-
-// release returns the incremental state's pooled engine (see releaser).
-func (s *incSource) release() { s.inc.Release() }
-
-func newIncSource(inc *join2.Incremental, m int, refetches *int64) (*incSource, error) {
-	list, err := inc.Run(m)
-	if err != nil {
-		return nil, err
-	}
-	return &incSource{inc: inc, list: list, refetches: refetches}, nil
-}
-
-func (s *incSource) next() (join2.Result, bool, error) {
-	if s.pos < len(s.list) {
-		r := s.list[s.pos]
-		s.pos++
-		return r, true, nil
-	}
-	if s.refetches != nil {
-		*s.refetches++
-	}
-	r, ok, err := s.inc.Next()
-	if err != nil || !ok {
-		return join2.Result{}, ok, err
-	}
-	return r, true, nil
-}
+// Release implements join2.Stream; a materialized list holds no engines.
+func (s *listSource) Release() {}

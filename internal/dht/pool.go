@@ -73,6 +73,12 @@ type EnginePool struct {
 
 	pool  sync.Pool
 	bpool sync.Pool
+
+	// outstanding counts engines currently checked out (Get/GetBatch minus
+	// Put/PutBatch). It is a leak detector for the streaming paths: a stream
+	// stopped early must return every engine it checked out, and the
+	// cancellation tests assert Outstanding() == 0 after an abort.
+	outstanding atomic.Int64
 }
 
 // NewEnginePool validates the configuration once and returns the pool.
@@ -99,17 +105,28 @@ func (pl *EnginePool) Get() *Engine {
 		e, _ = NewEngine(pl.G, pl.Params, pl.D)
 	}
 	e.Sink = pl.Sink
+	pl.outstanding.Add(1)
 	return e
 }
 
 // Put returns an engine obtained from Get for reuse. Engines that do not
 // match the pool's configuration are discarded instead of retained.
 func (pl *EnginePool) Put(e *Engine) {
-	if e == nil || e.G != pl.G || e.Params != pl.Params || e.D != pl.D {
+	if e == nil {
+		return
+	}
+	pl.outstanding.Add(-1)
+	if e.G != pl.G || e.Params != pl.Params || e.D != pl.D {
 		return
 	}
 	pl.pool.Put(e)
 }
+
+// Outstanding reports the number of engines (solo and batch) currently
+// checked out and not yet returned. A stream or joiner that released all its
+// resources leaves this at zero; the -race cancellation tests assert exactly
+// that after a mid-stream abort.
+func (pl *EnginePool) Outstanding() int64 { return pl.outstanding.Load() }
 
 // batchWidth resolves the pool's batch-engine column capacity.
 func (pl *EnginePool) batchWidth() int {
@@ -129,13 +146,18 @@ func (pl *EnginePool) GetBatch() *BatchEngine {
 		be, _ = NewBatchEngine(pl.G, pl.Params, pl.D, w)
 	}
 	be.Sink = pl.Sink
+	pl.outstanding.Add(1)
 	return be
 }
 
 // PutBatch returns a batch engine obtained from GetBatch for reuse,
 // discarding mismatched ones.
 func (pl *EnginePool) PutBatch(be *BatchEngine) {
-	if be == nil || be.G != pl.G || be.Params != pl.Params || be.D != pl.D || be.W < pl.batchWidth() {
+	if be == nil {
+		return
+	}
+	pl.outstanding.Add(-1)
+	if be.G != pl.G || be.Params != pl.Params || be.D != pl.D || be.W < pl.batchWidth() {
 		return
 	}
 	pl.bpool.Put(be)

@@ -94,6 +94,11 @@ func (inc *Incremental) Run(m int) ([]Result, error) {
 		}
 		inc.f.Set(pr, upper, fentry{lower: lower, l: l})
 	}
+	// The recording run walks on inc.e, but deep rounds may still check a
+	// batch engine out of a caller-owned pool (b.be); return it — b is
+	// dropped right here, and an unreleased checkout would leak the pool
+	// entry for the incremental state's whole lifetime.
+	defer b.Release()
 	res := b.run(inc.e, m)
 	// Entries already emitted must not be served again by Next.
 	for _, r := range res {

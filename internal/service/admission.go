@@ -1,55 +1,70 @@
 package service
 
-import "sync"
+import "context"
 
 // admission is the per-request worker admission controller: a counting
-// grant of worker tokens with a fixed total. Every request holds at least
-// one token while it runs, so at most `total` join workers are in flight
-// across all concurrent requests — concurrent joins shrink their worker
-// counts instead of oversubscribing GOMAXPROCS (worker count never changes
-// a result, so admission is invisible in the responses).
+// grant of worker tokens with a fixed total. Every running request holds at
+// least one token, so at most `total` join workers are in flight across all
+// concurrent requests — concurrent joins shrink their worker counts instead
+// of oversubscribing GOMAXPROCS (worker count never changes a result, so
+// admission is invisible in the responses).
 //
 // acquire grants min(want, free) but never blocks a request forever behind
-// large ones: when no token is free it waits until one is released. Partial
-// grants are deliberate — granting what's available and shrinking the
-// request's worker count keeps throughput monotone and makes the
+// large ones: when no token is free it waits until one is released — or
+// until the request's context is cancelled, which is how a disconnected
+// client stops occupying the admission queue before its join even started.
+// Partial grants are deliberate — granting what's available and shrinking
+// the request's worker count keeps throughput monotone and makes the
 // "each request holds ≥ 1 token" invariant deadlock-free (no request ever
 // waits while holding tokens).
 type admission struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	free int
+	tokens chan struct{}
 }
 
 func newAdmission(total int) *admission {
 	if total < 1 {
 		total = 1
 	}
-	a := &admission{free: total}
-	a.cond = sync.NewCond(&a.mu)
+	a := &admission{tokens: make(chan struct{}, total)}
+	for i := 0; i < total; i++ {
+		a.tokens <- struct{}{}
+	}
 	return a
 }
 
-// acquire blocks until at least one token is free, then grants up to want
-// tokens (at least one). want must be >= 1.
-func (a *admission) acquire(want int) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	for a.free == 0 {
-		a.cond.Wait()
+// acquire blocks until at least one token is free or ctx is done, then
+// grants up to want tokens (at least one) without further blocking. A nil
+// ctx never cancels.
+func (a *admission) acquire(ctx context.Context, want int) (int, error) {
+	if want < 1 {
+		want = 1
 	}
-	granted := want
-	if granted > a.free {
-		granted = a.free
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	a.free -= granted
-	return granted
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	select {
+	case <-a.tokens:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	granted := 1
+	for granted < want {
+		select {
+		case <-a.tokens:
+			granted++
+		default:
+			return granted, nil
+		}
+	}
+	return granted, nil
 }
 
-// release returns n tokens and wakes waiters.
+// release returns n tokens, waking one waiter per token.
 func (a *admission) release(n int) {
-	a.mu.Lock()
-	a.free += n
-	a.mu.Unlock()
-	a.cond.Broadcast()
+	for i := 0; i < n; i++ {
+		a.tokens <- struct{}{}
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/dht"
 	"repro/internal/graph"
@@ -93,12 +94,19 @@ type SetRefJSON struct {
 
 func (r SetRefJSON) toRef() SetRef { return SetRef{Name: r.Set, IDs: r.IDs} }
 
-// join2Request is the POST /join2 body.
+// join2Request is the POST /join2 body. Stream selects an NDJSON streaming
+// response (one result object per line, flushed as produced; k = 0 then
+// means "stream until exhausted"). Cursor skips the first Cursor results of
+// the ranking — the "next page" continuation: a response's next_cursor is
+// the Cursor of the request that continues it. Cursor works with and
+// without Stream.
 type join2Request struct {
 	Graph   string       `json:"graph"`
 	P       SetRefJSON   `json:"p"`
 	Q       SetRefJSON   `json:"q"`
 	K       int          `json:"k"`
+	Stream  bool         `json:"stream,omitempty"`
+	Cursor  int          `json:"cursor,omitempty"`
 	Options *OptionsJSON `json:"options,omitempty"`
 }
 
@@ -118,6 +126,8 @@ type joinNRequest struct {
 	Shape   string       `json:"shape,omitempty"`
 	Edges   [][2]int     `json:"edges,omitempty"`
 	K       int          `json:"k"`
+	Stream  bool         `json:"stream,omitempty"`
+	Cursor  int          `json:"cursor,omitempty"`
 	Options *OptionsJSON `json:"options,omitempty"`
 }
 
@@ -179,7 +189,17 @@ func shapeEdges(shape string, n int) ([][2]int, error) {
 //	GET    /score           single pair score (?graph=&u=&v=[&lambda=&d=...])
 //	GET    /stats           service counters
 //
-// Responses are JSON; errors are {"error": "..."} with a 4xx/5xx status.
+// The join endpoints are streaming-capable: "stream": true switches the
+// response to NDJSON (one rank-ordered result per line, flushed as
+// produced, terminated by a {"done":true,...} line), and "cursor": n skips
+// the first n results — the "next page" continuation, usable with or
+// without streaming. Handlers run under the request context, so a
+// disconnected client aborts the join and returns its engines to the
+// session pool.
+//
+// Responses are JSON; errors are {"error": {"status": ..., "message": ...}}
+// with a 4xx/5xx status (streaming responses report mid-flight failures as
+// an in-band {"error": ...} line instead).
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 
@@ -213,6 +233,7 @@ func NewHandler(svc *Service) http.Handler {
 	})
 
 	mux.HandleFunc("POST /join2", func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context() // a disconnected client cancels it, aborting the join
 		var req join2Request
 		if err := decodeJSON(r, &req); err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -223,19 +244,66 @@ func NewHandler(svc *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err := svc.Join2(req.Graph, req.P.toRef(), req.Q.toRef(), req.K, query)
+		if req.Cursor < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("join2: cursor must be >= 0, got %d", req.Cursor))
+			return
+		}
+		// k = 0 means "until exhausted" when streaming; the batch form
+		// needs a positive page size (a k <= 0 page could never terminate
+		// a client's cursor loop).
+		if req.Stream && req.K < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("join2: k must be >= 0 when streaming, got %d", req.K))
+			return
+		}
+		if !req.Stream && req.K <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("join2: k must be positive, got %d", req.K))
+			return
+		}
+		if req.Stream {
+			st, err := svc.OpenJoin2(ctx, req.Graph, req.P.toRef(), req.Q.toRef(), query)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			defer st.Stop()
+			streamNDJSON(w, req.Cursor, req.K, func() (any, bool, error) {
+				r, ok, err := st.Next()
+				if err != nil || !ok {
+					return nil, ok, err
+				}
+				return pairJSON{P: r.Pair.P, Q: r.Pair.Q, Score: r.Score}, true, nil
+			})
+			return
+		}
+		// Batch (optionally paged): drain cursor+k, return the page past the
+		// cursor. The prefix cache makes page n+1 re-serve page n's work.
+		res, err := svc.Join2(ctx, req.Graph, req.P.toRef(), req.Q.toRef(), req.Cursor+req.K, query)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
+		}
+		exhausted := len(res) < req.Cursor+req.K
+		if req.Cursor > len(res) {
+			res = res[len(res):]
+		} else {
+			res = res[req.Cursor:]
 		}
 		pairs := make([]pairJSON, len(res))
 		for i, pr := range res {
 			pairs[i] = pairJSON{P: pr.Pair.P, Q: pr.Pair.Q, Score: pr.Score}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"results": pairs})
+		// Paging bookkeeping rides on every response — page one of a
+		// cursor loop needs "exhausted" as much as page two does.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"results":     pairs,
+			"cursor":      req.Cursor,
+			"next_cursor": req.Cursor + len(pairs),
+			"exhausted":   exhausted,
+		})
 	})
 
 	mux.HandleFunc("POST /joinN", func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
 		var req joinNRequest
 		if err := decodeJSON(r, &req); err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -261,16 +329,55 @@ func NewHandler(svc *Service) http.Handler {
 		for i, s := range req.Sets {
 			refs[i] = s.toRef()
 		}
-		answers, err := svc.JoinN(req.Graph, refs, edges, req.K, query)
+		if req.Cursor < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("joinN: cursor must be >= 0, got %d", req.Cursor))
+			return
+		}
+		if req.Stream && req.K < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("joinN: k must be >= 0 when streaming, got %d", req.K))
+			return
+		}
+		if !req.Stream && req.K <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("joinN: k must be positive, got %d", req.K))
+			return
+		}
+		if req.Stream {
+			st, err := svc.OpenJoinN(ctx, req.Graph, refs, edges, query)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			defer st.Stop()
+			streamNDJSON(w, req.Cursor, req.K, func() (any, bool, error) {
+				a, ok, err := st.Next()
+				if err != nil || !ok {
+					return nil, ok, err
+				}
+				return answerJSON{Nodes: a.Nodes, Score: a.Score}, true, nil
+			})
+			return
+		}
+		answers, err := svc.JoinN(ctx, req.Graph, refs, edges, req.Cursor+req.K, query)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
+		}
+		exhausted := len(answers) < req.Cursor+req.K
+		if req.Cursor > len(answers) {
+			answers = answers[len(answers):]
+		} else {
+			answers = answers[req.Cursor:]
 		}
 		out := make([]answerJSON, len(answers))
 		for i, a := range answers {
 			out[i] = answerJSON{Nodes: a.Nodes, Score: a.Score}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"answers": out})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"answers":     out,
+			"cursor":      req.Cursor,
+			"next_cursor": req.Cursor + len(out),
+			"exhausted":   exhausted,
+		})
 	})
 
 	mux.HandleFunc("GET /score", func(w http.ResponseWriter, r *http.Request) {
@@ -308,7 +415,7 @@ func NewHandler(svc *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		score, err := svc.Score(qp.Get("graph"), graph.NodeID(u), graph.NodeID(v), query)
+		score, err := svc.Score(r.Context(), qp.Get("graph"), graph.NodeID(u), graph.NodeID(v), query)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -321,6 +428,72 @@ func NewHandler(svc *Service) http.Handler {
 	})
 
 	return mux
+}
+
+// streamWriteTimeout bounds how long one NDJSON result line may take to
+// reach the client. A streaming request holds admission tokens and pooled
+// engines for its whole lifetime, so without this bound a handful of
+// clients that open a stream and stop reading would wedge the server's
+// admission controller; with it, a stalled write errors out and the
+// handler's deferred Stop releases everything. A client that keeps
+// reading, however slowly per line, refreshes the deadline on every write.
+const streamWriteTimeout = 30 * time.Second
+
+// streamNDJSON drives a pull stream onto the wire as NDJSON: one result
+// object per line, flushed as produced, so the client sees the first result
+// while the join is still deepening. cursor results are skipped first (the
+// "next page" continuation), then up to k results are written (k = 0
+// streams to exhaustion). The final line is a terminator object —
+// {"done":true,"count":…,"next_cursor":…,"exhausted":…} on success, or
+// {"error":…} if the stream failed mid-flight (the HTTP status is already
+// on the wire by then; the in-band error line is the only channel left).
+func streamNDJSON(w http.ResponseWriter, cursor, k int, next func() (any, bool, error)) {
+	rc := http.NewResponseController(w)
+	// The per-line deadlines below are absolute; clear them on the way out
+	// or the last one would outlive this response and kill the next request
+	// served on the same keep-alive connection.
+	defer rc.SetWriteDeadline(time.Time{}) //nolint:errcheck // best effort
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flush := func() { _ = rc.Flush() }
+	written, skip, exhausted := 0, cursor, false
+	for k == 0 || written < k {
+		v, ok, err := next()
+		if err != nil {
+			// The in-band line carries the same envelope shape as a
+			// non-streaming error; 500 because the request was accepted.
+			body := errorBody(err)
+			body["status"] = http.StatusInternalServerError
+			_ = enc.Encode(map[string]any{"error": body})
+			flush()
+			return
+		}
+		if !ok {
+			exhausted = true
+			break
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		// Refresh the per-line write deadline (best effort: httptest's
+		// recorder does not support deadlines, and a real server that
+		// cannot set one just keeps the old behavior).
+		_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		if err := enc.Encode(v); err != nil {
+			return // client went away or stalled; the deferred Stop cleans up
+		}
+		written++
+		flush()
+	}
+	_ = enc.Encode(map[string]any{
+		"done":        true,
+		"count":       written,
+		"next_cursor": cursor + written,
+		"exhausted":   exhausted,
+	})
+	flush()
 }
 
 // decodeJSON strictly decodes a request body.
@@ -336,6 +509,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// errorBody is the consistent error envelope payload: every error response
+// (and every in-band NDJSON error line) carries the same shape, so clients
+// parse one structure everywhere.
+func errorBody(err error) map[string]any {
+	return map[string]any{"message": err.Error()}
+}
+
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := errorBody(err)
+	body["status"] = status
+	writeJSON(w, status, map[string]any{"error": body})
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -195,7 +196,7 @@ func TestHTTPScoreAndGraphLifecycle(t *testing.T) {
 	if err := svc.LoadGraph("ref", g, sets); err != nil {
 		t.Fatal(err)
 	}
-	want, err := svc.Score("ref", u, v, Query{})
+	want, err := svc.Score(context.Background(), "ref", u, v, Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,5 +267,201 @@ func TestHTTPBadRequests(t *testing.T) {
 		"k":     5,
 	}, &out); code != http.StatusBadRequest {
 		t.Fatalf("bad shape = %d, want 400", code)
+	}
+}
+
+// ndjsonLines posts a streaming request and returns the decoded NDJSON
+// lines (results first, terminator or error object last).
+func ndjsonLines(t *testing.T, url string, body any) ([]map[string]any, string) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream request = %d: %s", resp.StatusCode, raw)
+	}
+	ctype := resp.Header.Get("Content-Type")
+	var lines []map[string]any
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line map[string]any
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, line)
+	}
+	return lines, ctype
+}
+
+// TestHTTPStreamingJoin2: the NDJSON response must carry the same ranking
+// as the batch endpoint, one result per line, with a done terminator.
+func TestHTTPStreamingJoin2(t *testing.T) {
+	srv, g, sets := startServer(t)
+	want := refJoin2(t, g, sets[0].Nodes(), sets[1].Nodes(), 6)
+
+	lines, ctype := ndjsonLines(t, srv.URL+"/join2", map[string]any{
+		"graph":  "test",
+		"p":      map[string]any{"set": sets[0].Name},
+		"q":      map[string]any{"set": sets[1].Name},
+		"k":      6,
+		"stream": true,
+	})
+	if ctype != "application/x-ndjson" {
+		t.Fatalf("content type %q", ctype)
+	}
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines, want 6 results + terminator", len(lines))
+	}
+	for i, wr := range want {
+		line := lines[i]
+		if graph.NodeID(line["p"].(float64)) != wr.Pair.P ||
+			graph.NodeID(line["q"].(float64)) != wr.Pair.Q ||
+			line["score"].(float64) != wr.Score {
+			t.Fatalf("line %d = %v, want %+v", i, line, wr)
+		}
+	}
+	last := lines[6]
+	if last["done"] != true || last["count"].(float64) != 6 || last["exhausted"] != false {
+		t.Fatalf("terminator = %v", last)
+	}
+	if last["next_cursor"].(float64) != 6 {
+		t.Fatalf("terminator cursor = %v", last["next_cursor"])
+	}
+}
+
+// TestHTTPStreamingJoinN: NDJSON for the n-way endpoint, including k=0
+// (stream to exhaustion) and a cursor skip.
+func TestHTTPStreamingJoinN(t *testing.T) {
+	srv, g, sets := startServer(t)
+	wantAll := refJoinN(t, g, sets, 1<<20)
+
+	lines, _ := ndjsonLines(t, srv.URL+"/joinN", map[string]any{
+		"graph":  "test",
+		"sets":   []map[string]any{{"set": sets[0].Name}, {"set": sets[1].Name}, {"set": sets[2].Name}},
+		"shape":  "chain",
+		"k":      0,
+		"cursor": 2,
+		"stream": true,
+	})
+	last := lines[len(lines)-1]
+	if last["done"] != true || last["exhausted"] != true {
+		t.Fatalf("terminator = %v", last)
+	}
+	results := lines[:len(lines)-1]
+	if len(results) != len(wantAll)-2 {
+		t.Fatalf("streamed %d results, want %d after cursor 2", len(results), len(wantAll)-2)
+	}
+	for i, line := range results {
+		wa := wantAll[i+2]
+		if line["score"].(float64) != wa.Score {
+			t.Fatalf("line %d score %v, want %v", i, line["score"], wa.Score)
+		}
+	}
+	if last["next_cursor"].(float64) != float64(2+len(results)) {
+		t.Fatalf("terminator next_cursor = %v", last["next_cursor"])
+	}
+}
+
+// TestHTTPCursorPaging: two batch pages must concatenate to the one-shot
+// ranking, with next_cursor/exhausted bookkeeping.
+func TestHTTPCursorPaging(t *testing.T) {
+	srv, g, sets := startServer(t)
+	want := refJoin2(t, g, sets[0].Nodes(), sets[1].Nodes(), 10)
+
+	body := func(k, cursor int) map[string]any {
+		return map[string]any{
+			"graph":  "test",
+			"p":      map[string]any{"set": sets[0].Name},
+			"q":      map[string]any{"set": sets[1].Name},
+			"k":      k,
+			"cursor": cursor,
+		}
+	}
+	var page1 struct {
+		Results []pairJSON `json:"results"`
+	}
+	if code := postJSON(t, srv.URL+"/join2", body(5, 0), &page1); code != http.StatusOK {
+		t.Fatalf("page 1 = %d", code)
+	}
+	var page2 struct {
+		Results    []pairJSON `json:"results"`
+		Cursor     int        `json:"cursor"`
+		NextCursor int        `json:"next_cursor"`
+		Exhausted  bool       `json:"exhausted"`
+	}
+	if code := postJSON(t, srv.URL+"/join2", body(5, 5), &page2); code != http.StatusOK {
+		t.Fatalf("page 2 = %d", code)
+	}
+	if page2.Cursor != 5 || page2.NextCursor != 10 || page2.Exhausted {
+		t.Fatalf("page 2 bookkeeping: %+v", page2)
+	}
+	got := append(page1.Results, page2.Results...)
+	if len(got) != len(want) {
+		t.Fatalf("pages total %d, want %d", len(got), len(want))
+	}
+	for i, wr := range want {
+		if got[i].P != wr.Pair.P || got[i].Q != wr.Pair.Q || got[i].Score != wr.Score {
+			t.Fatalf("paged rank %d = %+v, want %+v", i, got[i], wr)
+		}
+	}
+}
+
+// TestHTTPErrorEnvelope: every 4xx body must carry the consistent
+// {"error": {"status", "message"}} envelope.
+func TestHTTPErrorEnvelope(t *testing.T) {
+	srv, _, sets := startServer(t)
+	cases := []struct {
+		name string
+		body map[string]any
+	}{
+		{"bad k", map[string]any{
+			"graph": "test",
+			"p":     map[string]any{"set": sets[0].Name},
+			"q":     map[string]any{"set": sets[1].Name},
+			"k":     0,
+		}},
+		{"missing graph", map[string]any{
+			"graph": "nope",
+			"p":     map[string]any{"set": sets[0].Name},
+			"q":     map[string]any{"set": sets[1].Name},
+			"k":     3,
+		}},
+		{"negative cursor", map[string]any{
+			"graph":  "test",
+			"p":      map[string]any{"set": sets[0].Name},
+			"q":      map[string]any{"set": sets[1].Name},
+			"k":      3,
+			"cursor": -1,
+		}},
+		{"unknown set", map[string]any{
+			"graph": "test",
+			"p":     map[string]any{"set": "ghosts"},
+			"q":     map[string]any{"set": sets[1].Name},
+			"k":     3,
+		}},
+	}
+	for _, tc := range cases {
+		var out struct {
+			Error struct {
+				Status  int    `json:"status"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		code := postJSON(t, srv.URL+"/join2", tc.body, &out)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", tc.name, code)
+		}
+		if out.Error.Status != http.StatusBadRequest || out.Error.Message == "" {
+			t.Fatalf("%s: envelope %+v", tc.name, out.Error)
+		}
 	}
 }

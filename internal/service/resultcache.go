@@ -2,14 +2,28 @@ package service
 
 import "sync"
 
-// resultLRU is a mutex-protected LRU of recent top-k results keyed by the
-// request signature. Values are stored as immutable snapshots (the service
-// deep-copies on put and on get where aliasing could leak), so concurrent
-// hits are race-free.
+// prefix is one cached ranking prefix: the longest contiguous run of
+// top-ranked results a request (batch or streamed) has drained for one
+// query signature. Because a streamed prefix of length m is bit-identical
+// to the one-shot top-m (the streaming API's core invariant), any request
+// for k ≤ len results — whatever its k — is served from the prefix; longer
+// requests re-run and replace it with their longer prefix. exhausted marks
+// a prefix that is the complete ranking, so even k > len is served.
+//
+// Values are stored as immutable snapshots (the service deep-copies on put
+// and on get where aliasing could leak), so concurrent hits are race-free.
+type prefix struct {
+	results   any // []join2.Result or []core.Answer, original id space
+	n         int // number of results in the prefix
+	exhausted bool
+}
+
+// resultLRU is a mutex-protected LRU of ranking prefixes keyed by the
+// request signature (which deliberately excludes k).
 type resultLRU struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[string]any
+	entries map[string]prefix
 	order   []string // most recently used last
 }
 
@@ -19,44 +33,56 @@ func newResultLRU(capacity int) *resultLRU {
 	if capacity < 0 {
 		return nil
 	}
-	return &resultLRU{cap: capacity, entries: make(map[string]any, capacity)}
+	return &resultLRU{cap: capacity, entries: make(map[string]prefix, capacity)}
 }
 
-func (c *resultLRU) get(key string) (any, bool) {
+// get returns the cached prefix when it can serve k results: it holds at
+// least k, or it is the exhausted complete ranking.
+func (c *resultLRU) get(key string, k int) (prefix, bool) {
 	if c == nil {
-		return nil, false
+		return prefix{}, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v, ok := c.entries[key]
-	if !ok {
-		return nil, false
+	if !ok || (v.n < k && !v.exhausted) {
+		return prefix{}, false
 	}
-	for i, k := range c.order {
-		if k == key {
-			copy(c.order[i:], c.order[i+1:])
-			c.order[len(c.order)-1] = key
-			break
-		}
-	}
+	c.touchLocked(key)
 	return v, true
 }
 
-func (c *resultLRU) put(key string, v any) {
+// getFull returns the cached prefix only when it is the complete ranking
+// (exhausted), which is the one case a stream of unknown demand can be
+// served entirely from cache.
+func (c *resultLRU) getFull(key string) (prefix, bool) {
+	if c == nil {
+		return prefix{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[key]
+	if !ok || !v.exhausted {
+		return prefix{}, false
+	}
+	c.touchLocked(key)
+	return v, true
+}
+
+// put offers a drained prefix. It only ever extends knowledge: a stored
+// prefix is replaced when the offer is longer, or marks the ranking
+// exhausted where the stored one did not.
+func (c *resultLRU) put(key string, v prefix) {
 	if c == nil || c.cap == 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; ok {
-		c.entries[key] = v
-		for i, k := range c.order {
-			if k == key {
-				copy(c.order[i:], c.order[i+1:])
-				c.order[len(c.order)-1] = key
-				break
-			}
+	if old, ok := c.entries[key]; ok {
+		if v.n > old.n || (v.exhausted && !old.exhausted) {
+			c.entries[key] = v
 		}
+		c.touchLocked(key)
 		return
 	}
 	if len(c.order) >= c.cap {
@@ -68,12 +94,14 @@ func (c *resultLRU) put(key string, v any) {
 	c.order = append(c.order, key)
 }
 
-// len reports the number of cached results.
-func (c *resultLRU) len() int {
-	if c == nil {
-		return 0
+// touchLocked moves key to the MRU position; caller holds c.mu and has
+// verified presence.
+func (c *resultLRU) touchLocked(key string) {
+	for i, k := range c.order {
+		if k == key {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = key
+			return
+		}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
 }

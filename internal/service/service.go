@@ -16,6 +16,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -498,14 +499,22 @@ func queryKey(sb *strings.Builder, params dht.Params, d int, q *Query) {
 	fmt.Fprintf(sb, "|p=%v,%v,%v|d=%d|ms=%d", params.Alpha, params.Beta, params.Lambda, d, q.Measure)
 }
 
-// Join2 runs (or serves from cache) a top-k 2-way join from p to q with
-// B-IDJ-Y, exactly as dhtjoin.TopKPairs would evaluate it.
-func (s *Service) Join2(graphName string, p, q SetRef, k int, query Query) ([]join2.Result, error) {
-	s.join2Reqs.Add(1)
-	if k <= 0 {
-		return nil, fmt.Errorf("service: k must be positive, got %d", k)
-	}
-	params, d, _, _, err := query.resolve()
+// join2Req is one resolved 2-way request: registry entry, session, node
+// sets (original id space), resolved parameters, and the prefix-cache key.
+type join2Req struct {
+	svc    *Service
+	sess   *session
+	pn, qn []graph.NodeID
+	params dht.Params
+	d      int
+	m      int // resolved per-edge budget: the default initial stream batch
+	query  Query
+	key    string
+}
+
+// resolveJoin2 resolves names, sets, parameters, and the session.
+func (s *Service) resolveJoin2(graphName string, p, q SetRef, query Query) (*join2Req, error) {
+	params, d, _, m, err := query.resolve()
 	if err != nil {
 		return nil, err
 	}
@@ -525,36 +534,42 @@ func (s *Service) Join2(graphName string, p, q SetRef, k int, query Query) ([]jo
 	if err != nil {
 		return nil, err
 	}
-
+	// The key deliberately excludes k: the cache stores ranking prefixes,
+	// and the prefix invariant makes one entry serve every k up to its
+	// length.
 	var sb strings.Builder
 	sb.WriteString("join2|")
 	refKey(&sb, p)
 	sb.WriteByte('|')
 	refKey(&sb, q)
-	fmt.Fprintf(&sb, "|k=%d", k)
 	queryKey(&sb, params, d, &query)
-	key := sb.String()
-	if cached, ok := sess.results.get(key); ok {
-		s.resultHits.Add(1)
-		res := cached.([]join2.Result)
-		out := make([]join2.Result, len(res))
-		copy(out, res)
-		return out, nil
+	return &join2Req{svc: s, sess: sess, pn: pn, qn: qn, params: params, d: d, m: m, query: query, key: sb.String()}, nil
+}
+
+// open acquires admission (honoring ctx) and starts the pair stream.
+// initial sizes the first batch; 0 selects the resolved per-edge budget.
+// batch marks a drain-exactly-initial caller (Join2): the stream then
+// skips the incremental F structure — whose O(|P|·|Q|) population a caller
+// that never pulls past the initial batch pays for nothing — and runs one
+// plain top-k join behind a doubling re-join.
+func (rq *join2Req) open(ctx context.Context, initial int, batch bool) (*Join2Stream, error) {
+	granted, err := rq.svc.adm.acquire(ctx, resolveWorkers(rq.query.Workers))
+	if err != nil {
+		return nil, err
 	}
-	s.resultMisses.Add(1)
-
-	granted := s.adm.acquire(resolveWorkers(query.Workers))
-	defer s.adm.release(granted)
-
+	if initial <= 0 {
+		initial = rq.m
+	}
+	sess := rq.sess
 	cfg := join2.Config{
 		Graph:      sess.g,
-		Params:     params,
-		D:          d,
-		P:          pn,
-		Q:          qn,
-		Measure:    query.Measure,
+		Params:     rq.params,
+		D:          rq.d,
+		P:          rq.pn,
+		Q:          rq.qn,
+		Measure:    rq.query.Measure,
 		Workers:    granted,
-		BatchWidth: query.BatchWidth,
+		BatchWidth: rq.query.BatchWidth,
 		Pool:       sess.pool,
 		Memo:       sess.memo,
 	}
@@ -562,35 +577,192 @@ func (s *Service) Join2(graphName string, p, q SetRef, k int, query Query) ([]jo
 		cfg.P = sess.rl.MapToNew(cfg.P)
 		cfg.Q = sess.rl.MapToNew(cfg.Q)
 	}
-	j, err := join2.NewBIDJY(cfg)
+	st, err := join2.NewBIDJYStream(cfg, join2.StreamSpec{Initial: initial}, batch)
 	if err != nil {
+		rq.svc.adm.release(granted)
 		return nil, err
 	}
-	defer j.Release()
-	res, err := j.TopK(k)
-	if err != nil {
-		return nil, err
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if sess.rl != nil {
-		for i := range res {
-			res[i].Pair.P = sess.rl.ToOld(res[i].Pair.P)
-			res[i].Pair.Q = sess.rl.ToOld(res[i].Pair.Q)
-		}
-	}
-	stored := make([]join2.Result, len(res))
-	copy(stored, res)
-	sess.results.put(key, stored)
-	return res, nil
+	return &Join2Stream{svc: rq.svc, ctx: ctx, sess: sess, key: rq.key, st: st, rl: sess.rl, granted: granted}, nil
 }
 
-// JoinN runs (or serves from cache) a top-k n-way join with PJ-i over the
-// query graph described by sets and edges (edges index into sets), exactly
-// as dhtjoin.TopK would evaluate it.
-func (s *Service) JoinN(graphName string, sets []SetRef, edges [][2]int, k int, query Query) ([]core.Answer, error) {
-	s.joinNReqs.Add(1)
+// maxCachedPrefix bounds how much of a drained ranking a stream records
+// for publication to the result cache. Without a cap a single exhaustive
+// stream over large sets would make the server buffer (and then pin in the
+// LRU) the entire O(|P|·|Q|) ranking the client consumed line by line. A
+// truncated recording still publishes a valid prefix — it just cannot
+// claim the ranking is exhausted.
+const maxCachedPrefix = 4096
+
+// Join2Stream streams one 2-way join request through the session's shared
+// pool and memo. It holds admission tokens and pooled engines until Stop —
+// callers MUST Stop (idempotent; draining to exhaustion or a ctx error
+// stops automatically). On Stop the drained prefix (up to maxCachedPrefix
+// results) is published to the session's result cache, so a later request
+// for any k up to that length is served without a join.
+type Join2Stream struct {
+	svc       *Service
+	ctx       context.Context
+	sess      *session
+	key       string
+	st        join2.Stream
+	rl        *graph.Relabeling
+	granted   int
+	drained   []join2.Result
+	truncated bool // results past maxCachedPrefix were not recorded
+	exhausted bool
+	stopped   bool
+
+	// replay, when non-nil, is a cached complete ranking served in place
+	// of a live join (no engines, no admission tokens, nothing to publish).
+	replay []join2.Result
+	pos    int
+}
+
+// Next returns the next-best pair in the caller's id space; ok is false at
+// exhaustion (or after Stop). A cancelled ctx stops the stream and returns
+// its error.
+func (s *Join2Stream) Next() (join2.Result, bool, error) {
+	if s.stopped {
+		return join2.Result{}, false, nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.Stop()
+		return join2.Result{}, false, err
+	}
+	if s.replay != nil {
+		if s.pos < len(s.replay) {
+			r := s.replay[s.pos]
+			s.pos++
+			return r, true, nil
+		}
+		s.exhausted = true
+		s.Stop()
+		return join2.Result{}, false, nil
+	}
+	r, ok, err := s.st.Next()
+	if err != nil {
+		s.Stop()
+		return join2.Result{}, false, err
+	}
+	if !ok {
+		s.exhausted = true
+		s.Stop()
+		return join2.Result{}, false, nil
+	}
+	if s.rl != nil {
+		r.Pair.P = s.rl.ToOld(r.Pair.P)
+		r.Pair.Q = s.rl.ToOld(r.Pair.Q)
+	}
+	if len(s.drained) < maxCachedPrefix {
+		s.drained = append(s.drained, r)
+	} else {
+		s.truncated = true
+	}
+	return r, true, nil
+}
+
+// NextK pulls up to k further results (fewer at exhaustion; on error the
+// results drained before it are returned alongside).
+func (s *Join2Stream) NextK(k int) ([]join2.Result, error) {
+	return join2.Drain(k, s.Next)
+}
+
+// Stop releases the stream's engines and admission tokens and publishes the
+// drained prefix to the result cache. Idempotent.
+func (s *Join2Stream) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	if s.st != nil {
+		s.st.Release()
+	}
+	s.svc.adm.release(s.granted)
+	s.granted = 0
+	if s.replay == nil && (len(s.drained) > 0 || s.exhausted) {
+		cp := make([]join2.Result, len(s.drained))
+		copy(cp, s.drained)
+		// A truncated recording is still a valid prefix, but it is not the
+		// complete ranking even if the stream ran to exhaustion.
+		s.sess.results.put(s.key, prefix{results: cp, n: len(cp), exhausted: s.exhausted && !s.truncated})
+	}
+}
+
+// OpenJoin2 opens a streaming top-pairs request on the named graph: results
+// arrive one at a time in rank order, bit-identical to the prefix of the
+// corresponding batch Join2. ctx cancellation (e.g. a disconnected HTTP
+// client) aborts the work and returns the engines to the session pool.
+func (s *Service) OpenJoin2(ctx context.Context, graphName string, p, q SetRef, query Query) (*Join2Stream, error) {
+	s.join2Reqs.Add(1)
+	rq, err := s.resolveJoin2(graphName, p, q, query)
+	if err != nil {
+		return nil, err
+	}
+	// A cached complete ranking replays without a join (a stream's demand
+	// is unknown up front, so only an exhausted prefix can serve it whole).
+	if pre, ok := rq.sess.results.getFull(rq.key); ok {
+		s.resultHits.Add(1)
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		return &Join2Stream{svc: s, ctx: ctx, sess: rq.sess, replay: pre.results.([]join2.Result)}, nil
+	}
+	s.resultMisses.Add(1)
+	return rq.open(ctx, 0, false)
+}
+
+// Join2 runs (or serves from the prefix cache) a top-k 2-way join from p to
+// q with B-IDJ-Y, exactly as dhtjoin.TopKPairs would evaluate it. It drains
+// the same stream OpenJoin2 exposes.
+func (s *Service) Join2(ctx context.Context, graphName string, p, q SetRef, k int, query Query) ([]join2.Result, error) {
+	s.join2Reqs.Add(1)
 	if k <= 0 {
 		return nil, fmt.Errorf("service: k must be positive, got %d", k)
 	}
+	rq, err := s.resolveJoin2(graphName, p, q, query)
+	if err != nil {
+		return nil, err
+	}
+	if pre, ok := rq.sess.results.get(rq.key, k); ok {
+		s.resultHits.Add(1)
+		res := pre.results.([]join2.Result)
+		n := min(k, len(res))
+		out := make([]join2.Result, n)
+		copy(out, res[:n])
+		return out, nil
+	}
+	s.resultMisses.Add(1)
+	st, err := rq.open(ctx, k, true)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Stop()
+	res, err := st.NextK(k)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// joinNReq is one resolved n-way request.
+type joinNReq struct {
+	svc      *Service
+	sess     *session
+	nodeSets []*graph.NodeSet // original id space
+	edges    [][2]int
+	params   dht.Params
+	d        int
+	agg      rankjoin.Aggregate
+	m        int
+	query    Query
+	key      string // empty when the request must bypass the cache
+}
+
+// resolveJoinN resolves names, sets, parameters, and the session.
+func (s *Service) resolveJoinN(graphName string, sets []SetRef, edges [][2]int, query Query) (*joinNReq, error) {
 	params, d, agg, m, err := query.resolve()
 	if err != nil {
 		return nil, err
@@ -615,14 +787,13 @@ func (s *Service) JoinN(graphName string, sets []SetRef, edges [][2]int, k int, 
 	if err != nil {
 		return nil, err
 	}
-
 	// The aggregate enters the cache key by name, which identifies it only
 	// for the built-in aggregates; a caller-supplied implementation could
 	// share a name with a different function, so those requests bypass the
 	// result cache rather than risk serving another aggregate's answers.
-	cacheable := builtinAgg(agg)
+	// Like the 2-way key, k is excluded: the cache stores ranking prefixes.
 	var key string
-	if cacheable {
+	if builtinAgg(agg) {
 		var sb strings.Builder
 		sb.WriteString("joinN|")
 		for _, ref := range sets {
@@ -632,70 +803,218 @@ func (s *Service) JoinN(graphName string, sets []SetRef, edges [][2]int, k int, 
 		for _, e := range edges {
 			fmt.Fprintf(&sb, "e%d-%d,", e[0], e[1])
 		}
-		fmt.Fprintf(&sb, "|k=%d|agg=%s|m=%d|dist=%v", k, agg.Name(), m, query.Distinct)
+		fmt.Fprintf(&sb, "|agg=%s|m=%d|dist=%v", agg.Name(), m, query.Distinct)
 		queryKey(&sb, params, d, &query)
 		key = sb.String()
-		if cached, ok := sess.results.get(key); ok {
-			s.resultHits.Add(1)
-			return copyAnswers(cached.([]core.Answer)), nil
-		}
-		s.resultMisses.Add(1)
 	}
+	return &joinNReq{svc: s, sess: sess, nodeSets: nodeSets, edges: edges,
+		params: params, d: d, agg: agg, m: m, query: query, key: key}, nil
+}
 
-	granted := s.adm.acquire(resolveWorkers(query.Workers))
-	defer s.adm.release(granted)
-
-	querySets := nodeSets
+// open acquires admission (honoring ctx) and starts the answer stream.
+func (rq *joinNReq) open(ctx context.Context) (*JoinNStream, error) {
+	granted, err := rq.svc.adm.acquire(ctx, resolveWorkers(rq.query.Workers))
+	if err != nil {
+		return nil, err
+	}
+	sess := rq.sess
+	querySets := rq.nodeSets
 	if sess.rl != nil {
-		querySets = make([]*graph.NodeSet, len(nodeSets))
-		for i, set := range nodeSets {
+		querySets = make([]*graph.NodeSet, len(rq.nodeSets))
+		for i, set := range rq.nodeSets {
 			querySets[i] = sess.rl.MapSetToNew(set)
 		}
 	}
 	qg := core.NewQueryGraph(querySets...)
-	for _, e := range edges {
+	for _, e := range rq.edges {
 		qg.AddEdge(e[0], e[1])
 	}
 	spec := core.Spec{
 		Graph:      sess.g,
 		Query:      qg,
-		Params:     params,
-		D:          d,
-		Agg:        agg,
-		K:          k,
-		Distinct:   query.Distinct,
-		Measure:    query.Measure,
+		Params:     rq.params,
+		D:          rq.d,
+		Agg:        rq.agg,
+		K:          1, // required by Validate; the stream itself is k-free
+		Distinct:   rq.query.Distinct,
+		Measure:    rq.query.Measure,
 		Workers:    granted,
-		BatchWidth: query.BatchWidth,
+		BatchWidth: rq.query.BatchWidth,
 		Pool:       sess.pool,
 		Memo:       sess.memo,
-		Counters:   &s.counters,
+		Counters:   &rq.svc.counters,
 	}
-	alg, err := core.NewPJI(spec, m)
+	alg, err := core.NewPJI(spec, rq.m)
 	if err != nil {
+		rq.svc.adm.release(granted)
 		return nil, err
 	}
-	answers, err := alg.Run()
+	st, err := alg.Stream()
 	if err != nil {
+		rq.svc.adm.release(granted)
 		return nil, err
 	}
-	if sess.rl != nil {
-		for _, a := range answers {
-			for i := range a.Nodes {
-				a.Nodes[i] = sess.rl.ToOld(a.Nodes[i])
-			}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &JoinNStream{svc: rq.svc, ctx: ctx, sess: sess, key: rq.key, st: st, rl: sess.rl, granted: granted}, nil
+}
+
+// JoinNStream streams one n-way join request; same contract as Join2Stream.
+type JoinNStream struct {
+	svc       *Service
+	ctx       context.Context
+	sess      *session
+	key       string
+	st        core.TupleStream
+	rl        *graph.Relabeling
+	granted   int
+	drained   []core.Answer
+	truncated bool // answers past maxCachedPrefix were not recorded
+	exhausted bool
+	stopped   bool
+
+	// replay, when non-nil, is a cached complete ranking served in place
+	// of a live join; see Join2Stream.replay.
+	replay []core.Answer
+	pos    int
+}
+
+// Next returns the next-best answer in the caller's id space; see
+// Join2Stream.Next.
+func (s *JoinNStream) Next() (core.Answer, bool, error) {
+	if s.stopped {
+		return core.Answer{}, false, nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.Stop()
+		return core.Answer{}, false, err
+	}
+	if s.replay != nil {
+		if s.pos < len(s.replay) {
+			// Served answers are deep copies: the replay slice is the
+			// cache's immutable snapshot.
+			cached := s.replay[s.pos]
+			s.pos++
+			a := core.Answer{Nodes: make([]graph.NodeID, len(cached.Nodes)), Score: cached.Score}
+			copy(a.Nodes, cached.Nodes)
+			return a, true, nil
+		}
+		s.exhausted = true
+		s.Stop()
+		return core.Answer{}, false, nil
+	}
+	a, ok, err := s.st.Next()
+	if err != nil {
+		s.Stop()
+		return core.Answer{}, false, err
+	}
+	if !ok {
+		s.exhausted = true
+		s.Stop()
+		return core.Answer{}, false, nil
+	}
+	if s.rl != nil {
+		for i := range a.Nodes {
+			a.Nodes[i] = s.rl.ToOld(a.Nodes[i])
 		}
 	}
-	if cacheable {
-		sess.results.put(key, copyAnswers(answers))
+	// The caller owns the returned Nodes slice, so the drained prefix keeps
+	// its own deep copy — a caller mutating a served tuple before Stop must
+	// not poison what Stop publishes to the result cache.
+	if len(s.drained) < maxCachedPrefix {
+		kept := core.Answer{Nodes: make([]graph.NodeID, len(a.Nodes)), Score: a.Score}
+		copy(kept.Nodes, a.Nodes)
+		s.drained = append(s.drained, kept)
+	} else {
+		s.truncated = true
+	}
+	return a, true, nil
+}
+
+// NextK pulls up to k further answers (fewer at exhaustion; on error the
+// answers drained before it are returned alongside).
+func (s *JoinNStream) NextK(k int) ([]core.Answer, error) {
+	return join2.Drain(k, s.Next)
+}
+
+// Stop releases engines and admission tokens and publishes the drained
+// prefix (unless the request bypasses the cache). Idempotent.
+func (s *JoinNStream) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	if s.st != nil {
+		s.st.Release()
+	}
+	s.svc.adm.release(s.granted)
+	s.granted = 0
+	if s.replay == nil && s.key != "" && (len(s.drained) > 0 || s.exhausted) {
+		// drained holds private deep copies (see Next), so it can be
+		// published as the immutable cache snapshot directly; a truncated
+		// recording is a valid prefix but never a complete ranking.
+		s.sess.results.put(s.key, prefix{results: s.drained, n: len(s.drained), exhausted: s.exhausted && !s.truncated})
+	}
+}
+
+// OpenJoinN opens a streaming n-way join request; see OpenJoin2.
+func (s *Service) OpenJoinN(ctx context.Context, graphName string, sets []SetRef, edges [][2]int, query Query) (*JoinNStream, error) {
+	s.joinNReqs.Add(1)
+	rq, err := s.resolveJoinN(graphName, sets, edges, query)
+	if err != nil {
+		return nil, err
+	}
+	if rq.key != "" {
+		if pre, ok := rq.sess.results.getFull(rq.key); ok {
+			s.resultHits.Add(1)
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			return &JoinNStream{svc: s, ctx: ctx, sess: rq.sess, replay: pre.results.([]core.Answer)}, nil
+		}
+		s.resultMisses.Add(1)
+	}
+	return rq.open(ctx)
+}
+
+// JoinN runs (or serves from the prefix cache) a top-k n-way join with PJ-i
+// over the query graph described by sets and edges (edges index into sets),
+// exactly as dhtjoin.TopK would evaluate it. It drains the same stream
+// OpenJoinN exposes.
+func (s *Service) JoinN(ctx context.Context, graphName string, sets []SetRef, edges [][2]int, k int, query Query) ([]core.Answer, error) {
+	s.joinNReqs.Add(1)
+	if k <= 0 {
+		return nil, fmt.Errorf("service: k must be positive, got %d", k)
+	}
+	rq, err := s.resolveJoinN(graphName, sets, edges, query)
+	if err != nil {
+		return nil, err
+	}
+	if rq.key != "" {
+		if pre, ok := rq.sess.results.get(rq.key, k); ok {
+			s.resultHits.Add(1)
+			res := pre.results.([]core.Answer)
+			return copyAnswers(res[:min(k, len(res))]), nil
+		}
+		s.resultMisses.Add(1)
+	}
+	st, err := rq.open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Stop()
+	answers, err := st.NextK(k)
+	if err != nil {
+		return nil, err
 	}
 	return answers, nil
 }
 
 // Score computes the truncated score h_d(u, v) exactly as dhtjoin.Score (on
 // the graph as loaded; relabeling is a join-side optimization and is ignored
-// here, matching the one-shot facade).
-func (s *Service) Score(graphName string, u, v graph.NodeID, query Query) (float64, error) {
+// here, matching the one-shot facade). ctx bounds the wait for admission.
+func (s *Service) Score(ctx context.Context, graphName string, u, v graph.NodeID, query Query) (float64, error) {
 	s.scoreReqs.Add(1)
 	params, d, _, _, err := query.resolve()
 	if err != nil {
@@ -713,7 +1032,10 @@ func (s *Service) Score(graphName string, u, v graph.NodeID, query Query) (float
 	if err != nil {
 		return 0, err
 	}
-	granted := s.adm.acquire(1)
+	granted, err := s.adm.acquire(ctx, 1)
+	if err != nil {
+		return 0, err
+	}
 	defer s.adm.release(granted)
 	e := sess.pool.Get()
 	defer sess.pool.Put(e)

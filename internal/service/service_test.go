@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -118,7 +119,7 @@ func TestServiceRegistry(t *testing.T) {
 	if !svc.DropGraph("a") || svc.DropGraph("a") {
 		t.Fatal("DropGraph existence reporting wrong")
 	}
-	if _, err := svc.Join2("a", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 5, Query{}); err == nil {
+	if _, err := svc.Join2(context.Background(), "a", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 5, Query{}); err == nil {
 		t.Fatal("join on dropped graph succeeded")
 	}
 }
@@ -133,7 +134,7 @@ func TestServiceLoadGraphText(t *testing.T) {
 	if err := svc.LoadGraphText("g", &buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := svc.Join2("g", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 10, Query{})
+	got, err := svc.Join2(context.Background(), "g", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 10, Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestServiceJoin2BitIdentical(t *testing.T) {
 	}
 	want := refJoin2(t, g, sets[0].Nodes(), sets[1].Nodes(), 15)
 	for round := 0; round < 3; round++ { // round 0 cold, 1-2 served from LRU
-		got, err := svc.Join2("g", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 15, Query{})
+		got, err := svc.Join2(context.Background(), "g", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 15, Query{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func TestServiceJoin2BitIdentical(t *testing.T) {
 		t.Fatalf("result cache hits/misses = %d/%d, want 2/1", st.ResultHits, st.ResultMisses)
 	}
 	// Explicit id lists and worker counts must not change anything.
-	got, err := svc.Join2("g",
+	got, err := svc.Join2(context.Background(), "g",
 		SetRef{IDs: sets[0].Nodes()}, SetRef{IDs: sets[1].Nodes()}, 15, Query{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -177,7 +178,7 @@ func TestServiceJoin2BitIdentical(t *testing.T) {
 	}
 	// Relabeled joins return original-space ids with equal scores (to fp
 	// summation reordering; ranks of non-tied pairs are unchanged).
-	rel, err := svc.Join2("g", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 15,
+	rel, err := svc.Join2(context.Background(), "g", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 15,
 		Query{Relabel: graph.ByDegree})
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +207,7 @@ func TestServiceJoinNBitIdentical(t *testing.T) {
 	refs := []SetRef{{Name: sets[0].Name}, {Name: sets[1].Name}, {Name: sets[2].Name}}
 	edges := [][2]int{{0, 1}, {1, 2}}
 	for round := 0; round < 2; round++ {
-		got, err := svc.JoinN("g", refs, edges, 8, Query{})
+		got, err := svc.JoinN(context.Background(), "g", refs, edges, 8, Query{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,14 +216,14 @@ func TestServiceJoinNBitIdentical(t *testing.T) {
 		}
 	}
 	// Mutating a served answer must not corrupt the cache.
-	got, err := svc.JoinN("g", refs, edges, 8, Query{})
+	got, err := svc.JoinN(context.Background(), "g", refs, edges, 8, Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) > 0 {
 		got[0].Nodes[0] = -999
 	}
-	again, err := svc.JoinN("g", refs, edges, 8, Query{})
+	again, err := svc.JoinN(context.Background(), "g", refs, edges, 8, Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,14 +247,14 @@ func TestServiceScore(t *testing.T) {
 	}
 	u, v := sets[0].Nodes()[0], sets[1].Nodes()[0]
 	want := e.ForwardScoreKind(dht.FirstHit, u, v, d)
-	got, err := svc.Score("g", u, v, Query{})
+	got, err := svc.Score(context.Background(), "g", u, v, Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != want {
 		t.Fatalf("Score = %v, want %v", got, want)
 	}
-	if _, err := svc.Score("g", -1, v, Query{}); err == nil {
+	if _, err := svc.Score(context.Background(), "g", -1, v, Query{}); err == nil {
 		t.Fatal("out-of-range node accepted")
 	}
 }
@@ -282,7 +283,7 @@ func TestServiceConcurrent(t *testing.T) {
 			for i := 0; i < 6; i++ {
 				switch (w + i) % 3 {
 				case 0:
-					got, err := svc.Join2("g", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 12,
+					got, err := svc.Join2(context.Background(), "g", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 12,
 						Query{Workers: 2, Relabel: graph.RelabelMode((w + i) % 2)})
 					if err != nil {
 						errs <- err
@@ -293,7 +294,7 @@ func TestServiceConcurrent(t *testing.T) {
 						return
 					}
 				case 1:
-					got, err := svc.JoinN("g", refs, edges, 6, Query{Workers: 2})
+					got, err := svc.JoinN(context.Background(), "g", refs, edges, 6, Query{Workers: 2})
 					if err != nil {
 						errs <- err
 						return
@@ -303,7 +304,7 @@ func TestServiceConcurrent(t *testing.T) {
 						return
 					}
 				default:
-					if _, err := svc.Score("g", sets[0].Nodes()[w], sets[1].Nodes()[i], Query{}); err != nil {
+					if _, err := svc.Score(context.Background(), "g", sets[0].Nodes()[w], sets[1].Nodes()[i], Query{}); err != nil {
 						errs <- err
 						return
 					}
@@ -335,7 +336,7 @@ func TestServiceSessionEviction(t *testing.T) {
 	}
 	p, q := SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}
 	for _, d := range []int{3, 4, 5} { // distinct d → distinct sessions
-		if _, err := svc.Join2("g", p, q, 5, Query{D: d}); err != nil {
+		if _, err := svc.Join2(context.Background(), "g", p, q, 5, Query{D: d}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -345,7 +346,7 @@ func TestServiceSessionEviction(t *testing.T) {
 	// The evicted d=3 session rebuilds on demand and still serves correctly.
 	want := refJoin2(t, g, sets[0].Nodes(), sets[1].Nodes(), 5)
 	_ = want
-	res, err := svc.Join2("g", p, q, 5, Query{D: 3})
+	res, err := svc.Join2(context.Background(), "g", p, q, 5, Query{D: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,11 +379,11 @@ func TestServiceCustomAggregateNotConflated(t *testing.T) {
 	}
 	refs := []SetRef{{Name: sets[0].Name}, {Name: sets[1].Name}}
 	edges := [][2]int{{0, 1}}
-	a, err := svc.JoinN("g", refs, edges, 4, Query{Agg: sameNameAgg{scale: 1}})
+	a, err := svc.JoinN(context.Background(), "g", refs, edges, 4, Query{Agg: sameNameAgg{scale: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := svc.JoinN("g", refs, edges, 4, Query{Agg: sameNameAgg{scale: 2}})
+	b, err := svc.JoinN(context.Background(), "g", refs, edges, 4, Query{Agg: sameNameAgg{scale: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,7 +428,7 @@ func TestServiceNegativeLimits(t *testing.T) {
 	if err := svc.LoadGraph("g", g, sets); err != nil {
 		t.Fatal(err)
 	}
-	res, err := svc.Join2("g", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 5, Query{})
+	res, err := svc.Join2(context.Background(), "g", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 5, Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,20 +461,55 @@ func TestRefKeyNoCollisions(t *testing.T) {
 }
 
 // TestAdmission pins the grant semantics: partial grants, minimum one token,
-// release wakes waiters.
+// release wakes waiters, and a cancelled context abandons the wait.
 func TestAdmission(t *testing.T) {
+	ctx := context.Background()
 	a := newAdmission(4)
-	if got := a.acquire(3); got != 3 {
-		t.Fatalf("acquire(3) = %d", got)
+	if got, err := a.acquire(ctx, 3); got != 3 || err != nil {
+		t.Fatalf("acquire(3) = %d, %v", got, err)
 	}
-	if got := a.acquire(5); got != 1 {
-		t.Fatalf("acquire(5) with 1 free = %d", got)
+	if got, err := a.acquire(ctx, 5); got != 1 || err != nil {
+		t.Fatalf("acquire(5) with 1 free = %d, %v", got, err)
 	}
 	done := make(chan int)
-	go func() { done <- a.acquire(2) }()
+	go func() {
+		n, err := a.acquire(ctx, 2)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- n
+	}()
 	a.release(3)
 	if got := <-done; got < 1 || got > 2 {
 		t.Fatalf("blocked acquire granted %d", got)
+	}
+}
+
+// TestAdmissionHonorsContext: a waiter whose request context dies must stop
+// occupying the queue and report the context error.
+func TestAdmissionHonorsContext(t *testing.T) {
+	a := newAdmission(1)
+	if _, err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	// All tokens held: a cancelled waiter must abort rather than block.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error)
+	go func() {
+		_, err := a.acquire(ctx, 1)
+		errc <- err
+	}()
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled acquire returned %v", err)
+	}
+	// Pre-cancelled contexts never touch the tokens.
+	if n, err := a.acquire(ctx, 3); err == nil || n != 0 {
+		t.Fatalf("pre-cancelled acquire = %d, %v", n, err)
+	}
+	a.release(1)
+	if n, err := a.acquire(context.Background(), 1); n != 1 || err != nil {
+		t.Fatalf("post-release acquire = %d, %v", n, err)
 	}
 }
 
@@ -512,11 +548,11 @@ func TestServiceStatsMonotone(t *testing.T) {
 		prev = cur
 	}
 	for i, d := range []int{3, 4, 3, 5, 4} { // session churn under MaxSessions=1
-		if _, err := svc.Join2("g", p, q, 4, Query{D: d}); err != nil {
+		if _, err := svc.Join2(context.Background(), "g", p, q, 4, Query{D: d}); err != nil {
 			t.Fatal(err)
 		}
 		if i%2 == 0 {
-			if _, err := svc.Score("g", 0, 1, Query{D: d}); err != nil {
+			if _, err := svc.Score(context.Background(), "g", 0, 1, Query{D: d}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -536,7 +572,7 @@ func BenchmarkServiceRepeatedJoin2(b *testing.B) {
 	p, q := SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := svc.Join2("g", p, q, 20, Query{}); err != nil {
+		if _, err := svc.Join2(context.Background(), "g", p, q, 20, Query{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -571,7 +607,7 @@ func BenchmarkServiceColdResultJoin2(b *testing.B) {
 	p, q := SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := svc.Join2("g", p, q, 20, Query{}); err != nil {
+		if _, err := svc.Join2(context.Background(), "g", p, q, 20, Query{}); err != nil {
 			b.Fatal(err)
 		}
 	}

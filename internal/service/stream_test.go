@@ -1,0 +1,329 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// poolOutstanding sums the checked-out engines of every live session pool.
+func poolOutstanding(svc *Service) int64 {
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	var n int64
+	for _, sess := range svc.sessions {
+		n += sess.pool.Outstanding()
+	}
+	return n
+}
+
+// TestOpenJoin2MatchesBatch: draining the streaming handle must reproduce
+// the batch Join2 bit-identically, and Stop must publish the drained prefix
+// so the next batch request is a cache hit.
+func TestOpenJoin2MatchesBatch(t *testing.T) {
+	g, sets := testGraph(t)
+	svc := New(Config{})
+	if err := svc.LoadGraph("g", g, sets); err != nil {
+		t.Fatal(err)
+	}
+	p, q := SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}
+
+	st, err := svc.OpenJoin2(context.Background(), "g", p, q, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := st.NextK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Stop()
+	if len(streamed) != 10 {
+		t.Fatalf("streamed %d of 10", len(streamed))
+	}
+	if n := poolOutstanding(svc); n != 0 {
+		t.Fatalf("%d engines outstanding after Stop", n)
+	}
+
+	// An independent service is the uncached reference.
+	ref := New(Config{})
+	if err := ref.LoadGraph("g", g, sets); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Join2(context.Background(), "g", p, q, 10, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if streamed[i] != want[i] {
+			t.Fatalf("rank %d: streamed %+v, batch %+v", i, streamed[i], want[i])
+		}
+	}
+
+	// The drained prefix now serves batch requests for any k ≤ 10.
+	before := svc.Stats().ResultHits
+	got, err := svc.Join2(context.Background(), "g", p, q, 7, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats().ResultHits != before+1 {
+		t.Fatal("prefix published by the stream was not served from cache")
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cached rank %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJoin2PrefixCache: one cache entry serves every k up to its length,
+// longer requests extend it, and an exhausted prefix serves any k.
+func TestJoin2PrefixCache(t *testing.T) {
+	g, sets := testGraph(t)
+	svc := New(Config{})
+	if err := svc.LoadGraph("g", g, sets); err != nil {
+		t.Fatal(err)
+	}
+	p, q := SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}
+	ctx := context.Background()
+
+	first, err := svc.Join2(ctx, "g", p, q, 8, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := svc.Stats()
+	if stats.ResultMisses != 1 || stats.ResultHits != 0 {
+		t.Fatalf("after first call: %+v", stats)
+	}
+	shorter, err := svc.Join2(ctx, "g", p, q, 5, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats().ResultHits != 1 {
+		t.Fatal("k=5 after k=8 was not a prefix hit")
+	}
+	for i := range shorter {
+		if shorter[i] != first[i] {
+			t.Fatalf("prefix rank %d: %+v vs %+v", i, shorter[i], first[i])
+		}
+	}
+	// Longer than the prefix: a miss that replaces it.
+	if _, err := svc.Join2(ctx, "g", p, q, 12, Query{}); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats().ResultMisses != 2 {
+		t.Fatalf("k=12 should have missed: %+v", svc.Stats())
+	}
+	if _, err := svc.Join2(ctx, "g", p, q, 12, Query{}); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats().ResultHits != 2 {
+		t.Fatal("repeat k=12 should have hit")
+	}
+
+	// Drain the whole ranking; the exhausted prefix then serves any k.
+	total := len(sets[0].Nodes()) * len(sets[1].Nodes())
+	full, err := svc.Join2(ctx, "g", p, q, total+50, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != total {
+		t.Fatalf("full drain returned %d of %d", len(full), total)
+	}
+	hits := svc.Stats().ResultHits
+	again, err := svc.Join2(ctx, "g", p, q, total+999, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats().ResultHits != hits+1 {
+		t.Fatal("exhausted prefix did not serve an oversized k")
+	}
+	if len(again) != total {
+		t.Fatalf("cached full ranking returned %d", len(again))
+	}
+}
+
+// TestServiceStreamCancellation: cancelling a request context mid-stream
+// must stop the stream, release admission tokens, and return every pooled
+// engine — no leaks for a disconnected client.
+func TestServiceStreamCancellation(t *testing.T) {
+	g, sets := testGraph(t)
+	svc := New(Config{MaxConcurrency: 2})
+	if err := svc.LoadGraph("g", g, sets); err != nil {
+		t.Fatal(err)
+	}
+	p, q := SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := svc.OpenJoin2(ctx, "g", p, q, Query{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Next(); !ok || err != nil {
+		t.Fatalf("first pull: ok=%v err=%v", ok, err)
+	}
+	cancel()
+	if _, ok, err := st.Next(); ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel pull: ok=%v err=%v", ok, err)
+	}
+	if n := poolOutstanding(svc); n != 0 {
+		t.Fatalf("%d engines outstanding after cancellation", n)
+	}
+	// Admission tokens are back: a full-width request is granted instantly.
+	granted, err := svc.adm.acquire(context.Background(), 2)
+	if err != nil || granted != 2 {
+		t.Fatalf("admission after cancel: granted=%d err=%v", granted, err)
+	}
+	svc.adm.release(granted)
+
+	// Same for the n-way stream.
+	refs := []SetRef{{Name: sets[0].Name}, {Name: sets[1].Name}, {Name: sets[2].Name}}
+	edges := [][2]int{{0, 1}, {1, 2}}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	nst, err := svc.OpenJoinN(ctx2, "g", refs, edges, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := nst.Next(); !ok || err != nil {
+		t.Fatalf("n-way first pull: ok=%v err=%v", ok, err)
+	}
+	cancel2()
+	if _, ok, err := nst.Next(); ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("n-way post-cancel pull: ok=%v err=%v", ok, err)
+	}
+	if n := poolOutstanding(svc); n != 0 {
+		t.Fatalf("%d engines outstanding after n-way cancellation", n)
+	}
+}
+
+// TestOpenJoinNMatchesBatch: the n-way streaming handle against JoinN.
+func TestOpenJoinNMatchesBatch(t *testing.T) {
+	g, sets := testGraph(t)
+	svc := New(Config{})
+	if err := svc.LoadGraph("g", g, sets); err != nil {
+		t.Fatal(err)
+	}
+	refs := []SetRef{{Name: sets[0].Name}, {Name: sets[1].Name}, {Name: sets[2].Name}}
+	edges := [][2]int{{0, 1}, {1, 2}}
+
+	st, err := svc.OpenJoinN(context.Background(), "g", refs, edges, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := st.NextK(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Stop()
+
+	ref := New(Config{})
+	if err := ref.LoadGraph("g", g, sets); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.JoinN(context.Background(), "g", refs, edges, 6, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(want) {
+		t.Fatalf("streamed %d, batch %d", len(streamed), len(want))
+	}
+	for i := range want {
+		if streamed[i].Score != want[i].Score {
+			t.Fatalf("rank %d: %v vs %v", i, streamed[i], want[i])
+		}
+		for j := range want[i].Nodes {
+			if streamed[i].Nodes[j] != want[i].Nodes[j] {
+				t.Fatalf("rank %d tuples: %v vs %v", i, streamed[i].Nodes, want[i].Nodes)
+			}
+		}
+	}
+
+	// The stream's prefix serves the next batch request.
+	hits := svc.Stats().ResultHits
+	if _, err := svc.JoinN(context.Background(), "g", refs, edges, 4, Query{}); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats().ResultHits != hits+1 {
+		t.Fatal("n-way prefix was not served from cache")
+	}
+}
+
+// TestOpenJoin2ReplaysExhaustedPrefix: once a drain exhausted the ranking,
+// opening a new stream must replay the cached ranking without touching the
+// engines, and still look exhausted to the consumer.
+func TestOpenJoin2ReplaysExhaustedPrefix(t *testing.T) {
+	g, sets := testGraph(t)
+	svc := New(Config{})
+	if err := svc.LoadGraph("g", g, sets); err != nil {
+		t.Fatal(err)
+	}
+	p, q := SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}
+	ctx := context.Background()
+	total := len(sets[0].Nodes()) * len(sets[1].Nodes())
+
+	full, err := svc.Join2(ctx, "g", p, q, total+10, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	walksBefore := svc.Stats().Walks
+	hitsBefore := svc.Stats().ResultHits
+	st, err := svc.OpenJoin2(ctx, "g", p, q, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	replayed, err := st.NextK(total + 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != total {
+		t.Fatalf("replayed %d of %d", len(replayed), total)
+	}
+	for i := range full {
+		if replayed[i] != full[i] {
+			t.Fatalf("replay rank %d: %+v vs %+v", i, replayed[i], full[i])
+		}
+	}
+	if _, ok, _ := st.Next(); ok {
+		t.Fatal("replay stream not exhausted")
+	}
+	s := svc.Stats()
+	if s.Walks != walksBefore {
+		t.Fatalf("replay performed %d walks", s.Walks-walksBefore)
+	}
+	if s.ResultHits != hitsBefore+1 {
+		t.Fatalf("replay not counted as a hit: %+v", s)
+	}
+}
+
+// TestJoinNStreamCacheImmutable: mutating an answer served by the stream
+// must not alter what Stop publishes to the result cache.
+func TestJoinNStreamCacheImmutable(t *testing.T) {
+	g, sets := testGraph(t)
+	svc := New(Config{})
+	if err := svc.LoadGraph("g", g, sets); err != nil {
+		t.Fatal(err)
+	}
+	refs := []SetRef{{Name: sets[0].Name}, {Name: sets[1].Name}}
+	edges := [][2]int{{0, 1}}
+	st, err := svc.OpenJoinN(context.Background(), "g", refs, edges, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok, err := st.Next()
+	if !ok || err != nil {
+		t.Fatalf("first pull: ok=%v err=%v", ok, err)
+	}
+	want := a.Nodes[0]
+	a.Nodes[0] = -999 // hostile caller
+	st.Stop()
+	cached, err := svc.JoinN(context.Background(), "g", refs, edges, 1, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats().ResultHits != 1 {
+		t.Fatalf("expected the published prefix to serve k=1: %+v", svc.Stats())
+	}
+	if cached[0].Nodes[0] != want {
+		t.Fatalf("cache poisoned: got node %d, want %d", cached[0].Nodes[0], want)
+	}
+}
