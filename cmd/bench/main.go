@@ -11,6 +11,12 @@
 //	bench -o out/          # write the file into a directory
 //	bench -bench Fig9a     # run the benchmarks whose name contains a substring
 //	bench -list            # list benchmark names and exit
+//	bench -baseline bench/BENCH_pr5.json -threshold 2.5
+//	                       # additionally print a benchstat-style old/new
+//	                       # table against the baseline and exit non-zero
+//	                       # when any shared benchmark regresses past the
+//	                       # ns/op threshold factor (the CI bench job's
+//	                       # regression gate)
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/dhtjoin"
 	"repro/internal/dht"
 	"repro/internal/experiments"
 	"repro/internal/graph"
@@ -59,12 +66,32 @@ type spec struct {
 
 func main() {
 	var (
-		rev    = flag.String("rev", "", "revision label (default: git rev-parse --short HEAD)")
-		outDir = flag.String("o", ".", "directory to write BENCH_<rev>.json into")
-		match  = flag.String("bench", "", "run only benchmarks whose name contains this substring")
-		list   = flag.Bool("list", false, "list benchmark names and exit")
+		rev       = flag.String("rev", "", "revision label (default: git rev-parse --short HEAD)")
+		outDir    = flag.String("o", ".", "directory to write BENCH_<rev>.json into")
+		match     = flag.String("bench", "", "run only benchmarks whose name contains this substring")
+		list      = flag.Bool("list", false, "list benchmark names and exit")
+		baseline  = flag.String("baseline", "", "BENCH_*.json to compare against after the run (regression check)")
+		threshold = flag.Float64("threshold", 1.5, "ns/op regression factor that fails the -baseline comparison")
+		compare   = flag.String("compare", "", "compare this already-written BENCH_*.json against -baseline without running anything")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "bench: -compare requires -baseline")
+			os.Exit(2)
+		}
+		fresh, err := readReport(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := compareBaseline(*baseline, fresh, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	specs := benchSet()
 	if *list {
@@ -115,6 +142,80 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(path)
+	if *baseline != "" {
+		if err := compareBaseline(*baseline, &rep, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// readReport loads a BENCH_*.json document.
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareBaseline prints a benchstat-style table of the fresh results
+// against a checked-in baseline report and errors when any benchmark shared
+// by both regresses in ns/op past the threshold factor. Benchmarks present
+// on only one side are reported but never gate: a new benchmark has no
+// baseline, and a retired one no longer matters. ns/op is only comparable
+// between runs on the same machine — treat cross-machine comparisons (e.g.
+// CI against a developer-recorded baseline) as advisory.
+func compareBaseline(path string, fresh *Report, threshold float64) error {
+	basePtr, err := readReport(path)
+	if err != nil {
+		return err
+	}
+	base := *basePtr
+	old := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		old[r.Name] = r
+	}
+	fmt.Fprintf(os.Stderr, "\nvs baseline %s (rev %s):\n", path, base.Rev)
+	fmt.Fprintf(os.Stderr, "%-28s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var regressions []string
+	for _, r := range fresh.Results {
+		b, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "%-28s %14s %14.0f %8s\n", r.Name, "-", r.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (r.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %14.0f %14.0f %+7.1f%%\n", r.Name, b.NsPerOp, r.NsPerOp, delta)
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (×%.2f > ×%.2f)", r.Name, b.NsPerOp, r.NsPerOp, r.NsPerOp/b.NsPerOp, threshold))
+		}
+	}
+	for _, r := range base.Results {
+		found := false
+		for _, f := range fresh.Results {
+			if f.Name == r.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "%-28s %14.0f %14s %8s\n", r.Name, r.NsPerOp, "-", "gone")
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("regressions past ×%.2f:\n  %s", threshold, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintln(os.Stderr, "no regressions past the threshold")
+	return nil
 }
 
 // gitRev resolves the short revision of the working tree, "dev" when git is
@@ -318,6 +419,64 @@ func benchSet() []spec {
 			}
 		}
 	}
+	// The planner pair: PlanOverhead prices one Explain — workload assembly
+	// plus the full candidate cost table against the graph's cached stats —
+	// which the acceptance bar holds under 100µs per query. The FullRanking
+	// pair is the workload where the planner's non-default pick wins: at
+	// k = |P|·|Q| nothing can be pruned, so B-IDJ-Y's deepening rounds are
+	// pure overhead and the planner flips to B-BJ (one full-depth walk per
+	// target). Both run the identical public batch path; only the algorithm
+	// choice differs (PlannerFullRanking lets the planner pick, Forced
+	// pins the old default via hints), so their delta is exactly the
+	// planner's win.
+	planBench := func() func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := joinCfg(b)
+			qy := dhtjoin.NewPairQuery(cfg.Graph,
+				graph.NewNodeSet("P", cfg.P), graph.NewNodeSet("Q", cfg.Q))
+			ctx := context.Background()
+			if _, err := qy.Explain(ctx); err != nil { // warm the stats cache
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := qy.Explain(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	plannerFull := func(forced string) func(b *testing.B) {
+		return func(b *testing.B) {
+			// Walk-dominated shape: few sources, many targets. The backward
+			// family pays one walk per target either way; demanding the full
+			// ranking leaves B-IDJ-Y's deepening rounds nothing to prune.
+			g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+				Sizes: []int{800, 800, 800}, PIn: 0.008, POut: 0.008, Seed: 3, MinOutLink: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := graph.NewNodeSet("P", sets[0].Nodes()[:5])
+			q := graph.NewNodeSet("Q", sets[1].Nodes()[:400])
+			qy := dhtjoin.NewPairQuery(g, p, q)
+			if forced != "" {
+				qy = qy.WithHints(dhtjoin.Hints{Algorithm: forced})
+			}
+			k := p.Len() * q.Len()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := qy.TopKPairs(ctx, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != k {
+					b.Fatalf("got %d of %d pairs", len(res), k)
+				}
+			}
+		}
+	}
 	return []spec{
 		{"Fig9a2WayAlgos", expBench("fig9a")},
 		{"Fig7aYeastVsN", expBench("fig7a")},
@@ -334,5 +493,8 @@ func benchSet() []spec {
 		{"ServiceJoin2Repeat", serviceBench(&service.Config{})},
 		{"ServiceJoin2ColdResults", serviceBench(&service.Config{ResultCacheSize: -1})},
 		{"OneShotJoin2Repeat", serviceBench(nil)},
+		{"PlanOverhead", planBench()},
+		{"PlannerFullRanking", plannerFull("")},
+		{"ForcedBIDJYFullRanking", plannerFull("B-IDJ-Y")},
 	}
 }

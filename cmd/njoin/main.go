@@ -10,6 +10,12 @@
 //	njoin -graph yeast.graph -sets 3-U,8-D -k 10                  # 2-way
 //	njoin -graph yeast.graph -sets 3-U,5-F,8-D -shape triangle -k 5
 //	njoin -graph yeast.graph -sets 3-U,5-F,8-D -agg SUM -algo pj -m 100
+//	njoin -graph yeast.graph -sets 3-U,8-D -k 10 -explain         # plan only
+//
+// By default (-algo auto) the cost-based planner picks the evaluation
+// algorithm from the graph's structural stats and the query shape; -explain
+// prints the chosen plan and the per-candidate cost table without running
+// the join.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dht"
 	"repro/internal/graph"
+	"repro/internal/plan"
 	"repro/internal/rankjoin"
 )
 
@@ -32,7 +39,8 @@ func main() {
 		shape     = flag.String("shape", "chain", "chain | triangle | star | clique")
 		k         = flag.Int("k", 50, "number of answers")
 		m         = flag.Int("m", 50, "per-edge 2-way join budget (PJ/PJ-i)")
-		algo      = flag.String("algo", "pji", "nl | ap | pj | pji")
+		algo      = flag.String("algo", "auto", "auto (cost-based planner) | nl | ap | pj | pji")
+		explain   = flag.Bool("explain", false, "print the chosen plan and cost table without running the join")
 		aggName   = flag.String("agg", "MIN", "aggregate: SUM | MIN | MAX | AVG")
 		lambda    = flag.Float64("lambda", 0.2, "DHTλ decay factor")
 		useDHTE   = flag.Bool("dhte", false, "use the DHTe measure instead of DHTλ")
@@ -42,13 +50,13 @@ func main() {
 		quiet     = flag.Bool("q", false, "print answers only, no timing")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *setNames, *shape, *k, *m, *algo, *aggName, *lambda, *useDHTE, *usePPR, *eps, *limit, *quiet); err != nil {
+	if err := run(*graphPath, *setNames, *shape, *k, *m, *algo, *aggName, *lambda, *useDHTE, *usePPR, *eps, *limit, *quiet, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "njoin:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, setNames, shape string, k, m int, algo, aggName string, lambda float64, useDHTE, usePPR bool, eps float64, limit int, quiet bool) error {
+func run(graphPath, setNames, shape string, k, m int, algo, aggName string, lambda float64, useDHTE, usePPR bool, eps float64, limit int, quiet, explain bool) error {
 	if graphPath == "" || setNames == "" {
 		return fmt.Errorf("-graph and -sets are required (see -h)")
 	}
@@ -119,19 +127,37 @@ func run(graphPath, setNames, shape string, k, m int, algo, aggName string, lamb
 		Measure: measure,
 	}
 
-	var alg core.Algorithm
+	// Resolve the -algo flag to a registered executor name ("" = planner).
+	var forced string
 	switch algo {
+	case "auto":
 	case "nl":
-		alg, err = core.NewNL(spec)
+		forced = "NL"
 	case "ap":
-		alg, err = core.NewAP(spec)
+		forced = "AP"
 	case "pj":
-		alg, err = core.NewPJ(spec, m)
+		forced = "PJ"
 	case "pji":
-		alg, err = core.NewPJI(spec, m)
+		forced = "PJ-i"
 	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		return fmt.Errorf("unknown algorithm %q (want auto, nl, ap, pj, or pji)", algo)
 	}
+	w := plan.Workload{Stats: g.Stats(), K: k, M: m, D: spec.D}
+	for _, s := range chosen {
+		w.SetSizes = append(w.SetSizes, s.Len())
+	}
+	for _, e := range q.Edges() {
+		w.QueryEdges = append(w.QueryEdges, [2]int{e.From, e.To})
+	}
+	pl, err := plan.Decide(plan.NWay, w, forced)
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Print(pl.Format())
+		return nil
+	}
+	alg, err := core.NewNamed(pl.Algorithm, spec, m)
 	if err != nil {
 		return err
 	}

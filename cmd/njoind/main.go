@@ -17,7 +17,14 @@
 //	POST   /join2           {"graph":"g","p":{"set":"U"},"q":{"set":"D"},"k":10}
 //	POST   /joinN           {"graph":"g","sets":[...],"shape":"chain","k":5}
 //	GET    /score           ?graph=g&u=3&v=8
-//	GET    /stats           service counters
+//	GET    /explain         ?graph=g&p=U&q=D&k=10 (dry-run plan, named sets)
+//	GET    /stats           service counters (incl. planner picks)
+//
+// The execution algorithm is chosen per request by the cost-based planner
+// (internal/plan) over the graph's structural stats and the session's
+// observed walk costs; add "algo":"B-BJ" (etc.) to options to force one,
+// and "explain":true to either join body for a dry-run {"plan":...}
+// response instead of results.
 //
 // Both join endpoints stream: add "stream":true to receive NDJSON — one
 // rank-ordered result per line, flushed as the joiners confirm it, ended by

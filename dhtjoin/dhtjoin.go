@@ -5,13 +5,19 @@
 // The library answers two query families over a directed weighted graph:
 //
 //   - Top-k 2-way joins: the k node pairs (p, q) ∈ P×Q with the highest DHT
-//     scores h(p, q), evaluated with the backward pruning algorithm B-IDJ-Y
-//     (or any of the four alternatives).
+//     scores h(p, q), evaluated with whichever of the five reproduced
+//     algorithms (B-IDJ-Y/X, B-BJ, F-BJ, F-IDJ) the cost-based planner
+//     picks for the workload — usually the backward pruning B-IDJ-Y.
 //
 //   - Top-k n-way joins: given a query graph over n node sets and a
 //     monotonic aggregate f (MIN, SUM, …), the k n-tuples with the highest
-//     aggregate of per-edge DHT scores, evaluated with the incremental
-//     partial join PJ-i (or NL / AP / PJ).
+//     aggregate of per-edge DHT scores, evaluated with the planner's pick
+//     among NL / AP / PJ / PJ-i (usually the incremental partial join
+//     PJ-i).
+//
+// Every operator returns the bit-identical ranking, so the planner's choice
+// moves only cost; Query.Explain reports the decision with per-candidate
+// estimates, and Query.WithHints forces one.
 //
 // Both query families execute as context-aware pull streams of
 // rank-ordered results (the algorithms are incremental by construction —
@@ -213,27 +219,16 @@ func (o *Options) resolve() (Params, int, Aggregate, int, error) {
 	return p, d, agg, m, nil
 }
 
-// TopKPairs runs a top-k 2-way join from P to Q with B-IDJ-Y, returning the
-// k pairs with the highest DHT scores in descending order. It is a thin
-// wrapper over the streaming Query API — it opens the pair stream with an
-// initial batch of k and drains it — so the result is bit-identical to the
+// TopKPairs runs a top-k 2-way join from P to Q, returning the k pairs with
+// the highest DHT scores in descending order. The evaluation algorithm is
+// chosen per query by the cost-based planner (usually B-IDJ-Y, the paper's
+// best; see Query.Explain) — every choice returns the bit-identical
+// ranking. It is a thin wrapper over the Query API — the result equals the
 // first k elements of NewPairQuery(g, p, q).Results(ctx). Callers that want
-// early termination, "next k" continuation, or cancellation should use the
-// Query API directly.
+// early termination, "next k" continuation, cancellation, or algorithm
+// forcing should use the Query API directly.
 func TopKPairs(g *Graph, p, q *NodeSet, k int, opts *Options) ([]PairResult, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("%w: got %d", ErrInvalidK, k)
-	}
-	s, err := NewPairQuery(g, p, q).WithOptions(opts).openPairs(context.Background(), k, true)
-	if err != nil {
-		return nil, err
-	}
-	defer s.Stop()
-	res, err := s.NextK(k)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return NewPairQuery(g, p, q).WithOptions(opts).TopKPairs(context.Background(), k)
 }
 
 // Score computes the truncated DHT score h_d(u, v) directly.
@@ -275,25 +270,14 @@ func ScoresFrom(g *Graph, v NodeID, opts *Options, out []float64) ([]float64, er
 	return out, nil
 }
 
-// TopK runs a top-k n-way join over the query graph with PJ-i, returning the
-// k answers with the highest aggregate scores in descending order. Like
-// TopKPairs it is a thin wrapper that drains the streaming Query API:
-// bit-identical to the first k elements of
-// NewJoinQuery(g, query).Answers(ctx).
+// TopK runs a top-k n-way join over the query graph, returning the k
+// answers with the highest aggregate scores in descending order. The
+// operator (NL / AP / PJ / PJ-i) is chosen per query by the cost-based
+// planner — every choice returns the bit-identical ranking. Like TopKPairs
+// it is a thin wrapper that drains the streaming Query API: bit-identical
+// to the first k elements of NewJoinQuery(g, query).Answers(ctx).
 func TopK(g *Graph, query *QueryGraph, k int, opts *Options) ([]Answer, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("%w: got %d", ErrInvalidK, k)
-	}
-	s, err := NewJoinQuery(g, query).WithOptions(opts).OpenAnswers(context.Background())
-	if err != nil {
-		return nil, err
-	}
-	defer s.Stop()
-	answers, err := s.NextK(k)
-	if err != nil {
-		return nil, err
-	}
-	return answers, nil
+	return NewJoinQuery(g, query).WithOptions(opts).TopK(context.Background(), k)
 }
 
 // Steps exposes the Lemma-1 bound: the walk depth needed so that the

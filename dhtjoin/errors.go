@@ -32,4 +32,13 @@ var (
 
 	// ErrStreamStopped reports a pull from a stream after Stop.
 	ErrStreamStopped = errors.New("dhtjoin: stream already stopped")
+
+	// ErrUnknownAlgorithm reports a Hints.Algorithm naming no registered
+	// executor (the valid names are Algorithms2Way / AlgorithmsNWay).
+	ErrUnknownAlgorithm = errors.New("dhtjoin: unknown algorithm hint")
+
+	// ErrHintConflict reports hints that contradict the query: a 2-way
+	// algorithm forced onto an n-way query (or vice versa), or an invalid
+	// relabel mode.
+	ErrHintConflict = errors.New("dhtjoin: hint conflicts with the query")
 )

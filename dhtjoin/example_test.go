@@ -92,6 +92,30 @@ func ExampleQuery_Results() {
 	// (0,2) -1.1486
 }
 
+func ExampleQuery_Explain() {
+	g := square()
+	p := dhtjoin.NewNodeSet("P", []dhtjoin.NodeID{0, 1})
+	q := dhtjoin.NewNodeSet("Q", []dhtjoin.NodeID{2, 3})
+	// Explain is a dry run: the cost-based planner prices every registered
+	// executor against the graph's cached stats and reports its pick —
+	// here B-BJ, because the default budget covers the whole 2×2 candidate
+	// space, leaving iterative deepening nothing to prune. The streaming
+	// entry points (Results, OpenPairs, …) run exactly this plan; the batch
+	// TopKPairs(ctx, k) re-plans for its exact k — ExplainTopK prices that
+	// — and WithHints forces a row of the table, bit-identically.
+	pl, err := dhtjoin.NewPairQuery(g, p, q).Explain(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("chosen: %s (forced=%v, %d candidates priced)\n",
+		pl.Algorithm, pl.Forced, len(pl.Estimates))
+	fmt.Printf("cheapest: %s, most expensive: %s\n",
+		pl.Estimates[0].Algorithm, pl.Estimates[len(pl.Estimates)-1].Algorithm)
+	// Output:
+	// chosen: B-BJ (forced=false, 5 candidates priced)
+	// cheapest: B-BJ, most expensive: F-IDJ
+}
+
 func ExamplePairStream_NextK() {
 	g := square()
 	p := dhtjoin.NewNodeSet("P", []dhtjoin.NodeID{0, 1})

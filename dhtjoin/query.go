@@ -2,11 +2,13 @@ package dhtjoin
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 
 	"repro/internal/core"
 	"repro/internal/join2"
+	"repro/internal/plan"
 )
 
 // Query is the query-centric entry point: a value describing one join —
@@ -28,21 +30,87 @@ import (
 // immutable after construction and may be executed any number of times;
 // each execution is independent. Streams themselves are single-goroutine.
 type Query struct {
-	g    *Graph
-	p, q *NodeSet
-	join *QueryGraph
-	opts *Options
+	g     *Graph
+	p, q  *NodeSet
+	join  *QueryGraph
+	opts  *Options
+	hints Hints
 }
 
-// NewPairQuery describes a 2-way join from p to q over g, evaluated with
-// B-IDJ-Y (the paper's best 2-way algorithm) and streamed through the
-// incremental F structure of §VI-D.
+// Hints force planner decisions for one query. The zero value defers
+// everything to the cost-based planner (and the query's Options); a non-zero
+// field overrides both. Invalid hints are rejected at Validate/open time
+// with the package's typed errors: an Algorithm naming no registered
+// executor fails with ErrUnknownAlgorithm, an algorithm of the wrong query
+// class (a 2-way joiner on an n-way query, or vice versa) or an invalid
+// Relabel mode fails with ErrHintConflict — both errors.Is-able.
+type Hints struct {
+	// Algorithm forces the named executor instead of the planner's pick:
+	// one of Algorithms2Way for pair queries ("B-IDJ-Y", "B-IDJ-X", "B-BJ",
+	// "F-BJ", "F-IDJ") or AlgorithmsNWay for n-way queries ("NL", "AP",
+	// "PJ", "PJ-i"). Results are bit-identical under any choice — forcing
+	// is purely a cost decision.
+	Algorithm string
+
+	// Workers overrides Options.Workers when non-zero (negative selects
+	// GOMAXPROCS, exactly as in Options).
+	Workers int
+
+	// BatchWidth overrides Options.BatchWidth when non-zero.
+	BatchWidth int
+
+	// Relabel overrides Options.Relabel when not RelabelOff.
+	Relabel RelabelMode
+}
+
+// WithHints returns a copy of the query carrying h; see Hints for the
+// override and validation semantics.
+func (qy *Query) WithHints(h Hints) *Query {
+	cp := *qy
+	cp.hints = h
+	return &cp
+}
+
+// QueryPlan is the planner's decision for one query: the chosen algorithm,
+// the per-candidate cost estimates (ascending, in estimated edge
+// relaxations), and the workload — including the graph's structural stats
+// snapshot — the estimates were computed from. Returned by Query.Explain.
+type QueryPlan = plan.Plan
+
+// PlanEstimate is one candidate row of a QueryPlan.
+type PlanEstimate = plan.Estimate
+
+// Algorithms2Way and AlgorithmsNWay list the registered executor names of
+// each query class, in registry (alphabetical) order — the valid values of
+// Hints.Algorithm.
+func Algorithms2Way() []string { return algorithmNames(plan.TwoWay) }
+
+// AlgorithmsNWay lists the registered n-way executor names.
+func AlgorithmsNWay() []string { return algorithmNames(plan.NWay) }
+
+func algorithmNames(class plan.Class) []string {
+	ds := plan.Executors(class)
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// NewPairQuery describes a 2-way join from p to q over g. The cost-based
+// planner picks the evaluation algorithm per query — usually B-IDJ-Y (the
+// paper's best 2-way algorithm, streamed through the incremental F structure
+// of §VI-D), but e.g. B-BJ when the demanded prefix covers most of the
+// candidate space and iterative deepening could not prune. Explain reports
+// the decision; WithHints forces one. Results are bit-identical under every
+// choice.
 func NewPairQuery(g *Graph, p, q *NodeSet) *Query {
 	return &Query{g: g, p: p, q: q}
 }
 
 // NewJoinQuery describes an n-way join over the query graph, evaluated with
-// PJ-i.
+// the planner's pick among NL / AP / PJ / PJ-i (PJ-i, the paper's best,
+// under almost every workload); see NewPairQuery.
 func NewJoinQuery(g *Graph, join *QueryGraph) *Query {
 	return &Query{g: g, join: join}
 }
@@ -84,7 +152,129 @@ func (qy *Query) Validate() error {
 	if _, _, _, _, err := qy.opts.resolve(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 	}
+	return qy.validateHints()
+}
+
+// validateHints rejects invalid hint combinations with the typed sentinels.
+func (qy *Query) validateHints() error {
+	switch qy.hints.Relabel {
+	case RelabelOff, RelabelDegree, RelabelBFS:
+	default:
+		return fmt.Errorf("%w: unknown relabel mode %d", ErrHintConflict, qy.hints.Relabel)
+	}
+	if qy.hints.Algorithm == "" {
+		return nil
+	}
+	if err := plan.ValidateForced(qy.class(), qy.hints.Algorithm); err != nil {
+		if errors.Is(err, plan.ErrWrongClass) {
+			return fmt.Errorf("%w: %v", ErrHintConflict, err)
+		}
+		return fmt.Errorf("%w: %v", ErrUnknownAlgorithm, err)
+	}
 	return nil
+}
+
+// class maps the query form to its planner class.
+func (qy *Query) class() plan.Class {
+	if qy.join != nil {
+		return plan.NWay
+	}
+	return plan.TwoWay
+}
+
+// knobs resolves the execution knobs hints may override.
+func (qy *Query) knobs() (workers, batchWidth int, relabel RelabelMode) {
+	if qy.opts != nil {
+		workers, batchWidth, relabel = qy.opts.Workers, qy.opts.BatchWidth, qy.opts.Relabel
+	}
+	if qy.hints.Workers != 0 {
+		workers = qy.hints.Workers
+	}
+	if qy.hints.BatchWidth != 0 {
+		batchWidth = qy.hints.BatchWidth
+	}
+	if qy.hints.Relabel != RelabelOff {
+		relabel = qy.hints.Relabel
+	}
+	return workers, batchWidth, relabel
+}
+
+// workload assembles the planner's view of the query. k is the demand the
+// plan is sized for (streams have unknown demand, so callers pass the
+// initial batch budget); the graph's structural stats come from the cached
+// Graph.Stats snapshot.
+func (qy *Query) workload(d, k, m int) plan.Workload {
+	workers, batchWidth, _ := qy.knobs()
+	w := plan.Workload{Stats: qy.g.Stats(), K: k, M: m, D: d, Workers: workers, BatchWidth: batchWidth}
+	if qy.join != nil {
+		w.SetSizes = make([]int, qy.join.NumSets())
+		for i := range w.SetSizes {
+			w.SetSizes[i] = qy.join.Set(i).Len()
+		}
+		for _, e := range qy.join.Edges() {
+			w.QueryEdges = append(w.QueryEdges, [2]int{e.From, e.To})
+		}
+		return w
+	}
+	w.P, w.Q = qy.p.Len(), qy.q.Len()
+	return w
+}
+
+// decide runs the planner (or validates the forced hint) for demand k.
+func (qy *Query) decide(d, k, m int) (*QueryPlan, error) {
+	pl, err := plan.Decide(qy.class(), qy.workload(d, k, m), qy.hints.Algorithm)
+	if err != nil {
+		if errors.Is(err, plan.ErrWrongClass) {
+			return nil, fmt.Errorf("%w: %v", ErrHintConflict, err)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrUnknownAlgorithm, err)
+	}
+	return pl, nil
+}
+
+// Explain validates the query and returns the plan its streaming entry
+// points (Results, Answers, OpenPairs, OpenAnswers) would run, without
+// executing anything: the chosen algorithm, every registered candidate's
+// cost estimate, and the stats snapshot the estimates were computed from.
+// Streams have unknown demand up front, so the plan is sized for the
+// initial batch (the resolved per-edge budget M) — exactly the demand those
+// entry points plan for. The 2-way batch wrapper TopKPairs re-plans for its
+// exact k, which can pick a different algorithm when k differs from M
+// (e.g. B-BJ once k spans the candidate space); ExplainTopK prices that. A
+// forced Hints.Algorithm is validated and reported with Forced set
+// alongside the full cost table.
+func (qy *Query) Explain(ctx context.Context) (*QueryPlan, error) {
+	_ = ctx // planning never blocks; ctx kept for API symmetry with execution
+	if err := qy.Validate(); err != nil {
+		return nil, err
+	}
+	_, d, _, m, err := qy.opts.resolve()
+	if err != nil {
+		return nil, err // unreachable: Validate already resolved the options
+	}
+	return qy.decide(d, m, m)
+}
+
+// ExplainTopK returns the plan the batch wrappers would run for demand k:
+// for a 2-way query the plan TopKPairs(ctx, k) executes (priced for exactly
+// k results), for an n-way query the same plan as Explain (TopK drains the
+// answer stream, which is sized for the per-edge budget M regardless of k).
+func (qy *Query) ExplainTopK(ctx context.Context, k int) (*QueryPlan, error) {
+	_ = ctx
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidK, k)
+	}
+	if err := qy.Validate(); err != nil {
+		return nil, err
+	}
+	_, d, _, m, err := qy.opts.resolve()
+	if err != nil {
+		return nil, err // unreachable: Validate already resolved the options
+	}
+	if qy.join != nil {
+		return qy.decide(d, m, m)
+	}
+	return qy.decide(d, k, m)
 }
 
 // openPairs validates and opens the 2-way stream with the given initial
@@ -108,15 +298,23 @@ func (qy *Query) openPairs(ctx context.Context, initial int, batch bool) (*PairS
 	if initial <= 0 {
 		initial = m
 	}
+	// Plan against the original graph's cached stats (relabeling permutes
+	// ids, never structure), then execute the pick on the possibly
+	// relabeled config. All executors produce bit-identical rankings, so
+	// the choice is purely a cost decision.
+	pl, err := qy.decide(d, initial, m)
+	if err != nil {
+		return nil, err
+	}
 	cfg := join2.Config{Graph: qy.g, Params: params, D: d, P: qy.p.Nodes(), Q: qy.q.Nodes()}
-	var rl *Relabeling
+	workers, batchWidth, relabel := qy.knobs()
+	cfg.Workers = workers
+	cfg.BatchWidth = batchWidth
 	if qy.opts != nil {
 		cfg.Measure = qy.opts.Measure
-		cfg.Workers = qy.opts.Workers
-		cfg.BatchWidth = qy.opts.BatchWidth
-		rl = relabelPairConfig(&cfg, qy.opts.Relabel)
 	}
-	st, err := join2.NewBIDJYStream(cfg, join2.StreamSpec{Initial: initial}, batch)
+	rl := relabelPairConfig(&cfg, relabel)
+	st, err := join2.NewNamedStream(pl.Algorithm, cfg, join2.StreamSpec{Initial: initial}, batch)
 	if err != nil {
 		return nil, err
 	}
@@ -131,6 +329,45 @@ func (qy *Query) openPairs(ctx context.Context, initial int, batch bool) (*PairS
 // draining to exhaustion, or a ctx error) releases every pooled engine.
 func (qy *Query) OpenPairs(ctx context.Context) (*PairStream, error) {
 	return qy.openPairs(ctx, 0, false)
+}
+
+// TopKPairs executes the 2-way query as a one-shot batch: the k best pairs
+// in descending score order, evaluated by the planner's pick (or the forced
+// Hints.Algorithm) — the hints-aware form of the package-level TopKPairs,
+// and bit-identical to the first k elements of Results.
+func (qy *Query) TopKPairs(ctx context.Context, k int) ([]PairResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidK, k)
+	}
+	s, err := qy.openPairs(ctx, k, true)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Stop()
+	res, err := s.NextK(k)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TopK executes the n-way query as a one-shot batch: the k best answers in
+// descending aggregate order — the hints-aware form of the package-level
+// TopK, bit-identical to the first k elements of Answers.
+func (qy *Query) TopK(ctx context.Context, k int) ([]Answer, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidK, k)
+	}
+	s, err := qy.OpenAnswers(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Stop()
+	answers, err := s.NextK(k)
+	if err != nil {
+		return nil, err
+	}
+	return answers, nil
 }
 
 // Results executes a 2-way query as a pull-based iterator: pairs arrive in
@@ -182,18 +419,24 @@ func (qy *Query) openAnswers(ctx context.Context, initial int) (*AnswerStream, e
 	if initial > 0 {
 		m = initial
 	}
+	// Plan before the relabel rewrite, as in openPairs; every n-way
+	// operator streams the identical ranking, so the pick is cost-only.
+	pl, err := qy.decide(d, m, m)
+	if err != nil {
+		return nil, err
+	}
 	// K is required by Spec.Validate but never bounds a stream; the PBRJ
 	// emission loop is k-free by construction.
 	spec := core.Spec{Graph: qy.g, Query: qy.join, Params: params, D: d, Agg: agg, K: 1}
-	var rl *Relabeling
+	workers, batchWidth, relabel := qy.knobs()
+	spec.Workers = workers
+	spec.BatchWidth = batchWidth
 	if qy.opts != nil {
 		spec.Distinct = qy.opts.Distinct
 		spec.Measure = qy.opts.Measure
-		spec.Workers = qy.opts.Workers
-		spec.BatchWidth = qy.opts.BatchWidth
-		rl = relabelSpec(&spec, qy.opts.Relabel)
 	}
-	alg, err := core.NewPJI(spec, m)
+	rl := relabelSpec(&spec, relabel)
+	alg, err := core.NewNamed(pl.Algorithm, spec, m)
 	if err != nil {
 		return nil, err
 	}

@@ -158,3 +158,24 @@ func splitQueryGraph(query *QueryGraph) ([]service.SetRef, [][2]int, error) {
 func (s *Service) Score(ctx context.Context, graphName string, u, v NodeID, opts *Options) (float64, error) {
 	return s.s.Score(ctx, graphName, u, v, toQuery(opts))
 }
+
+// ExplainPairs returns the plan a TopKPairs/OpenPairs call on the named
+// graph would execute — the cost-based planner's decision priced with the
+// serving session's calibrated cost unit — without executing anything.
+// k <= 0 prices the plan for the default streaming batch.
+func (s *Service) ExplainPairs(ctx context.Context, graphName string, p, q *NodeSet, k int, opts *Options) (*QueryPlan, error) {
+	if p == nil || p.Len() == 0 || q == nil || q.Len() == 0 {
+		return nil, ErrEmptyNodeSet
+	}
+	return s.s.ExplainJoin2(ctx, graphName,
+		service.SetRef{IDs: p.Nodes()}, service.SetRef{IDs: q.Nodes()}, k, toQuery(opts))
+}
+
+// ExplainJoin is ExplainPairs for n-way queries.
+func (s *Service) ExplainJoin(ctx context.Context, graphName string, query *QueryGraph, opts *Options) (*QueryPlan, error) {
+	sets, edges, err := splitQueryGraph(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.s.ExplainJoinN(ctx, graphName, sets, edges, 0, toQuery(opts))
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // NodeID identifies a node. Nodes are dense integers in [0, NumNodes).
@@ -38,6 +39,12 @@ type Graph struct {
 	inP     []float64
 
 	labels []string // optional node labels; nil when unlabeled
+
+	// Cached structural summary (Stats method). Graphs are immutable after
+	// Build, so the O(|V|+|E|) scan runs at most once per graph; the query
+	// planner consults it per query.
+	statsOnce sync.Once
+	stats     Stats
 }
 
 // NumNodes returns the number of nodes.

@@ -24,6 +24,17 @@ type Stats struct {
 	LargestComp  int // size of the largest weak component
 }
 
+// Stats returns the graph's structural summary, computed on first use and
+// cached for the graph's lifetime (graphs are immutable after Build). The
+// query planner consults it per query, which is why the one-time
+// O(|V|+|E|) scan must not be paid per call; ad-hoc consumers that want a
+// fresh scan (tests, tools fed by ComputeStats historically) can still call
+// ComputeStats directly.
+func (g *Graph) Stats() Stats {
+	g.statsOnce.Do(func() { g.stats = ComputeStats(g) })
+	return g.stats
+}
+
 // ComputeStats scans g once (plus a union-find pass) and fills a Stats.
 func ComputeStats(g *Graph) Stats {
 	s := Stats{Nodes: g.NumNodes(), Arcs: g.NumEdges(), MinOutDeg: math.MaxInt}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsCached: the cached accessor must agree with a fresh scan and be
+// safe (and stable) under concurrent first use — the planner consults it on
+// every query.
+func TestStatsCached(t *testing.T) {
+	g, _, err := GenerateCommunity(CommunityConfig{
+		Sizes: []int{30, 30}, PIn: 0.2, POut: 0.05, Seed: 11, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ComputeStats(g)
+	var wg sync.WaitGroup
+	got := make([]Stats, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = g.Stats()
+		}(i)
+	}
+	wg.Wait()
+	for i, s := range got {
+		if s != want {
+			t.Fatalf("goroutine %d: Stats() = %+v, want %+v", i, s, want)
+		}
+	}
+	if g.Stats() != want {
+		t.Fatal("repeated Stats() drifted")
+	}
+}
+
+// TestStatsEmptyGraph: the zero-node graph must not panic the cached path.
+func TestStatsEmptyGraph(t *testing.T) {
+	g := NewBuilder(0, true).Build()
+	if s := g.Stats(); s.Nodes != 0 || s.Arcs != 0 {
+		t.Fatalf("empty graph stats = %+v", s)
+	}
+}

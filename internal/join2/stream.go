@@ -271,17 +271,7 @@ func Drain[T any](k int, next func() (T, bool, error)) ([]T, error) {
 // the identical ranking (canonical tie keys), so this is purely a cost
 // choice.
 func NewBIDJYStream(cfg Config, spec StreamSpec, batch bool) (Stream, error) {
-	if batch || cfg.Workers < 0 || cfg.Workers > 1 {
-		j, err := NewBIDJY(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if spec.Grow == nil {
-			spec.Grow = growDouble
-		}
-		return NewRejoinStream(j, spec)
-	}
-	return NewIncrementalStream(cfg, BoundY, spec)
+	return NewNamedStream("B-IDJ-Y", cfg, spec, batch)
 }
 
 // OpenStream adapts a joiner into a pull stream, picking the best strategy

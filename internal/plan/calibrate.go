@@ -1,0 +1,104 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dht"
+)
+
+// Calibration closes the loop between estimated and observed walk cost for
+// one serving session: every finished request feeds its run-scoped
+// dht.Counters in through Observe, and WalkCost consults the resulting
+// exponentially weighted average of edge relaxations per walk instead of the
+// analytic frontier model. The observed average mixes shallow deepening
+// rounds with full-depth walks — it is the cost of "a walk this session
+// actually runs", which is exactly the unit the cost functions multiply by
+// walk counts, so the ranking between operators (which differ in *counts*)
+// is insensitive to the mix while the absolute estimates track reality.
+//
+// A Calibration is safe for concurrent use. The zero value is ready (no
+// observations yet: WalkCost falls back to the analytic model).
+type Calibration struct {
+	mu  sync.Mutex
+	epw float64 // EWMA of edge relaxations per walk
+	n   int64   // observations folded in
+
+	// gen increments whenever the average moves materially (> 5%), letting
+	// plan caches validate entries without invalidating on every request.
+	gen atomic.Uint64
+}
+
+// ewmaWeight is the weight of one new observation. 0.25 means roughly the
+// last ~8 requests dominate the estimate — fresh enough to track a workload
+// shift, damped enough that one outlier run does not thrash plan caches.
+const ewmaWeight = 0.25
+
+// calibDriftThreshold is the relative EWMA movement that bumps the
+// generation (and thereby invalidates cached plans).
+const calibDriftThreshold = 0.05
+
+// Observe folds one run's counter snapshot in. graphEdges converts dense
+// sweeps to edge relaxations (one sweep relaxes every arc once). Runs that
+// performed no walks are ignored.
+func (c *Calibration) Observe(snap dht.Counters, graphEdges int) {
+	if c == nil || snap.Walks <= 0 {
+		return
+	}
+	edges := float64(snap.FrontierEdges) + float64(snap.EdgeSweeps)*float64(graphEdges)
+	if edges <= 0 {
+		return
+	}
+	perWalk := edges / float64(snap.Walks)
+	c.mu.Lock()
+	prev := c.epw
+	if c.n == 0 {
+		c.epw = perWalk
+	} else {
+		c.epw = (1-ewmaWeight)*c.epw + ewmaWeight*perWalk
+	}
+	c.n++
+	moved := c.n == 1 || (prev > 0 && abs(c.epw-prev)/prev > calibDriftThreshold)
+	c.mu.Unlock()
+	if moved {
+		c.gen.Add(1)
+	}
+}
+
+// EdgesPerWalk returns the calibrated per-walk cost; ok is false until the
+// first observation.
+func (c *Calibration) EdgesPerWalk() (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epw, c.n > 0
+}
+
+// Samples reports how many runs have been folded in.
+func (c *Calibration) Samples() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Gen is the calibration generation: it changes only when the estimate has
+// drifted materially, so cached plans stamped with a generation stay valid
+// across the steady-state stream of near-identical observations.
+func (c *Calibration) Gen() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.gen.Load()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/dht"
@@ -32,6 +34,7 @@ type OptionsJSON struct {
 	Workers    int     `json:"workers,omitempty"`
 	BatchWidth int     `json:"batch_width,omitempty"`
 	Relabel    string  `json:"relabel,omitempty"` // off | degree | bfs
+	Algo       string  `json:"algo,omitempty"`    // force an executor (B-IDJ-Y, B-BJ, PJ-i, AP, …); empty = cost-based planner
 }
 
 // toQuery resolves the wire options into a Query.
@@ -83,6 +86,7 @@ func (o *OptionsJSON) toQuery() (Query, error) {
 	q.Distinct = o.Distinct
 	q.Workers = o.Workers
 	q.BatchWidth = o.BatchWidth
+	q.Algorithm = o.Algo
 	return q, nil
 }
 
@@ -107,6 +111,7 @@ type join2Request struct {
 	K       int          `json:"k"`
 	Stream  bool         `json:"stream,omitempty"`
 	Cursor  int          `json:"cursor,omitempty"`
+	Explain bool         `json:"explain,omitempty"` // dry run: return the plan, execute nothing
 	Options *OptionsJSON `json:"options,omitempty"`
 }
 
@@ -128,6 +133,7 @@ type joinNRequest struct {
 	K       int          `json:"k"`
 	Stream  bool         `json:"stream,omitempty"`
 	Cursor  int          `json:"cursor,omitempty"`
+	Explain bool         `json:"explain,omitempty"` // dry run: return the plan, execute nothing
 	Options *OptionsJSON `json:"options,omitempty"`
 }
 
@@ -184,18 +190,21 @@ func shapeEdges(shape string, n int) ([][2]int, error) {
 //	PUT    /graphs/{name}   load a text-format graph (body = graph file)
 //	GET    /graphs          list loaded graphs
 //	DELETE /graphs/{name}   drop a graph
-//	POST   /join2           top-k 2-way join (B-IDJ-Y)
-//	POST   /joinN           top-k n-way join (PJ-i)
+//	POST   /join2           top-k 2-way join (planner-picked; force with options.algo)
+//	POST   /joinN           top-k n-way join (planner-picked; force with options.algo)
 //	GET    /score           single pair score (?graph=&u=&v=[&lambda=&d=...])
-//	GET    /stats           service counters
+//	GET    /explain         dry-run plan over named sets (?graph=&p=&q= or ?graph=&sets=&shape=)
+//	GET    /stats           service counters (incl. planner picks)
 //
 // The join endpoints are streaming-capable: "stream": true switches the
 // response to NDJSON (one rank-ordered result per line, flushed as
 // produced, terminated by a {"done":true,...} line), and "cursor": n skips
 // the first n results — the "next page" continuation, usable with or
-// without streaming. Handlers run under the request context, so a
-// disconnected client aborts the join and returns its engines to the
-// session pool.
+// without streaming. "explain": true turns either join request into a dry
+// run: the response is {"plan": ...} — the cost-based planner's decision,
+// per-candidate estimates, and stats snapshot — and nothing executes.
+// Handlers run under the request context, so a disconnected client aborts
+// the join and returns its engines to the session pool.
 //
 // Responses are JSON; errors are {"error": {"status": ..., "message": ...}}
 // with a 4xx/5xx status (streaming responses report mid-flight failures as
@@ -242,6 +251,15 @@ func NewHandler(svc *Service) http.Handler {
 		query, err := req.Options.toQuery()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Explain {
+			pl, err := svc.ExplainJoin2(ctx, req.Graph, req.P.toRef(), req.Q.toRef(), req.K, query)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"plan": pl})
 			return
 		}
 		if req.Cursor < 0 {
@@ -329,6 +347,15 @@ func NewHandler(svc *Service) http.Handler {
 		for i, s := range req.Sets {
 			refs[i] = s.toRef()
 		}
+		if req.Explain {
+			pl, err := svc.ExplainJoinN(ctx, req.Graph, refs, edges, req.K, query)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"plan": pl})
+			return
+		}
 		if req.Cursor < 0 {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("joinN: cursor must be >= 0, got %d", req.Cursor))
 			return
@@ -388,28 +415,11 @@ func NewHandler(svc *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("score: u and v must be integer node ids"))
 			return
 		}
-		opts := OptionsJSON{}
-		if s := qp.Get("lambda"); s != "" {
-			if opts.Lambda, errU = strconv.ParseFloat(s, 64); errU != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("score: bad lambda %q", s))
-				return
-			}
+		opts, err := optionsFromQuery(qp)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
 		}
-		if s := qp.Get("d"); s != "" {
-			if opts.D, errU = strconv.Atoi(s); errU != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("score: bad d %q", s))
-				return
-			}
-		}
-		if s := qp.Get("epsilon"); s != "" {
-			if opts.Epsilon, errU = strconv.ParseFloat(s, 64); errU != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("score: bad epsilon %q", s))
-				return
-			}
-		}
-		opts.Measure = qp.Get("measure")
-		opts.DHTE = qp.Get("dhte") == "true"
-		opts.PPR = qp.Get("ppr") == "true"
 		query, err := opts.toQuery()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
@@ -421,6 +431,63 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"score": score})
+	})
+
+	// GET /explain is the dry-run convenience route over named sets:
+	// ?graph=g&p=U&q=D plans a 2-way join, ?graph=g&sets=U,F,D&shape=chain
+	// an n-way one. Knobs: k, m, algo, lambda, dhte, ppr, d, epsilon,
+	// relabel, measure. Explicit node-id lists need POST with
+	// "explain":true.
+	mux.HandleFunc("GET /explain", func(w http.ResponseWriter, r *http.Request) {
+		qp := r.URL.Query()
+		opts, err := optionsFromQuery(qp)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		k := 0
+		if s := qp.Get("k"); s != "" {
+			if k, err = strconv.Atoi(s); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("explain: bad k %q", s))
+				return
+			}
+		}
+		query, err := opts.toQuery()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		graphName := qp.Get("graph")
+		if sets := qp.Get("sets"); sets != "" {
+			names := strings.Split(sets, ",")
+			refs := make([]SetRef, len(names))
+			for i, n := range names {
+				refs[i] = SetRef{Name: strings.TrimSpace(n)}
+			}
+			shape := qp.Get("shape")
+			if shape == "" {
+				shape = "chain"
+			}
+			edges, err := shapeEdges(shape, len(refs))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			pl, err := svc.ExplainJoinN(r.Context(), graphName, refs, edges, k, query)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"plan": pl})
+			return
+		}
+		pl, err := svc.ExplainJoin2(r.Context(), graphName,
+			SetRef{Name: qp.Get("p")}, SetRef{Name: qp.Get("q")}, k, query)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"plan": pl})
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
@@ -494,6 +561,43 @@ func streamNDJSON(w http.ResponseWriter, cursor, k int, next func() (any, bool, 
 		"exhausted":   exhausted,
 	})
 	flush()
+}
+
+// optionsFromQuery parses the option knobs the GET routes (/score,
+// /explain) share from query parameters — one parser, so the two routes
+// cannot drift. Knobs a route does not use (e.g. agg on /score) are
+// harmlessly ignored downstream.
+func optionsFromQuery(qp url.Values) (OptionsJSON, error) {
+	opts := OptionsJSON{
+		Agg:     qp.Get("agg"),
+		Measure: qp.Get("measure"),
+		Relabel: qp.Get("relabel"),
+		Algo:    qp.Get("algo"),
+		DHTE:    qp.Get("dhte") == "true",
+		PPR:     qp.Get("ppr") == "true",
+	}
+	var err error
+	if s := qp.Get("lambda"); s != "" {
+		if opts.Lambda, err = strconv.ParseFloat(s, 64); err != nil {
+			return opts, fmt.Errorf("options: bad lambda %q", s)
+		}
+	}
+	if s := qp.Get("epsilon"); s != "" {
+		if opts.Epsilon, err = strconv.ParseFloat(s, 64); err != nil {
+			return opts, fmt.Errorf("options: bad epsilon %q", s)
+		}
+	}
+	if s := qp.Get("d"); s != "" {
+		if opts.D, err = strconv.Atoi(s); err != nil {
+			return opts, fmt.Errorf("options: bad d %q", s)
+		}
+	}
+	if s := qp.Get("m"); s != "" {
+		if opts.M, err = strconv.Atoi(s); err != nil {
+			return opts, fmt.Errorf("options: bad m %q", s)
+		}
+	}
+	return opts, nil
 }
 
 // decodeJSON strictly decodes a request body.

@@ -1,0 +1,33 @@
+package service
+
+// lruOrder is the recency bookkeeping shared by the package's keyed LRUs
+// (the result-prefix cache and the plan cache): a most-recently-used-last
+// key list. It deliberately stays a dumb list — the caches' value semantics
+// (prefix extension, generation stamps) differ, but the recency logic is
+// exactly where PR 3's eviction bug class lived, so it exists once.
+// Callers synchronize access with their own mutex.
+type lruOrder []string
+
+// touch moves key to the MRU position; the caller has verified presence.
+func (o lruOrder) touch(key string) {
+	for i, k := range o {
+		if k == key {
+			copy(o[i:], o[i+1:])
+			o[len(o)-1] = key
+			return
+		}
+	}
+}
+
+// evictOldest pops and returns the LRU key; the caller has verified the
+// list is non-empty.
+func (o *lruOrder) evictOldest() string {
+	oldest := (*o)[0]
+	*o = (*o)[1:]
+	return oldest
+}
+
+// push appends key at the MRU position.
+func (o *lruOrder) push(key string) {
+	*o = append(*o, key)
+}

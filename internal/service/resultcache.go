@@ -24,7 +24,7 @@ type resultLRU struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]prefix
-	order   []string // most recently used last
+	order   lruOrder
 }
 
 // newResultLRU returns a cache of the given capacity; capacity < 0 disables
@@ -48,7 +48,7 @@ func (c *resultLRU) get(key string, k int) (prefix, bool) {
 	if !ok || (v.n < k && !v.exhausted) {
 		return prefix{}, false
 	}
-	c.touchLocked(key)
+	c.order.touch(key)
 	return v, true
 }
 
@@ -65,7 +65,7 @@ func (c *resultLRU) getFull(key string) (prefix, bool) {
 	if !ok || !v.exhausted {
 		return prefix{}, false
 	}
-	c.touchLocked(key)
+	c.order.touch(key)
 	return v, true
 }
 
@@ -82,26 +82,12 @@ func (c *resultLRU) put(key string, v prefix) {
 		if v.n > old.n || (v.exhausted && !old.exhausted) {
 			c.entries[key] = v
 		}
-		c.touchLocked(key)
+		c.order.touch(key)
 		return
 	}
 	if len(c.order) >= c.cap {
-		oldest := c.order[0]
-		c.order = c.order[1:]
-		delete(c.entries, oldest)
+		delete(c.entries, c.order.evictOldest())
 	}
 	c.entries[key] = v
-	c.order = append(c.order, key)
-}
-
-// touchLocked moves key to the MRU position; caller holds c.mu and has
-// verified presence.
-func (c *resultLRU) touchLocked(key string) {
-	for i, k := range c.order {
-		if k == key {
-			copy(c.order[i:], c.order[i+1:])
-			c.order[len(c.order)-1] = key
-			return
-		}
-	}
+	c.order.push(key)
 }

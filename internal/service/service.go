@@ -30,6 +30,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/graph"
 	"repro/internal/join2"
+	"repro/internal/plan"
 	"repro/internal/rankjoin"
 )
 
@@ -110,6 +111,11 @@ type Query struct {
 	BatchWidth int
 	// Relabel applies the locality-aware reordering (cached per graph).
 	Relabel graph.RelabelMode
+	// Algorithm forces the named registered executor ("B-IDJ-Y", "B-BJ",
+	// "PJ-i", "AP", …) instead of the cost-based planner's pick. Results
+	// are bit-identical under any choice; an unknown name or one of the
+	// wrong query class fails the request.
+	Algorithm string
 }
 
 // resolve applies the defaults; it must stay in lockstep with
@@ -179,6 +185,12 @@ type Stats struct {
 	MemoHits     int64 `json:"memo_hits"`
 	MemoMisses   int64 `json:"memo_misses"`
 
+	// Planner surface: decisions made, plan-cache hits, and how often each
+	// executor was picked for execution (forced picks included).
+	PlanRequests  int64            `json:"plan_requests"`
+	PlanCacheHits int64            `json:"plan_cache_hits"`
+	PlanPicks     map[string]int64 `json:"plan_picks,omitempty"`
+
 	Walks         int64 `json:"walks"`
 	EdgeSweeps    int64 `json:"edge_sweeps"`
 	FrontierEdges int64 `json:"frontier_edges"`
@@ -238,6 +250,8 @@ type session struct {
 	pool    *dht.EnginePool   // engines + batch engines, recycled across requests
 	memo    *dht.ScoreMemo    // concurrency-safe score columns
 	results *resultLRU        // recent top-k results, original id space
+	plans   *planCache        // planner decisions, keyed like the result LRU (+k)
+	calib   *plan.Calibration // observed-cost feedback from finished streams
 }
 
 // Service is the concurrent query-serving subsystem. All methods are safe
@@ -256,6 +270,10 @@ type Service struct {
 	join2Reqs, joinNReqs, scoreReqs    atomic.Int64
 	resultHits, resultMisses           atomic.Int64
 	retiredMemoHits, retiredMemoMisses atomic.Int64 // from evicted sessions
+	planReqs, planCacheHits            atomic.Int64
+
+	picksMu sync.Mutex
+	picks   map[string]int64 // executions per chosen executor name
 }
 
 // New returns a Service sized by cfg (zero value = defaults).
@@ -266,7 +284,46 @@ func New(cfg Config) *Service {
 		graphs:   make(map[string]*graphEntry),
 		sessions: make(map[sessionKey]*session),
 		adm:      newAdmission(cfg.MaxConcurrency),
+		picks:    make(map[string]int64),
 	}
+}
+
+// planFor runs the planner for one request through the session's plan
+// cache: cached decisions are reused while the calibration generation they
+// were stamped with still holds, so a session recalibrated by observed
+// counters re-plans with the fresh cost unit. Forced algorithms skip the
+// cache (validation is the whole cost).
+func (s *Service) planFor(sess *session, class plan.Class, baseKey string, k int, w plan.Workload, forced string) (*plan.Plan, error) {
+	s.planReqs.Add(1)
+	w.Calib = sess.calib
+	if forced != "" {
+		return plan.Decide(class, w, forced)
+	}
+	var key string
+	var gen uint64
+	if baseKey != "" {
+		key = fmt.Sprintf("%s|plan-k=%d", baseKey, k)
+		gen = sess.calib.Gen()
+		if pl, ok := sess.plans.get(key, gen); ok {
+			s.planCacheHits.Add(1)
+			return pl, nil
+		}
+	}
+	pl, err := plan.Decide(class, w, "")
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		sess.plans.put(key, gen, pl)
+	}
+	return pl, nil
+}
+
+// recordPick counts one execution of the chosen executor.
+func (s *Service) recordPick(name string) {
+	s.picksMu.Lock()
+	s.picks[name]++
+	s.picksMu.Unlock()
 }
 
 // LoadGraph registers g under name with its node sets. Loading an existing
@@ -398,6 +455,8 @@ func (s *Service) sessionFor(ge *graphEntry, params dht.Params, d int, mode grap
 		pool:    pool,
 		memo:    newSessionMemo(s.cfg.MemoSize),
 		results: newResultLRU(s.cfg.ResultCacheSize),
+		plans:   newPlanCache(planCacheCap),
+		calib:   &plan.Calibration{},
 	}
 
 	s.mu.Lock()
@@ -512,11 +571,18 @@ type join2Req struct {
 	key    string
 }
 
-// resolveJoin2 resolves names, sets, parameters, and the session.
+// resolveJoin2 resolves names, sets, parameters, and the session. A forced
+// algorithm is validated here, before any cache can serve the request —
+// a bad hint must fail even when the ranking itself is already cached.
 func (s *Service) resolveJoin2(graphName string, p, q SetRef, query Query) (*join2Req, error) {
 	params, d, _, m, err := query.resolve()
 	if err != nil {
 		return nil, err
+	}
+	if query.Algorithm != "" {
+		if err := plan.ValidateForced(plan.TwoWay, query.Algorithm); err != nil {
+			return nil, err
+		}
 	}
 	ge, err := s.graphFor(graphName)
 	if err != nil {
@@ -553,14 +619,24 @@ func (s *Service) resolveJoin2(graphName string, p, q SetRef, query Query) (*joi
 // that never pulls past the initial batch pays for nothing — and runs one
 // plain top-k join behind a doubling re-join.
 func (rq *join2Req) open(ctx context.Context, initial int, batch bool) (*Join2Stream, error) {
+	if initial <= 0 {
+		initial = rq.m
+	}
+	// Plan (or validate the forced algorithm) before admission: planning is
+	// sub-microsecond against the graph's cached stats, and a rejected hint
+	// must not consume admission tokens.
+	pl, err := rq.svc.planFor(rq.sess, plan.TwoWay, rq.key, initial, rq.workload(initial), rq.query.Algorithm)
+	if err != nil {
+		return nil, err
+	}
 	granted, err := rq.svc.adm.acquire(ctx, resolveWorkers(rq.query.Workers))
 	if err != nil {
 		return nil, err
 	}
-	if initial <= 0 {
-		initial = rq.m
-	}
 	sess := rq.sess
+	// The run-scoped counters feed the session calibration on Stop and
+	// forward every increment to the service's lifetime totals.
+	ctrs := &dht.Counters{Chain: &rq.svc.counters}
 	cfg := join2.Config{
 		Graph:      sess.g,
 		Params:     rq.params,
@@ -572,20 +648,36 @@ func (rq *join2Req) open(ctx context.Context, initial int, batch bool) (*Join2St
 		BatchWidth: rq.query.BatchWidth,
 		Pool:       sess.pool,
 		Memo:       sess.memo,
+		Counters:   ctrs,
 	}
 	if sess.rl != nil {
 		cfg.P = sess.rl.MapToNew(cfg.P)
 		cfg.Q = sess.rl.MapToNew(cfg.Q)
 	}
-	st, err := join2.NewBIDJYStream(cfg, join2.StreamSpec{Initial: initial}, batch)
+	st, err := join2.NewNamedStream(pl.Algorithm, cfg, join2.StreamSpec{Initial: initial}, batch)
 	if err != nil {
 		rq.svc.adm.release(granted)
 		return nil, err
 	}
+	rq.svc.recordPick(pl.Algorithm)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Join2Stream{svc: rq.svc, ctx: ctx, sess: sess, key: rq.key, st: st, rl: sess.rl, granted: granted}, nil
+	return &Join2Stream{svc: rq.svc, ctx: ctx, sess: sess, key: rq.key, st: st, rl: sess.rl, granted: granted, ctrs: ctrs}, nil
+}
+
+// workload assembles the planner's view of the request for demand k.
+func (rq *join2Req) workload(k int) plan.Workload {
+	return plan.Workload{
+		Stats:      rq.sess.g.Stats(),
+		P:          len(rq.pn),
+		Q:          len(rq.qn),
+		K:          k,
+		M:          rq.m,
+		D:          rq.d,
+		Workers:    rq.query.Workers,
+		BatchWidth: rq.query.BatchWidth,
+	}
 }
 
 // maxCachedPrefix bounds how much of a drained ranking a stream records
@@ -610,6 +702,7 @@ type Join2Stream struct {
 	st        join2.Stream
 	rl        *graph.Relabeling
 	granted   int
+	ctrs      *dht.Counters // run-scoped; feeds the session calibration on Stop
 	drained   []join2.Result
 	truncated bool // results past maxCachedPrefix were not recorded
 	exhausted bool
@@ -682,6 +775,11 @@ func (s *Join2Stream) Stop() {
 	}
 	s.svc.adm.release(s.granted)
 	s.granted = 0
+	if s.ctrs != nil {
+		// Observed-cost feedback: the run's walk counters recalibrate the
+		// session's cost-unit estimate for future plans.
+		s.sess.calib.Observe(s.ctrs.Snapshot(), s.sess.g.NumEdges())
+	}
 	if s.replay == nil && (len(s.drained) > 0 || s.exhausted) {
 		cp := make([]join2.Result, len(s.drained))
 		copy(cp, s.drained)
@@ -761,11 +859,17 @@ type joinNReq struct {
 	key      string // empty when the request must bypass the cache
 }
 
-// resolveJoinN resolves names, sets, parameters, and the session.
+// resolveJoinN resolves names, sets, parameters, and the session; forced
+// algorithms are validated before any cache, as in resolveJoin2.
 func (s *Service) resolveJoinN(graphName string, sets []SetRef, edges [][2]int, query Query) (*joinNReq, error) {
 	params, d, agg, m, err := query.resolve()
 	if err != nil {
 		return nil, err
+	}
+	if query.Algorithm != "" {
+		if err := plan.ValidateForced(plan.NWay, query.Algorithm); err != nil {
+			return nil, err
+		}
 	}
 	ge, err := s.graphFor(graphName)
 	if err != nil {
@@ -813,6 +917,11 @@ func (s *Service) resolveJoinN(graphName string, sets []SetRef, edges [][2]int, 
 
 // open acquires admission (honoring ctx) and starts the answer stream.
 func (rq *joinNReq) open(ctx context.Context) (*JoinNStream, error) {
+	// Plan before admission, as in join2Req.open.
+	pl, err := rq.svc.planFor(rq.sess, plan.NWay, rq.key, rq.m, rq.workload(), rq.query.Algorithm)
+	if err != nil {
+		return nil, err
+	}
 	granted, err := rq.svc.adm.acquire(ctx, resolveWorkers(rq.query.Workers))
 	if err != nil {
 		return nil, err
@@ -829,6 +938,10 @@ func (rq *joinNReq) open(ctx context.Context) (*JoinNStream, error) {
 	for _, e := range rq.edges {
 		qg.AddEdge(e[0], e[1])
 	}
+	// The run-scoped counters feed the session calibration on Stop; core
+	// chains its own per-run counters behind these, and these forward to
+	// the service's lifetime totals.
+	ctrs := &dht.Counters{Chain: &rq.svc.counters}
 	spec := core.Spec{
 		Graph:      sess.g,
 		Query:      qg,
@@ -842,9 +955,9 @@ func (rq *joinNReq) open(ctx context.Context) (*JoinNStream, error) {
 		BatchWidth: rq.query.BatchWidth,
 		Pool:       sess.pool,
 		Memo:       sess.memo,
-		Counters:   &rq.svc.counters,
+		Counters:   ctrs,
 	}
-	alg, err := core.NewPJI(spec, rq.m)
+	alg, err := core.NewNamed(pl.Algorithm, spec, rq.m)
 	if err != nil {
 		rq.svc.adm.release(granted)
 		return nil, err
@@ -854,10 +967,29 @@ func (rq *joinNReq) open(ctx context.Context) (*JoinNStream, error) {
 		rq.svc.adm.release(granted)
 		return nil, err
 	}
+	rq.svc.recordPick(pl.Algorithm)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &JoinNStream{svc: rq.svc, ctx: ctx, sess: sess, key: rq.key, st: st, rl: sess.rl, granted: granted}, nil
+	return &JoinNStream{svc: rq.svc, ctx: ctx, sess: sess, key: rq.key, st: st, rl: sess.rl, granted: granted, ctrs: ctrs}, nil
+}
+
+// workload assembles the planner's view of the n-way request.
+func (rq *joinNReq) workload() plan.Workload {
+	w := plan.Workload{
+		Stats:      rq.sess.g.Stats(),
+		K:          rq.m, // stream demand is unknown; plan for the initial batch
+		M:          rq.m,
+		D:          rq.d,
+		Workers:    rq.query.Workers,
+		BatchWidth: rq.query.BatchWidth,
+	}
+	w.SetSizes = make([]int, len(rq.nodeSets))
+	for i, set := range rq.nodeSets {
+		w.SetSizes[i] = set.Len()
+	}
+	w.QueryEdges = rq.edges
+	return w
 }
 
 // JoinNStream streams one n-way join request; same contract as Join2Stream.
@@ -869,6 +1001,7 @@ type JoinNStream struct {
 	st        core.TupleStream
 	rl        *graph.Relabeling
 	granted   int
+	ctrs      *dht.Counters // run-scoped; feeds the session calibration on Stop
 	drained   []core.Answer
 	truncated bool // answers past maxCachedPrefix were not recorded
 	exhausted bool
@@ -950,6 +1083,9 @@ func (s *JoinNStream) Stop() {
 	}
 	s.svc.adm.release(s.granted)
 	s.granted = 0
+	if s.ctrs != nil {
+		s.sess.calib.Observe(s.ctrs.Snapshot(), s.sess.g.NumEdges())
+	}
 	if s.replay == nil && s.key != "" && (len(s.drained) > 0 || s.exhausted) {
 		// drained holds private deep copies (see Next), so it can be
 		// published as the immutable cache snapshot directly; a truncated
@@ -1011,6 +1147,32 @@ func (s *Service) JoinN(ctx context.Context, graphName string, sets []SetRef, ed
 	return answers, nil
 }
 
+// ExplainJoin2 resolves a 2-way request and returns the plan its execution
+// would run — the chosen algorithm, every candidate's cost estimate, and the
+// stats snapshot — without executing anything (a dry run: no admission
+// tokens, no engines). k sizes the demand the plan is priced for; k <= 0
+// plans for the resolved per-edge budget, as the streaming entry points do.
+func (s *Service) ExplainJoin2(ctx context.Context, graphName string, p, q SetRef, k int, query Query) (*plan.Plan, error) {
+	rq, err := s.resolveJoin2(graphName, p, q, query)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = rq.m
+	}
+	return s.planFor(rq.sess, plan.TwoWay, rq.key, k, rq.workload(k), query.Algorithm)
+}
+
+// ExplainJoinN is ExplainJoin2 for n-way requests (k is accepted for API
+// symmetry; n-way plans are priced for the per-edge budget either way).
+func (s *Service) ExplainJoinN(ctx context.Context, graphName string, sets []SetRef, edges [][2]int, k int, query Query) (*plan.Plan, error) {
+	rq, err := s.resolveJoinN(graphName, sets, edges, query)
+	if err != nil {
+		return nil, err
+	}
+	return s.planFor(rq.sess, plan.NWay, rq.key, rq.m, rq.workload(), query.Algorithm)
+}
+
 // Score computes the truncated score h_d(u, v) exactly as dhtjoin.Score (on
 // the graph as loaded; relabeling is a join-side optimization and is ignored
 // here, matching the one-shot facade). ctx bounds the wait for admission.
@@ -1054,6 +1216,12 @@ func (s *Service) Stats() Stats {
 		memoMisses += sess.memo.Misses()
 	}
 	s.mu.Unlock()
+	s.picksMu.Lock()
+	picks := make(map[string]int64, len(s.picks))
+	for name, n := range s.picks {
+		picks[name] = n
+	}
+	s.picksMu.Unlock()
 	snap := s.counters.Snapshot()
 	return Stats{
 		Graphs:        graphs,
@@ -1065,6 +1233,9 @@ func (s *Service) Stats() Stats {
 		ResultMisses:  s.resultMisses.Load(),
 		MemoHits:      memoHits,
 		MemoMisses:    memoMisses,
+		PlanRequests:  s.planReqs.Load(),
+		PlanCacheHits: s.planCacheHits.Load(),
+		PlanPicks:     picks,
 		Walks:         snap.Walks,
 		EdgeSweeps:    snap.EdgeSweeps,
 		FrontierEdges: snap.FrontierEdges,
