@@ -41,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -62,13 +63,18 @@ func (g *graphFlags) Set(v string) error {
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		maxGraphs   = flag.Int("max-graphs", 0, "graph registry capacity (0 = default 16)")
-		maxSessions = flag.Int("max-sessions", 0, "session cache capacity (0 = default 32)")
-		resultCache = flag.Int("result-cache", 0, "per-session result LRU capacity (0 = default 128, negative disables)")
-		memoSize    = flag.Int("memo", 0, "per-session score-column memo capacity (0 = default 256, negative disables)")
-		maxConc     = flag.Int("max-concurrency", 0, "total join workers in flight (0 = GOMAXPROCS)")
-		preload     graphFlags
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxGraphs     = flag.Int("max-graphs", 0, "graph registry capacity (0 = default 16)")
+		maxSessions   = flag.Int("max-sessions", 0, "session cache capacity (0 = default 32)")
+		resultCache   = flag.Int("result-cache", 0, "per-session result LRU capacity (0 = default 128, negative disables)")
+		memoSize      = flag.Int("memo", 0, "per-session score-column memo capacity (0 = default 256, negative disables)")
+		maxConc       = flag.Int("max-concurrency", 0, "total join workers in flight (0 = GOMAXPROCS)")
+		tenantConc    = flag.Int("tenant-inflight", 0, "max concurrently admitted requests per tenant (0 = no per-tenant cap)")
+		tenantQueue   = flag.Int("tenant-queue", 0, "max queued requests per tenant before 429 (0 = default 32)")
+		defaultBudget = flag.Duration("default-budget", 0, "deadline budget applied to queries that carry none (0 = none)")
+		maxBudget     = flag.Duration("max-budget", 0, "cap on any per-query deadline budget (0 = uncapped)")
+		drainBudget   = flag.Duration("drain-budget", 15*time.Second, "how long in-flight requests may finish after SIGTERM before hard cancel")
+		preload       graphFlags
 	)
 	flag.Var(&preload, "graph", "preload a graph as name=path (repeatable)")
 	flag.Parse()
@@ -78,13 +84,17 @@ func main() {
 		ResultCacheSize: *resultCache,
 		MemoSize:        *memoSize,
 		MaxConcurrency:  *maxConc,
-	}, preload); err != nil {
+		TenantInFlight:  *tenantConc,
+		TenantQueue:     *tenantQueue,
+		DefaultBudget:   *defaultBudget,
+		MaxBudget:       *maxBudget,
+	}, *drainBudget, preload); err != nil {
 		fmt.Fprintln(os.Stderr, "njoind:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg service.Config, preload []string) error {
+func run(addr string, cfg service.Config, drainBudget time.Duration, preload []string) error {
 	svc := service.New(cfg)
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")
@@ -95,27 +105,45 @@ func run(addr string, cfg service.Config, preload []string) error {
 		if err != nil {
 			return err
 		}
-		err = svc.LoadGraphText(name, f)
+		_, err = svc.LoadGraphText(name, f)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("loading %q: %w", spec, err)
 		}
 		fmt.Fprintf(os.Stderr, "njoind: loaded graph %q from %s\n", name, path)
 	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+	return serve(ln, svc, drainBudget, stop)
+}
 
+// serve runs the HTTP API on ln until a signal arrives on stop, then drains:
+// admission closes (new queries get 503 + Retry-After and /readyz flips),
+// in-flight requests — open NDJSON streams included — get drainBudget to
+// finish, and whatever is still running afterwards (or when a second signal
+// arrives) is hard-cancelled through the server's base context, which every
+// joiner polls at walk-round granularity.
+func serve(ln net.Listener, svc *service.Service, drainBudget time.Duration, stop chan os.Signal) error {
+	baseCtx, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           service.NewHandler(svc),
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20, // joins carry their payload in the body; headers stay small
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "njoind: serving on %s\n", addr)
-		errCh <- srv.ListenAndServe()
+		fmt.Fprintf(os.Stderr, "njoind: serving on %s\n", ln.Addr())
+		errCh <- srv.Serve(ln)
 	}()
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		if errors.Is(err, http.ErrServerClosed) {
@@ -123,9 +151,46 @@ func run(addr string, cfg service.Config, preload []string) error {
 		}
 		return err
 	case sig := <-stop:
-		fmt.Fprintf(os.Stderr, "njoind: %v, shutting down\n", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: stop admitting (new queries get 503 + Retry-After,
+		// /readyz flips so load balancers stop routing here), let in-flight
+		// requests — including open NDJSON streams — finish within the drain
+		// budget, then hard-cancel whatever is left. A second signal skips
+		// straight to the hard stop.
+		fmt.Fprintf(os.Stderr, "njoind: %v, draining (budget %s; signal again to stop now)\n", sig, drainBudget)
+		svc.StartDrain()
+		// Keep accepting for a moment before closing the listener: load
+		// balancers need to observe the /readyz flip, and clients racing the
+		// drain get an explicit 503 + Retry-After instead of a connection
+		// refused.
+		grace := drainBudget / 4
+		if grace > time.Second {
+			grace = time.Second
+		}
+		select {
+		case <-time.After(grace):
+		case sig := <-stop:
+			fmt.Fprintf(os.Stderr, "njoind: %v again, cancelling in-flight requests\n", sig)
+			hardCancel()
+			srv.Close()
+			return nil
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), drainBudget-grace)
 		defer cancel()
-		return srv.Shutdown(ctx)
+		done := make(chan error, 1)
+		go func() { done <- srv.Shutdown(ctx) }()
+		select {
+		case err := <-done:
+			if err == nil {
+				fmt.Fprintln(os.Stderr, "njoind: drained cleanly")
+				return nil
+			}
+			fmt.Fprintf(os.Stderr, "njoind: drain budget spent (%v), cancelling in-flight requests\n", err)
+		case sig := <-stop:
+			fmt.Fprintf(os.Stderr, "njoind: %v again, cancelling in-flight requests\n", sig)
+		}
+		hardCancel()
+		srv.Close()
+		<-done
+		return nil
 	}
 }

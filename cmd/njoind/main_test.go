@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+)
+
+// smallBufListener pins a small explicit send buffer on accepted conns so a
+// slow-reading client keeps the server's stream handler genuinely in flight
+// (an auto-tuned kernel buffer would swallow the whole response at once).
+type smallBufListener struct{ net.Listener }
+
+func (l smallBufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetWriteBuffer(8 << 10)
+		}
+	}
+	return c, err
+}
+
+// TestServeGracefulDrain exercises the daemon's SIGTERM sequence end to end
+// with an injected signal channel: an in-flight NDJSON stream runs to its
+// done terminator while new requests are refused with 503 + Retry-After, and
+// serve returns cleanly once the drain completes.
+func TestServeGracefulDrain(t *testing.T) {
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{50, 50, 40}, PIn: 0.12, POut: 0.05,
+		Seed: 7, MaxWeight: 3, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{})
+	if err := svc.LoadGraph("g", g, sets); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := smallBufListener{raw}
+	stop := make(chan os.Signal, 1)
+	served := make(chan error, 1)
+	go func() { served <- serve(ln, svc, 30*time.Second, stop) }()
+	base := "http://" + ln.Addr().String()
+
+	// Wait for the listener to answer.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Stream the full n×n ranking: with the pinned send buffer the handler is
+	// still mid-stream — blocked on our unread bytes — when the drain begins.
+	all := make([]int, g.NumNodes())
+	for i := range all {
+		all[i] = i
+	}
+	body, _ := json.Marshal(map[string]any{
+		"graph":  "g",
+		"p":      map[string]any{"ids": all},
+		"q":      map[string]any{"ids": all},
+		"k":      0,
+		"stream": true,
+	})
+	resp, err := http.Post(base+"/join2", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	for i := 0; i < 3; i++ {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("stream line %d: %v", i, err)
+		}
+		if line["done"] == true {
+			t.Fatalf("stream exhausted after %d lines before the drain began", i)
+		}
+	}
+
+	stop <- syscall.SIGTERM
+
+	// New queries are refused while the drain runs. The rejection may briefly
+	// race the signal delivery, so poll for the flip.
+	var rejected *http.Response
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		rejected, err = http.Post(base+"/join2", "application/json", bytes.NewReader(body))
+		if err != nil || rejected.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		io.Copy(io.Discard, rejected.Body)
+		rejected.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("new queries still admitted after SIGTERM")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("post-SIGTERM request: %v", err)
+	}
+	if rejected.Header.Get("Retry-After") == "" {
+		t.Error("drain 503 lacks Retry-After")
+	}
+	io.Copy(io.Discard, rejected.Body)
+	rejected.Body.Close()
+
+	// The in-flight stream still runs to completion under the drain budget.
+	sawDone := false
+	for !sawDone {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			t.Fatalf("in-flight stream cut during graceful drain: %v", err)
+		}
+		sawDone = line["done"] == true
+	}
+	resp.Body.Close()
+
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v after clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not return after the drain completed")
+	}
+}
+
+// TestServeSecondSignalHardStops: if in-flight work outlives patience, a
+// second signal cancels it immediately instead of waiting out the budget.
+func TestServeSecondSignalHardStops(t *testing.T) {
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{50, 50, 40}, PIn: 0.12, POut: 0.05,
+		Seed: 7, MaxWeight: 3, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{})
+	if err := svc.LoadGraph("g", g, sets); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 2)
+	served := make(chan error, 1)
+	// A drain budget far longer than the test: only the second signal can
+	// bring the server down in time.
+	go func() { served <- serve(ln, svc, time.Hour, stop) }()
+	base := "http://" + ln.Addr().String()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Park a slow consumer on an exhaustive stream so the drain cannot finish
+	// on its own: the client holds the response open and reads nothing more.
+	body, _ := json.Marshal(map[string]any{
+		"graph":  "g",
+		"p":      map[string]any{"set": sets[0].Name},
+		"q":      map[string]any{"set": sets[1].Name},
+		"k":      0,
+		"stream": true,
+	})
+	resp, err := http.Post(base+"/join2", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstLine map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&firstLine); err != nil {
+		t.Fatal(err)
+	}
+
+	var drainBody sync.WaitGroup
+	drainBody.Add(1)
+	go func() {
+		defer drainBody.Done()
+		io.Copy(io.Discard, resp.Body) // keep the connection alive until the hard stop
+		resp.Body.Close()
+	}()
+
+	stop <- syscall.SIGTERM
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("serve returned %v after hard stop", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("second signal did not bring the server down")
+	}
+	drainBody.Wait()
+}

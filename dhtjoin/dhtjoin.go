@@ -55,6 +55,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dht"
@@ -165,6 +166,27 @@ type Options struct {
 	// Scores are unchanged up to floating-point summation order within a
 	// CSR row, so rankings can differ only between exactly-tied pairs.
 	Relabel RelabelMode
+
+	// Budget bounds the wall-clock time a join may spend. A join that runs
+	// out of budget stops early but correctly: one-shot calls return
+	// ErrBudgetExceeded, streams end cleanly with Truncated() reporting
+	// true, and the prefix produced before the deadline is bit-identical to
+	// the same-length prefix of the full ranking. Zero means no deadline
+	// (Service defaults may still apply one). Honored by the join entry
+	// points (one-shot and Service); Score/ScoresFrom run to completion.
+	Budget time.Duration
+
+	// Tenant names the quota bucket a Service call is accounted to: the
+	// serving layer caps each tenant's concurrently admitted and queued
+	// requests (ErrQuotaExceeded past the queue cap). Empty string is the
+	// shared anonymous tenant. One-shot calls ignore it.
+	Tenant string
+
+	// LowPriority admits a Service call in the batch class: under
+	// contention the weighted-fair scheduler grants interactive (default)
+	// requests ~3x more often, without ever starving batch. One-shot calls
+	// ignore it.
+	LowPriority bool
 }
 
 // Measure selects the step probability the score folds.

@@ -1,6 +1,10 @@
 package dhtjoin
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/service"
+)
 
 // Typed validation errors. The facade checks inputs up front and wraps these
 // sentinels (with fmt.Errorf("%w: ...")), so callers can branch with
@@ -41,4 +45,25 @@ var (
 	// algorithm forced onto an n-way query (or vice versa), or an invalid
 	// relabel mode.
 	ErrHintConflict = errors.New("dhtjoin: hint conflicts with the query")
+)
+
+// Serving-layer sentinels, re-exported so callers of the Service facade can
+// branch with errors.Is without importing internal packages. They are the
+// same error values the serving layer returns, so matching works across
+// layers.
+var (
+	// ErrQuotaExceeded reports a Service call rejected at admission because
+	// the tenant's waiting queue is full (HTTP 429 on the wire).
+	ErrQuotaExceeded = service.ErrQuotaExceeded
+
+	// ErrBudgetExceeded reports a join stopped by its deadline budget
+	// (Options.Budget, or the serving layer's default). Batch calls
+	// (TopKPairs / TopK) return the prefix produced before the deadline
+	// alongside this error — correct but shorter than k; streams instead
+	// end cleanly with Truncated() reporting true.
+	ErrBudgetExceeded = service.ErrBudgetExceeded
+
+	// ErrDraining reports a Service that has begun graceful shutdown and no
+	// longer admits new queries (HTTP 503 on the wire).
+	ErrDraining = service.ErrDraining
 )

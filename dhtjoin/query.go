@@ -306,22 +306,40 @@ func (qy *Query) openPairs(ctx context.Context, initial int, batch bool) (*PairS
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := qy.budgetContext(ctx)
 	cfg := join2.Config{Graph: qy.g, Params: params, D: d, P: qy.p.Nodes(), Q: qy.q.Nodes()}
 	workers, batchWidth, relabel := qy.knobs()
 	cfg.Workers = workers
 	cfg.BatchWidth = batchWidth
+	// The joiners poll this at walk-round granularity, so a cancelled ctx
+	// (or an expired budget) stops the join mid-round instead of only
+	// between pulls. context.Cause is nil while the ctx is live.
+	cfg.Cancel = func() error { return context.Cause(ctx) }
 	if qy.opts != nil {
 		cfg.Measure = qy.opts.Measure
 	}
 	rl := relabelPairConfig(&cfg, relabel)
 	st, err := join2.NewNamedStream(pl.Algorithm, cfg, join2.StreamSpec{Initial: initial}, batch)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
+	return &PairStream{ctx: ctx, cancel: cancel, st: st, rl: rl}, nil
+}
+
+// budgetContext applies Options.Budget as a deadline whose cancellation
+// cause is ErrBudgetExceeded — distinguishable from a caller cancel, so
+// streams can degrade to a truncated-but-correct prefix instead of erroring.
+// A nil ctx means Background; without a budget the ctx passes through with a
+// no-op cancel.
+func (qy *Query) budgetContext(ctx context.Context) (context.Context, context.CancelFunc) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &PairStream{ctx: ctx, st: st, rl: rl}, nil
+	if qy.opts == nil || qy.opts.Budget <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeoutCause(ctx, qy.opts.Budget, ErrBudgetExceeded)
 }
 
 // OpenPairs opens the rank-ordered pair stream of a 2-way query. The caller
@@ -348,6 +366,11 @@ func (qy *Query) TopKPairs(ctx context.Context, k int) ([]PairResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.Truncated() {
+		// The deadline budget expired: res is a correct-but-short prefix.
+		// Return it alongside the sentinel so callers can choose.
+		return res, ErrBudgetExceeded
+	}
 	return res, nil
 }
 
@@ -366,6 +389,9 @@ func (qy *Query) TopK(ctx context.Context, k int) ([]Answer, error) {
 	answers, err := s.NextK(k)
 	if err != nil {
 		return nil, err
+	}
+	if s.Truncated() {
+		return answers, ErrBudgetExceeded
 	}
 	return answers, nil
 }
@@ -435,19 +461,20 @@ func (qy *Query) openAnswers(ctx context.Context, initial int) (*AnswerStream, e
 		spec.Distinct = qy.opts.Distinct
 		spec.Measure = qy.opts.Measure
 	}
+	ctx, cancel := qy.budgetContext(ctx)
+	spec.Cancel = func() error { return context.Cause(ctx) }
 	rl := relabelSpec(&spec, relabel)
 	alg, err := core.NewNamed(pl.Algorithm, spec, m)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 	st, err := alg.Stream()
 	if err != nil {
+		cancel()
 		return nil, err
 	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	return &AnswerStream{ctx: ctx, st: st, rl: rl}, nil
+	return &AnswerStream{ctx: ctx, cancel: cancel, st: st, rl: rl}, nil
 }
 
 // OpenAnswers opens the rank-ordered answer stream of an n-way query; see
@@ -487,11 +514,19 @@ func (qy *Query) Answers(ctx context.Context) iter.Seq2[Answer, error] {
 // Single-goroutine, like the engines it drives.
 type PairStream struct {
 	ctx       context.Context
+	cancel    context.CancelFunc
 	st        join2.Stream
 	rl        *Relabeling
 	stopped   bool
 	exhausted bool
+	truncated bool
 }
+
+// Truncated reports whether the stream ended early because its deadline
+// budget (Options.Budget) expired. The results pulled before the deadline
+// are still bit-identical to the same-length prefix of the full ranking —
+// the budget shortens the ranking, never corrupts it.
+func (s *PairStream) Truncated() bool { return s.truncated }
 
 // Next returns the next-best pair. ok is false once the |P|·|Q| candidate
 // space is exhausted (the stream auto-stops and further calls keep
@@ -505,13 +540,21 @@ func (s *PairStream) Next() (PairResult, bool, error) {
 	if s.stopped {
 		return PairResult{}, false, ErrStreamStopped
 	}
-	if err := s.ctx.Err(); err != nil {
+	if err := context.Cause(s.ctx); err != nil {
+		if errors.Is(err, ErrBudgetExceeded) {
+			s.truncated, s.exhausted = true, true
+			s.Stop()
+			return PairResult{}, false, nil
+		}
 		s.Stop()
 		return PairResult{}, false, err
 	}
 	r, ok, err := s.st.Next()
 	if err != nil || !ok {
-		if err == nil {
+		if errors.Is(err, ErrBudgetExceeded) {
+			s.truncated, s.exhausted = true, true
+			err, ok = nil, false
+		} else if err == nil {
 			s.exhausted = true
 		}
 		s.Stop()
@@ -542,6 +585,9 @@ func (s *PairStream) Stop() {
 		return
 	}
 	s.stopped = true
+	if s.cancel != nil {
+		s.cancel()
+	}
 	s.st.Release()
 }
 
@@ -549,11 +595,17 @@ func (s *PairStream) Stop() {
 // PairStream.
 type AnswerStream struct {
 	ctx       context.Context
+	cancel    context.CancelFunc
 	st        core.TupleStream
 	rl        *Relabeling
 	stopped   bool
 	exhausted bool
+	truncated bool
 }
+
+// Truncated reports whether the stream ended early on an expired deadline
+// budget; see PairStream.Truncated.
+func (s *AnswerStream) Truncated() bool { return s.truncated }
 
 // Next returns the next-best answer; see PairStream.Next for the contract.
 func (s *AnswerStream) Next() (Answer, bool, error) {
@@ -563,13 +615,21 @@ func (s *AnswerStream) Next() (Answer, bool, error) {
 	if s.stopped {
 		return Answer{}, false, ErrStreamStopped
 	}
-	if err := s.ctx.Err(); err != nil {
+	if err := context.Cause(s.ctx); err != nil {
+		if errors.Is(err, ErrBudgetExceeded) {
+			s.truncated, s.exhausted = true, true
+			s.Stop()
+			return Answer{}, false, nil
+		}
 		s.Stop()
 		return Answer{}, false, err
 	}
 	a, ok, err := s.st.Next()
 	if err != nil || !ok {
-		if err == nil {
+		if errors.Is(err, ErrBudgetExceeded) {
+			s.truncated, s.exhausted = true, true
+			err, ok = nil, false
+		} else if err == nil {
 			s.exhausted = true
 		}
 		s.Stop()
@@ -597,5 +657,8 @@ func (s *AnswerStream) Stop() {
 		return
 	}
 	s.stopped = true
+	if s.cancel != nil {
+		s.cancel()
+	}
 	s.st.Release()
 }

@@ -48,7 +48,8 @@ func (s *Service) LoadGraph(name string, g *Graph, sets ...*NodeSet) error {
 // LoadGraphText reads a text-format graph (with its node sets) from r and
 // registers it under name.
 func (s *Service) LoadGraphText(name string, r io.Reader) error {
-	return s.s.LoadGraphText(name, r)
+	_, err := s.s.LoadGraphText(name, r)
+	return err
 }
 
 // DropGraph removes the named graph and its cached sessions.
@@ -67,7 +68,7 @@ func toQuery(o *Options) service.Query {
 	if o == nil {
 		return service.Query{}
 	}
-	return service.Query{
+	q := service.Query{
 		Params:     o.Params,
 		Epsilon:    o.Epsilon,
 		D:          o.D,
@@ -78,7 +79,13 @@ func toQuery(o *Options) service.Query {
 		Workers:    o.Workers,
 		BatchWidth: o.BatchWidth,
 		Relabel:    o.Relabel,
+		Tenant:     o.Tenant,
+		Budget:     o.Budget,
 	}
+	if o.LowPriority {
+		q.Priority = service.PriorityBatch
+	}
+	return q
 }
 
 // TopKPairs serves a top-k 2-way join on the named graph, bit-identical to

@@ -78,6 +78,7 @@ func edgeConfig(spec *Spec, e QEdge, counters *dht.Counters) join2.Config {
 		Counters:   counters,
 		Pool:       spec.Pool,
 		Memo:       spec.Memo,
+		Cancel:     spec.Cancel,
 	}
 }
 

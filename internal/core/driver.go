@@ -80,6 +80,11 @@ func newPBRJStream(spec *Spec, srcs []edgeSource, stats *RunStats, ctrs *dht.Cou
 // Next implements TupleStream.
 func (d *pbrjStream) Next() (Answer, bool, error) {
 	for {
+		// One PBRJ iteration per poll: a pull that keeps missing the corner
+		// bound must still notice an expired deadline budget.
+		if err := d.spec.canceled(); err != nil {
+			return Answer{}, false, err
+		}
 		// Emit the best pending candidate once it clears the threshold —
 		// τ bounds every answer that still involves an unseen pair, so a
 		// candidate at or above it is globally next. With all sources

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -31,6 +32,14 @@ func buildSources(spec *Spec, counters *dht.Counters, build func(cfg join2.Confi
 	srcs := make([]edgeSource, len(edges))
 	errs := make([]error, len(edges))
 	mk := func(ei int) {
+		// A panic here would cross a goroutine boundary on the concurrent
+		// path and kill the process; recover it into the edge's error slot so
+		// the release sweep below still returns every pooled engine.
+		defer func() {
+			if p := recover(); p != nil {
+				errs[ei] = fmt.Errorf("core: panic priming edge source %d: %v", ei, p)
+			}
+		}()
 		srcs[ei], errs[ei] = build(edgeConfig(spec, edges[ei], counters))
 		if errs[ei] != nil {
 			return

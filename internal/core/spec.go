@@ -60,6 +60,22 @@ type Spec struct {
 	// increment of the run (chained behind the run-scoped counters that feed
 	// RunStats), so a long-lived owner can keep process-lifetime walk totals.
 	Counters *dht.Counters
+
+	// Cancel, when non-nil, is polled at walk-round granularity by every
+	// per-edge 2-way join (join2.Config.Cancel) and between refinement pulls
+	// of the n-way drivers. A non-nil return aborts the run with that error.
+	// Must be safe for concurrent use — per-edge joins may run on worker
+	// goroutines — and cheap. Cancellation never corrupts state: answers
+	// already emitted remain a correct ranking prefix.
+	Cancel func() error
+}
+
+// canceled polls the cancellation hook; nil hooks never cancel.
+func (s *Spec) canceled() error {
+	if s.Cancel == nil {
+		return nil
+	}
+	return s.Cancel()
 }
 
 // keepTuple applies the Distinct filter.

@@ -1,0 +1,157 @@
+// Package fault is a deterministic fault-injection harness for the serving
+// stack's chaos tests: an Injector owns a set of rules keyed by named
+// injection sites (engine checkout, walk rounds, response writes), and the
+// instrumented code calls Inject(site) at each site. A rule fires on a
+// deterministic schedule — every Nth call to its site, with the firing
+// residue derived from the injector's seed — so a chaos run is reproducible
+// given (seed, per-site call index), independent of goroutine interleaving
+// across sites.
+//
+// A nil *Injector is a valid no-op injector, so production code paths carry
+// an always-nil field at zero cost and tests swap a live one in.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site names one injection point. The serving layer defines three.
+type Site string
+
+// The serving layer's injection sites.
+const (
+	// Checkout fires when a request tries to start a join (engines about to
+	// be checked out of the session pool).
+	Checkout Site = "engine.checkout"
+	// WalkRound fires at walk-round granularity inside the joiners — the
+	// same poll points the deadline budget uses.
+	WalkRound Site = "walk.round"
+	// ResponseWrite fires before each streamed response line is written.
+	ResponseWrite Site = "response.write"
+)
+
+// ErrInjected is the sentinel every injected error wraps; test assertions
+// branch on errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("fault: injected error")
+
+// Rule describes one fault: on every Every-th call to its site (at a
+// seed-derived residue) it sleeps Delay, then panics if Panic is set, then
+// returns Err if non-nil. A Rule with only Delay set is a pure latency
+// fault. Every < 1 never fires.
+type Rule struct {
+	Every int           // fire each Nth call; < 1 disables the rule
+	Delay time.Duration // sleep this long when firing
+	Err   error         // return this (wrapped in ErrInjected) when firing
+	Panic bool          // panic instead of returning
+}
+
+// siteState is one site's rules and call counter.
+type siteState struct {
+	calls atomic.Uint64
+	fired atomic.Uint64
+	rules []Rule
+	offs  []uint64 // per-rule firing residue, derived from the seed
+}
+
+// Injector holds the active rules. Safe for concurrent use; the zero value
+// and the nil pointer inject nothing.
+type Injector struct {
+	seed uint64
+	mu   sync.RWMutex
+	site map[Site]*siteState
+}
+
+// New returns an empty injector whose firing residues derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{seed: uint64(seed), site: make(map[Site]*siteState)}
+}
+
+// Add installs a rule at site. Rules are checked in insertion order; the
+// first one that fires on a call wins.
+func (in *Injector) Add(site Site, r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	st := in.site[site]
+	if st == nil {
+		st = &siteState{}
+		in.site[site] = st
+	}
+	var off uint64
+	if r.Every > 1 {
+		// Cheap seeded hash over (seed, site, rule index) picks which
+		// residue class fires, so distinct seeds shift the fault pattern.
+		h := in.seed ^ 0x9e3779b97f4a7c15
+		for _, c := range site {
+			h = (h ^ uint64(c)) * 0x100000001b3
+		}
+		h = (h ^ uint64(len(st.rules))) * 0x100000001b3
+		off = h % uint64(r.Every)
+	}
+	st.rules = append(st.rules, r)
+	st.offs = append(st.offs, off)
+}
+
+// Inject advances site's call counter and applies the first rule scheduled
+// for this call: it may sleep, panic, or return an error wrapping
+// ErrInjected. A nil injector (or a site with no rules) returns nil.
+func (in *Injector) Inject(site Site) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.RLock()
+	st := in.site[site]
+	in.mu.RUnlock()
+	if st == nil {
+		return nil
+	}
+	n := st.calls.Add(1) - 1 // this call's 0-based index
+	for i, r := range st.rules {
+		if r.Every < 1 || n%uint64(r.Every) != st.offs[i] {
+			continue
+		}
+		st.fired.Add(1)
+		if r.Delay > 0 {
+			time.Sleep(r.Delay)
+		}
+		if r.Panic {
+			panic(fmt.Sprintf("fault: injected panic at %s (call %d)", site, n))
+		}
+		if r.Err != nil {
+			return fmt.Errorf("%w: %s (call %d): %v", ErrInjected, site, n, r.Err)
+		}
+		return nil // pure latency fault
+	}
+	return nil
+}
+
+// Calls reports how many times site has been reached.
+func (in *Injector) Calls(site Site) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.RLock()
+	st := in.site[site]
+	in.mu.RUnlock()
+	if st == nil {
+		return 0
+	}
+	return st.calls.Load()
+}
+
+// Fired reports how many calls at site actually triggered a rule.
+func (in *Injector) Fired(site Site) uint64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.RLock()
+	st := in.site[site]
+	in.mu.RUnlock()
+	if st == nil {
+		return 0
+	}
+	return st.fired.Load()
+}

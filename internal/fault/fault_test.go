@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	var in *Injector
+	if err := in.Inject(Checkout); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if in.Calls(Checkout) != 0 || in.Fired(Checkout) != 0 {
+		t.Fatal("nil injector reported activity")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []int {
+		in := New(seed)
+		in.Add(WalkRound, Rule{Every: 5, Err: errors.New("boom")})
+		var fired []int
+		for i := 0; i < 50; i++ {
+			if err := in.Inject(WalkRound); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("injected error must wrap ErrInjected, got %v", err)
+				}
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(42), run(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if len(a) != 10 {
+		t.Fatalf("Every:5 over 50 calls should fire 10 times, fired %d (%v)", len(a), a)
+	}
+	c := run(7)
+	if len(c) != 10 {
+		t.Fatalf("seed 7 fired %d times, want 10", len(c))
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	in := New(1)
+	in.Add(Checkout, Rule{Every: 1, Panic: true})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected injected panic")
+		}
+	}()
+	_ = in.Inject(Checkout)
+}
+
+func TestDelayRule(t *testing.T) {
+	in := New(1)
+	in.Add(ResponseWrite, Rule{Every: 1, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Inject(ResponseWrite); err != nil {
+		t.Fatalf("pure latency rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay rule slept only %v", d)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	in := New(3)
+	in.Add(WalkRound, Rule{Every: 4, Err: errors.New("x")})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if in.Inject(WalkRound) != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Calls(WalkRound); got != 800 {
+		t.Fatalf("calls = %d, want 800", got)
+	}
+	// Exactly one residue class of 4 fires: 200 of 800 calls.
+	if errs != 200 || in.Fired(WalkRound) != 200 {
+		t.Fatalf("fired %d errors (counter %d), want 200", errs, in.Fired(WalkRound))
+	}
+}

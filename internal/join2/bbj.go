@@ -84,8 +84,13 @@ func (b *BBJ) TopK(k int) ([]Result, error) {
 		}
 		bw := b.be.W
 		b.pending = b.pending[:0]
-		flush := func() {
+		flush := func() error {
 			for base := 0; base < len(b.pending); base += bw {
+				// Each chunk is one full-depth batched walk — the serial
+				// B-BJ's walk round, and its cancellation poll point.
+				if err := b.cfg.canceled(); err != nil {
+					return err
+				}
 				end := min(base+bw, len(b.pending))
 				chunk := b.pending[base:end]
 				cols := b.be.BackWalkScoresBatch(b.cfg.Measure, chunk, d)
@@ -95,6 +100,7 @@ func (b *BBJ) TopK(k int) ([]Result, error) {
 				}
 			}
 			b.pending = b.pending[:0]
+			return nil
 		}
 		for _, q := range b.cfg.Q {
 			if scores, ok := memo.Get(b.cfg.Measure, q, d); ok {
@@ -103,7 +109,9 @@ func (b *BBJ) TopK(k int) ([]Result, error) {
 			}
 			b.pending = append(b.pending, q)
 		}
-		flush()
+		if err := flush(); err != nil {
+			return nil, err
+		}
 		return collect(top), nil
 	}
 	if b.e == nil {
@@ -115,6 +123,9 @@ func (b *BBJ) TopK(k int) ([]Result, error) {
 		if scores, ok := memo.Get(b.cfg.Measure, q, d); ok {
 			addColumn(q, scores)
 			continue
+		}
+		if err := b.cfg.canceled(); err != nil {
+			return nil, err
 		}
 		scores := b.e.BackWalkScores(b.cfg.Measure, q, d)
 		memo.Put(b.cfg.Measure, q, d, scores)

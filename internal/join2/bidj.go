@@ -106,7 +106,7 @@ func (b *BIDJ) TopK(k int) ([]Result, error) {
 			return nil, err
 		}
 	}
-	return b.run(b.e, k), nil
+	return b.run(b.e, k)
 }
 
 // Release returns the joiner's cached engines to the caller-owned pool
@@ -166,8 +166,10 @@ func (b *BIDJ) forEachScores(e *dht.Engine, qs []graph.NodeID, l int, fn func(qi
 	}
 }
 
-// run executes Algorithm 2 serially. It assumes k is already clamped.
-func (b *BIDJ) run(e *dht.Engine, k int) []Result {
+// run executes Algorithm 2 serially. It assumes k is already clamped. The
+// cancellation hook is polled once per deepening round, so a budgeted or
+// disconnected request stops between rounds instead of walking to d.
+func (b *BIDJ) run(e *dht.Engine, k int) ([]Result, error) {
 	d := b.cfg.D
 	b.Stats = b.Stats[:0]
 	ubound := b.ubound(e)
@@ -178,6 +180,9 @@ func (b *BIDJ) run(e *dht.Engine, k int) []Result {
 
 	lower := pqueue.NewTopK[struct{}](k)
 	for l := 1; l < d; l = b.advance(l) {
+		if err := b.cfg.canceled(); err != nil {
+			return nil, err
+		}
 		lower.Reset()
 		qUpper := make([]float64, len(alive))
 		b.forEachScores(e, alive, l, func(qi int, scores []float64) {
@@ -203,6 +208,9 @@ func (b *BIDJ) run(e *dht.Engine, k int) []Result {
 	}
 
 	// Final exact round over the survivors.
+	if err := b.cfg.canceled(); err != nil {
+		return nil, err
+	}
 	top := pqueue.NewTopK[Pair](k)
 	b.forEachScores(e, alive, d, func(qi int, scores []float64) {
 		q := alive[qi]
@@ -214,7 +222,7 @@ func (b *BIDJ) run(e *dht.Engine, k int) []Result {
 			}
 		}
 	})
-	return collect(top)
+	return collect(top), nil
 }
 
 // prune applies the round's bound test, appends the IterStat, and returns
@@ -244,8 +252,11 @@ func (b *BIDJ) prune(alive []graph.NodeID, qUpper []float64, lower *pqueue.TopK[
 // sweep per chunk instead of one per target — and the worker count is capped
 // at the chunk count, so worker count × batch width stay tuned together.
 // Short rounds stride targets over solo engines as before. Returns the
-// worker count used (the maximum wi is one less).
-func (b *BIDJ) scatterScores(pool *dht.EnginePool, qs []graph.NodeID, l, workers int, fn func(wi, qi int, scores []float64)) int {
+// worker count used (the maximum wi is one less). Worker bodies run under
+// guard (a panic unwinds the worker's engine checkouts and surfaces as an
+// error) and poll the cancellation hook per chunk; the first error wins and
+// the remaining workers stop at their next poll.
+func (b *BIDJ) scatterScores(pool *dht.EnginePool, qs []graph.NodeID, l, workers int, fn func(wi, qi int, scores []float64)) (int, error) {
 	bw := 1
 	if b.cfg.batchRounds(l) && len(qs) >= 2 {
 		bw = b.cfg.batchWidth()
@@ -255,31 +266,63 @@ func (b *BIDJ) scatterScores(pool *dht.EnginePool, qs []graph.NodeID, l, workers
 		w = chunks
 	}
 	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	bail := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
 	for wi := 0; wi < w; wi++ {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			if bw > 1 {
-				be := b.cfg.checkoutBatch(pool)
-				defer pool.PutBatch(be)
-				for base := wi * bw; base < len(qs); base += w * bw {
-					end := min(base+bw, len(qs))
-					cols := be.BackWalkScoresBatch(b.cfg.Measure, qs[base:end], l)
-					for ci := range cols {
-						fn(wi, base+ci, cols[ci])
+			if err := guard(func() {
+				if bw > 1 {
+					be := b.cfg.checkoutBatch(pool)
+					defer pool.PutBatch(be)
+					for base := wi * bw; base < len(qs); base += w * bw {
+						if err := b.cfg.canceled(); err != nil {
+							fail(err)
+							return
+						}
+						if bail() {
+							return
+						}
+						end := min(base+bw, len(qs))
+						cols := be.BackWalkScoresBatch(b.cfg.Measure, qs[base:end], l)
+						for ci := range cols {
+							fn(wi, base+ci, cols[ci])
+						}
+					}
+				} else {
+					e := b.cfg.checkout(pool)
+					defer pool.Put(e)
+					for qi := wi; qi < len(qs); qi += w {
+						if err := b.cfg.canceled(); err != nil {
+							fail(err)
+							return
+						}
+						if bail() {
+							return
+						}
+						fn(wi, qi, e.BackWalkScores(b.cfg.Measure, qs[qi], l))
 					}
 				}
-			} else {
-				e := b.cfg.checkout(pool)
-				defer pool.Put(e)
-				for qi := wi; qi < len(qs); qi += w {
-					fn(wi, qi, e.BackWalkScores(b.cfg.Measure, qs[qi], l))
-				}
+			}); err != nil {
+				fail(err)
 			}
 		}(wi)
 	}
 	wg.Wait()
-	return w
+	return w, firstErr
 }
 
 // runParallel is run with each round's per-target walks spread over an
@@ -312,9 +355,12 @@ func (b *BIDJ) runParallel(k, workers int) ([]Result, error) {
 	beta := b.cfg.Params.Beta
 
 	for l := 1; l < d; l = b.advance(l) {
+		if err := b.cfg.canceled(); err != nil {
+			return nil, err
+		}
 		qUpper := make([]float64, len(alive))
 		lowers := make([]*pqueue.TopK[struct{}], workers)
-		b.scatterScores(pool, alive, l, workers, func(wi, qi int, scores []float64) {
+		_, err := b.scatterScores(pool, alive, l, workers, func(wi, qi int, scores []float64) {
 			lo := lowers[wi]
 			if lo == nil {
 				lo = pqueue.NewTopK[struct{}](k)
@@ -333,6 +379,9 @@ func (b *BIDJ) runParallel(k, workers int) ([]Result, error) {
 			}
 			qUpper[qi] = pMax + ubound(q, l)
 		})
+		if err != nil {
+			return nil, err
+		}
 		lower := pqueue.NewTopK[struct{}](k)
 		for _, lo := range lowers {
 			if lo == nil {
@@ -349,7 +398,7 @@ func (b *BIDJ) runParallel(k, workers int) ([]Result, error) {
 	// Final exact round over the survivors, merged like ParallelBBJ.
 	top := pqueue.NewTopK[Pair](k)
 	tops := make([]*pqueue.TopK[Pair], workers)
-	b.scatterScores(pool, alive, d, workers, func(wi, qi int, scores []float64) {
+	_, err := b.scatterScores(pool, alive, d, workers, func(wi, qi int, scores []float64) {
 		tp := tops[wi]
 		if tp == nil {
 			tp = pqueue.NewTopK[Pair](k)
@@ -361,6 +410,9 @@ func (b *BIDJ) runParallel(k, workers int) ([]Result, error) {
 			tp.AddTie(pr, scores[p], pairTie(pr))
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, tp := range tops {
 		if tp == nil {
 			continue

@@ -51,9 +51,14 @@ func (f *FBJ) TopK(k int) ([]Result, error) {
 		bw := f.be.W
 		ps := make([]graph.NodeID, 0, bw)
 		qs := make([]graph.NodeID, 0, bw)
-		flush := func() {
+		flush := func() error {
 			if len(ps) == 0 {
-				return
+				return nil
+			}
+			// One batched full-depth sweep per chunk — F-BJ's walk round and
+			// its cancellation poll point.
+			if err := f.cfg.canceled(); err != nil {
+				return err
 			}
 			rows := f.be.ForwardProbsBatch(f.cfg.Measure, ps, qs, d)
 			for c := range ps {
@@ -65,17 +70,22 @@ func (f *FBJ) TopK(k int) ([]Result, error) {
 				top.AddTie(pr, s, pairTie(pr))
 			}
 			ps, qs = ps[:0], qs[:0]
+			return nil
 		}
 		for _, p := range f.cfg.P {
 			for _, q := range f.cfg.Q {
 				ps = append(ps, p)
 				qs = append(qs, q)
 				if len(ps) == bw {
-					flush()
+					if err := flush(); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
-		flush()
+		if err := flush(); err != nil {
+			return nil, err
+		}
 		return collect(top), nil
 	}
 	if f.e == nil {
@@ -86,6 +96,9 @@ func (f *FBJ) TopK(k int) ([]Result, error) {
 	e := f.e
 	for _, p := range f.cfg.P {
 		for _, q := range f.cfg.Q {
+			if err := f.cfg.canceled(); err != nil {
+				return nil, err
+			}
 			pr := Pair{p, q}
 			top.AddTie(pr, e.ForwardScoreKind(f.cfg.Measure, p, q, f.cfg.D), pairTie(pr))
 		}

@@ -114,6 +114,11 @@ func (f *FIDJ) TopK(k int) ([]Result, error) {
 			if !alive[pi] {
 				continue
 			}
+			// Each source's |Q| walks at depth l form one walk round; poll so
+			// deadline budgets can abort a round mid-deepening.
+			if err := f.cfg.canceled(); err != nil {
+				return nil, err
+			}
 			scores := f.scoresForSource(p, l)
 			best := math.Inf(-1)
 			for _, hl := range scores {
@@ -140,6 +145,9 @@ func (f *FIDJ) TopK(k int) ([]Result, error) {
 	for pi, p := range f.cfg.P {
 		if !alive[pi] {
 			continue
+		}
+		if err := f.cfg.canceled(); err != nil {
+			return nil, err
 		}
 		scores := f.scoresForSource(p, d)
 		for qi, q := range f.cfg.Q {

@@ -99,7 +99,10 @@ func (inc *Incremental) Run(m int) ([]Result, error) {
 	// dropped right here, and an unreleased checkout would leak the pool
 	// entry for the incremental state's whole lifetime.
 	defer b.Release()
-	res := b.run(inc.e, m)
+	res, err := b.run(inc.e, m)
+	if err != nil {
+		return nil, err
+	}
 	// Entries already emitted must not be served again by Next.
 	for _, r := range res {
 		inc.f.Remove(r.Pair)
@@ -121,6 +124,11 @@ func (inc *Incremental) Next() (Result, bool, error) {
 	}
 	d := inc.cfg.D
 	for {
+		// Refinement steps are the incremental join's walk rounds; the poll
+		// here is what lets a deadline budget truncate a slow pull mid-way.
+		if err := inc.cfg.canceled(); err != nil {
+			return Result{}, false, err
+		}
 		pr, _, ent, ok := inc.f.Max()
 		if !ok {
 			return Result{}, false, nil

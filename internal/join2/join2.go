@@ -87,6 +87,40 @@ type Config struct {
 	// a (graph, params, d, measure) configuration; the caller is responsible
 	// for binding the memo to exactly one such configuration.
 	Memo *dht.ScoreMemo
+
+	// Cancel, when non-nil, is polled at walk-round granularity: once per
+	// deepening round, per target chunk of the scatter paths, and per
+	// refinement step of the incremental join. A non-nil return aborts the
+	// join with that error, which is how the serving layer enforces deadline
+	// budgets (and client disconnects) mid-round instead of only between
+	// pulls. The function must be safe for concurrent use — worker
+	// goroutines poll it too — and cheap, since rounds poll it on their hot
+	// path. Cancellation never corrupts state: results already emitted by a
+	// stream remain a correct ranking prefix.
+	Cancel func() error
+}
+
+// canceled polls the cancellation hook; nil hooks never cancel.
+func (c *Config) canceled() error {
+	if c.Cancel == nil {
+		return nil
+	}
+	return c.Cancel()
+}
+
+// guard runs fn, converting a panic into an error. The worker-pool paths run
+// every goroutine body under it: a panic crossing a goroutine boundary would
+// crash the whole process, while under guard it unwinds the worker's defers
+// (returning checked-out engines to the pool) and surfaces as a joiner
+// error the serving layer can answer with.
+func guard(fn func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("join2: panic in join worker: %v", p)
+		}
+	}()
+	fn()
+	return nil
 }
 
 // Validate checks the configuration.

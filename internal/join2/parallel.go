@@ -62,40 +62,66 @@ func (b *ParallelBBJ) TopK(k int) ([]Result, error) {
 	}
 	parts := make([]*pqueue.TopK[Pair], workers)
 	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			top := pqueue.NewTopK[Pair](k)
-			addColumn := func(q graph.NodeID, scores []float64) {
-				for _, p := range b.cfg.P {
-					pr := Pair{p, q}
-					top.AddTie(pr, scores[p], pairTie(pr))
-				}
-			}
-			if bw > 1 {
-				be := b.cfg.checkoutBatch(pool)
-				defer pool.PutBatch(be)
-				for base := w * bw; base < len(b.cfg.Q); base += workers * bw {
-					end := min(base+bw, len(b.cfg.Q))
-					chunk := b.cfg.Q[base:end]
-					cols := be.BackWalkScoresBatch(b.cfg.Measure, chunk, d)
-					for ci, q := range chunk {
-						addColumn(q, cols[ci])
+			// guard converts a worker panic into an error after the engine
+			// checkouts below have been unwound back to the pool.
+			if err := guard(func() {
+				top := pqueue.NewTopK[Pair](k)
+				addColumn := func(q graph.NodeID, scores []float64) {
+					for _, p := range b.cfg.P {
+						pr := Pair{p, q}
+						top.AddTie(pr, scores[p], pairTie(pr))
 					}
 				}
-			} else {
-				e := b.cfg.checkout(pool)
-				defer pool.Put(e)
-				for qi := w; qi < len(b.cfg.Q); qi += workers {
-					q := b.cfg.Q[qi]
-					addColumn(q, e.BackWalkScores(b.cfg.Measure, q, d))
+				if bw > 1 {
+					be := b.cfg.checkoutBatch(pool)
+					defer pool.PutBatch(be)
+					for base := w * bw; base < len(b.cfg.Q); base += workers * bw {
+						if err := b.cfg.canceled(); err != nil {
+							fail(err)
+							return
+						}
+						end := min(base+bw, len(b.cfg.Q))
+						chunk := b.cfg.Q[base:end]
+						cols := be.BackWalkScoresBatch(b.cfg.Measure, chunk, d)
+						for ci, q := range chunk {
+							addColumn(q, cols[ci])
+						}
+					}
+				} else {
+					e := b.cfg.checkout(pool)
+					defer pool.Put(e)
+					for qi := w; qi < len(b.cfg.Q); qi += workers {
+						if err := b.cfg.canceled(); err != nil {
+							fail(err)
+							return
+						}
+						q := b.cfg.Q[qi]
+						addColumn(q, e.BackWalkScores(b.cfg.Measure, q, d))
+					}
 				}
+				parts[w] = top
+			}); err != nil {
+				fail(err)
 			}
-			parts[w] = top
 		}(w)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	merged := pqueue.NewTopK[Pair](k)
 	for _, part := range parts {
 		pairs, scores := part.Sorted()

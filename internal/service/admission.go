@@ -1,70 +1,275 @@
 package service
 
-import "context"
+import (
+	"context"
+	"sync"
+)
 
-// admission is the per-request worker admission controller: a counting
-// grant of worker tokens with a fixed total. Every running request holds at
-// least one token, so at most `total` join workers are in flight across all
-// concurrent requests — concurrent joins shrink their worker counts instead
-// of oversubscribing GOMAXPROCS (worker count never changes a result, so
-// admission is invisible in the responses).
+// Priority classes for admission. Interactive is the zero value, so untagged
+// requests get the low-latency class.
+const (
+	classInteractive = 0
+	classBatch       = 1
+	numClasses       = 2
+)
+
+// classWeights drives the weighted-fair scheduler: for every classWeights[c]
+// grants a class receives, the other classes advance proportionally less
+// virtual time, so interactive traffic gets ~3× the grant rate of batch when
+// both queues are non-empty — but batch is never starved.
+var classWeights = [numClasses]int64{classInteractive: 3, classBatch: 1}
+
+// admission is the per-request worker admission controller: a counting grant
+// of worker tokens with a fixed total, split across tenants and two priority
+// classes. Every running request holds at least one token, so at most `total`
+// join workers are in flight across all concurrent requests — concurrent
+// joins shrink their worker counts instead of oversubscribing GOMAXPROCS
+// (worker count never changes a result, so admission is invisible in the
+// responses).
 //
-// acquire grants min(want, free) but never blocks a request forever behind
-// large ones: when no token is free it waits until one is released — or
-// until the request's context is cancelled, which is how a disconnected
-// client stops occupying the admission queue before its join even started.
-// Partial grants are deliberate — granting what's available and shrinking
-// the request's worker count keeps throughput monotone and makes the
-// "each request holds ≥ 1 token" invariant deadlock-free (no request ever
-// waits while holding tokens).
+// Per tenant, two caps apply: at most tenantInflight requests of a tenant may
+// hold tokens at once (further requests wait even when tokens are free — one
+// tenant cannot monopolize the pool), and at most tenantQueue requests may
+// wait (beyond that, acquire fails fast with ErrQuotaExceeded so doomed work
+// is shed at the door instead of after queueing).
+//
+// Grants are partial but never zero: a request asking for many workers takes
+// min(want, free) ≥ 1, which keeps the "each request holds ≥ 1 token while
+// running, and never waits while holding tokens" invariant deadlock-free.
+// Waiters are FIFO within a class; across classes the scheduler picks by
+// weighted virtual time (classWeights). A waiter whose tenant is at its
+// in-flight cap is skipped, not dequeued — it keeps its queue position until
+// the tenant releases.
 type admission struct {
-	tokens chan struct{}
+	mu    sync.Mutex
+	free  int
+	total int
+
+	tenantInflight int // max concurrently admitted requests per tenant
+	tenantQueue    int // max queued waiters per tenant
+
+	tenants map[string]*tenantState
+	queues  [numClasses][]*waiter
+	vtime   [numClasses]int64 // grants × (Π weights / weight[c]), for fair pick
+	waiting int               // queued waiters, all classes (gauge)
+
+	rejected int64 // ErrQuotaExceeded count (stats)
 }
 
-func newAdmission(total int) *admission {
+// tenantState tracks one tenant's admitted and queued request counts; entries
+// are dropped as soon as both reach zero, so the map stays bounded by live
+// tenants.
+type tenantState struct {
+	inflight int
+	queued   int
+}
+
+// waiter is one blocked acquire. grant sends are buffered so the scheduler
+// (holding the lock) never blocks on a waiter that is concurrently
+// cancelling.
+type waiter struct {
+	tenant string
+	class  int
+	want   int
+	ch     chan int // receives the granted token count, exactly once
+}
+
+// grant is the handle a successful acquire returns; release returns its
+// tokens and wakes eligible waiters.
+type grant struct {
+	n      int
+	tenant string
+}
+
+func newAdmission(total, tenantInflight, tenantQueue int) *admission {
 	if total < 1 {
 		total = 1
 	}
-	a := &admission{tokens: make(chan struct{}, total)}
-	for i := 0; i < total; i++ {
-		a.tokens <- struct{}{}
+	if tenantInflight < 1 || tenantInflight > total {
+		tenantInflight = total
 	}
-	return a
+	if tenantQueue < 1 {
+		tenantQueue = defaultTenantQueue
+	}
+	return &admission{
+		free:           total,
+		total:          total,
+		tenantInflight: tenantInflight,
+		tenantQueue:    tenantQueue,
+		tenants:        make(map[string]*tenantState),
+	}
 }
 
-// acquire blocks until at least one token is free or ctx is done, then
-// grants up to want tokens (at least one) without further blocking. A nil
-// ctx never cancels.
-func (a *admission) acquire(ctx context.Context, want int) (int, error) {
+func (a *admission) tenant(name string) *tenantState {
+	t := a.tenants[name]
+	if t == nil {
+		t = &tenantState{}
+		a.tenants[name] = t
+	}
+	return t
+}
+
+func (a *admission) dropIfIdle(name string, t *tenantState) {
+	if t.inflight == 0 && t.queued == 0 {
+		delete(a.tenants, name)
+	}
+}
+
+// acquire blocks until the request is granted tokens or ctx is done. It
+// returns ErrQuotaExceeded immediately when the tenant's waiting queue is
+// full. class is clamped to the known classes; a nil ctx never cancels.
+func (a *admission) acquire(ctx context.Context, tenant string, class, want int) (*grant, error) {
 	if want < 1 {
 		want = 1
+	}
+	if class < 0 || class >= numClasses {
+		class = classInteractive
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return nil, err
 	}
+
+	a.mu.Lock()
+	t := a.tenant(tenant)
+	// Fast path: tokens free, tenant under its cap, and nobody is queued
+	// ahead (granting here would jump the line the scheduler maintains).
+	if a.free > 0 && a.waiting == 0 && t.inflight < a.tenantInflight {
+		n := min(want, a.free)
+		a.free -= n
+		t.inflight++
+		a.vtime[class] += vtStep(class)
+		a.mu.Unlock()
+		return &grant{n: n, tenant: tenant}, nil
+	}
+	if t.queued >= a.tenantQueue {
+		a.rejected++
+		a.dropIfIdle(tenant, t)
+		a.mu.Unlock()
+		return nil, ErrQuotaExceeded
+	}
+	w := &waiter{tenant: tenant, class: class, want: want, ch: make(chan int, 1)}
+	t.queued++
+	a.waiting++
+	a.queues[class] = append(a.queues[class], w)
+	// The new waiter may be immediately eligible (e.g. tokens free but this
+	// tenant was at its cap a moment ago, or tokens were just released while
+	// the queue was empty in this class).
+	a.schedule()
+	a.mu.Unlock()
+
 	select {
-	case <-a.tokens:
+	case n := <-w.ch:
+		return &grant{n: n, tenant: tenant}, nil
 	case <-ctx.Done():
-		return 0, ctx.Err()
-	}
-	granted := 1
-	for granted < want {
-		select {
-		case <-a.tokens:
-			granted++
-		default:
-			return granted, nil
+		a.mu.Lock()
+		if a.unqueue(w) {
+			t := a.tenants[w.tenant]
+			t.queued--
+			a.waiting--
+			a.dropIfIdle(w.tenant, t)
+			a.mu.Unlock()
+			return nil, ctx.Err()
 		}
+		a.mu.Unlock()
+		// A grant raced the cancel: the scheduler already dequeued us and
+		// buffered the token count. Take it and give it straight back.
+		n := <-w.ch
+		a.release(&grant{n: n, tenant: w.tenant})
+		return nil, ctx.Err()
 	}
-	return granted, nil
 }
 
-// release returns n tokens, waking one waiter per token.
-func (a *admission) release(n int) {
-	for i := 0; i < n; i++ {
-		a.tokens <- struct{}{}
+// release returns a grant's tokens and lets the scheduler hand them out.
+// Safe to call exactly once per grant; nil is a no-op.
+func (a *admission) release(g *grant) {
+	if g == nil || g.n == 0 {
+		return
 	}
+	a.mu.Lock()
+	a.free += g.n
+	if t := a.tenants[g.tenant]; t != nil {
+		t.inflight--
+		a.dropIfIdle(g.tenant, t)
+	}
+	g.n = 0
+	a.schedule()
+	a.mu.Unlock()
+}
+
+// vtStep is the virtual-time increment for one grant of class c: classes with
+// larger weights advance slower, so they win the min-vtime pick more often.
+func vtStep(c int) int64 {
+	prod := int64(1)
+	for _, w := range classWeights {
+		prod *= w
+	}
+	return prod / classWeights[c]
+}
+
+// schedule hands free tokens to eligible waiters. Called with a.mu held.
+// Within a class waiters are FIFO, but a waiter whose tenant is at its
+// in-flight cap is skipped in place; across classes the smallest weighted
+// virtual time wins (ties to the lower class index, i.e. interactive).
+func (a *admission) schedule() {
+	for a.free > 0 {
+		best := -1
+		var bestIdx int
+		for c := 0; c < numClasses; c++ {
+			idx := a.eligible(c)
+			if idx < 0 {
+				continue
+			}
+			if best < 0 || a.vtime[c] < a.vtime[best] {
+				best, bestIdx = c, idx
+			}
+		}
+		if best < 0 {
+			return
+		}
+		q := a.queues[best]
+		w := q[bestIdx]
+		a.queues[best] = append(q[:bestIdx], q[bestIdx+1:]...)
+		t := a.tenants[w.tenant]
+		t.queued--
+		t.inflight++
+		a.waiting--
+		n := min(w.want, a.free)
+		a.free -= n
+		a.vtime[best] += vtStep(best)
+		w.ch <- n // buffered; never blocks
+	}
+}
+
+// eligible returns the index of the first waiter in class c whose tenant is
+// under its in-flight cap, or -1. Called with a.mu held.
+func (a *admission) eligible(c int) int {
+	for i, w := range a.queues[c] {
+		if a.tenants[w.tenant].inflight < a.tenantInflight {
+			return i
+		}
+	}
+	return -1
+}
+
+// unqueue removes w from its class queue; false means the scheduler already
+// granted it. Called with a.mu held.
+func (a *admission) unqueue(w *waiter) bool {
+	q := a.queues[w.class]
+	for i, x := range q {
+		if x == w {
+			a.queues[w.class] = append(q[:i], q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns the gauges the stats endpoint and the load shedder read.
+func (a *admission) snapshot() (free, waiting int, rejected int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.free, a.waiting, a.rejected
 }

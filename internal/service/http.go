@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/dht"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/rankjoin"
 )
@@ -33,8 +35,11 @@ type OptionsJSON struct {
 	Measure    string  `json:"measure,omitempty"` // "dht" (default) | "reach"
 	Workers    int     `json:"workers,omitempty"`
 	BatchWidth int     `json:"batch_width,omitempty"`
-	Relabel    string  `json:"relabel,omitempty"` // off | degree | bfs
-	Algo       string  `json:"algo,omitempty"`    // force an executor (B-IDJ-Y, B-BJ, PJ-i, AP, …); empty = cost-based planner
+	Relabel    string  `json:"relabel,omitempty"`   // off | degree | bfs
+	Algo       string  `json:"algo,omitempty"`      // force an executor (B-IDJ-Y, B-BJ, PJ-i, AP, …); empty = cost-based planner
+	Tenant     string  `json:"tenant,omitempty"`    // admission-quota bucket (X-Tenant header is the fallback)
+	Priority   string  `json:"priority,omitempty"`  // "interactive" (default) | "batch" (X-Priority header is the fallback)
+	BudgetMS   int     `json:"budget_ms,omitempty"` // wall-clock deadline budget in milliseconds; 0 = server default
 }
 
 // toQuery resolves the wire options into a Query.
@@ -87,7 +92,40 @@ func (o *OptionsJSON) toQuery() (Query, error) {
 	q.Workers = o.Workers
 	q.BatchWidth = o.BatchWidth
 	q.Algorithm = o.Algo
+	q.Tenant = o.Tenant
+	switch o.Priority {
+	case "", "interactive":
+		q.Priority = PriorityInteractive
+	case "batch":
+		q.Priority = PriorityBatch
+	default:
+		return q, fmt.Errorf("options: unknown priority %q (want interactive or batch)", o.Priority)
+	}
+	if o.BudgetMS < 0 {
+		return q, fmt.Errorf("options: budget_ms must be >= 0, got %d", o.BudgetMS)
+	}
+	q.Budget = time.Duration(o.BudgetMS) * time.Millisecond
 	return q, nil
+}
+
+// applyIdentity fills the query's tenant and priority from the request
+// headers when the options body left them unset — X-Tenant names the quota
+// bucket, X-Priority: batch selects the batch admission class. Body options
+// win over headers so a proxy can set coarse defaults that clients refine.
+func applyIdentity(r *http.Request, q *Query) error {
+	if q.Tenant == "" {
+		q.Tenant = r.Header.Get("X-Tenant")
+	}
+	if q.Priority == PriorityInteractive {
+		switch strings.ToLower(r.Header.Get("X-Priority")) {
+		case "", "interactive":
+		case "batch":
+			q.Priority = PriorityBatch
+		default:
+			return fmt.Errorf("options: unknown X-Priority %q (want interactive or batch)", r.Header.Get("X-Priority"))
+		}
+	}
+	return nil
 }
 
 // SetRefJSON is the wire form of a SetRef.
@@ -215,17 +253,31 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("PUT /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		body := http.MaxBytesReader(w, r.Body, maxGraphBody)
-		if err := svc.LoadGraphText(name, body); err != nil {
+		// The info comes straight from the load itself — not from a registry
+		// re-read — so a concurrent DELETE of the same name can no longer
+		// turn a successful PUT into a 500 "graph vanished after load".
+		info, err := svc.LoadGraphText(name, body)
+		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		for _, info := range svc.Graphs() {
-			if info.Name == name {
-				writeJSON(w, http.StatusOK, info)
-				return
-			}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the process is up and serving, draining or not.
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness: load balancers pull a draining instance out of rotation
+		// while its in-flight streams finish.
+		if svc.Draining() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "draining": true})
+			return
 		}
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("graph %q vanished after load", name))
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 	})
 
 	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
@@ -250,6 +302,10 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		query, err := req.Options.toQuery()
 		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := applyIdentity(r, &query); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -280,27 +336,27 @@ func NewHandler(svc *Service) http.Handler {
 		if req.Stream {
 			st, err := svc.OpenJoin2(ctx, req.Graph, req.P.toRef(), req.Q.toRef(), query)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				writeSvcError(w, err)
 				return
 			}
 			defer st.Stop()
-			streamNDJSON(w, req.Cursor, req.K, func() (any, bool, error) {
+			streamNDJSON(svc, w, req.Cursor, req.K, func() (any, bool, error) {
 				r, ok, err := st.Next()
 				if err != nil || !ok {
 					return nil, ok, err
 				}
 				return pairJSON{P: r.Pair.P, Q: r.Pair.Q, Score: r.Score}, true, nil
-			})
+			}, st.Truncated)
 			return
 		}
 		// Batch (optionally paged): drain cursor+k, return the page past the
 		// cursor. The prefix cache makes page n+1 re-serve page n's work.
-		res, err := svc.Join2(ctx, req.Graph, req.P.toRef(), req.Q.toRef(), req.Cursor+req.K, query)
+		res, meta, err := svc.Join2Meta(ctx, req.Graph, req.P.toRef(), req.Q.toRef(), req.Cursor+req.K, query)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeSvcError(w, err)
 			return
 		}
-		exhausted := len(res) < req.Cursor+req.K
+		exhausted := len(res) < req.Cursor+req.K && !meta.Truncated && meta.ClampedK == 0
 		if req.Cursor > len(res) {
 			res = res[len(res):]
 		} else {
@@ -312,12 +368,14 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		// Paging bookkeeping rides on every response — page one of a
 		// cursor loop needs "exhausted" as much as page two does.
-		writeJSON(w, http.StatusOK, map[string]any{
+		body := map[string]any{
 			"results":     pairs,
 			"cursor":      req.Cursor,
 			"next_cursor": req.Cursor + len(pairs),
 			"exhausted":   exhausted,
-		})
+		}
+		addMeta(body, meta)
+		writeJSON(w, http.StatusOK, body)
 	})
 
 	mux.HandleFunc("POST /joinN", func(w http.ResponseWriter, r *http.Request) {
@@ -329,6 +387,10 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		query, err := req.Options.toQuery()
 		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := applyIdentity(r, &query); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -371,25 +433,25 @@ func NewHandler(svc *Service) http.Handler {
 		if req.Stream {
 			st, err := svc.OpenJoinN(ctx, req.Graph, refs, edges, query)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, err)
+				writeSvcError(w, err)
 				return
 			}
 			defer st.Stop()
-			streamNDJSON(w, req.Cursor, req.K, func() (any, bool, error) {
+			streamNDJSON(svc, w, req.Cursor, req.K, func() (any, bool, error) {
 				a, ok, err := st.Next()
 				if err != nil || !ok {
 					return nil, ok, err
 				}
 				return answerJSON{Nodes: a.Nodes, Score: a.Score}, true, nil
-			})
+			}, st.Truncated)
 			return
 		}
-		answers, err := svc.JoinN(ctx, req.Graph, refs, edges, req.Cursor+req.K, query)
+		answers, meta, err := svc.JoinNMeta(ctx, req.Graph, refs, edges, req.Cursor+req.K, query)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeSvcError(w, err)
 			return
 		}
-		exhausted := len(answers) < req.Cursor+req.K
+		exhausted := len(answers) < req.Cursor+req.K && !meta.Truncated && meta.ClampedK == 0
 		if req.Cursor > len(answers) {
 			answers = answers[len(answers):]
 		} else {
@@ -399,12 +461,14 @@ func NewHandler(svc *Service) http.Handler {
 		for i, a := range answers {
 			out[i] = answerJSON{Nodes: a.Nodes, Score: a.Score}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		body := map[string]any{
 			"answers":     out,
 			"cursor":      req.Cursor,
 			"next_cursor": req.Cursor + len(out),
 			"exhausted":   exhausted,
-		})
+		}
+		addMeta(body, meta)
+		writeJSON(w, http.StatusOK, body)
 	})
 
 	mux.HandleFunc("GET /score", func(w http.ResponseWriter, r *http.Request) {
@@ -425,9 +489,13 @@ func NewHandler(svc *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		if err := applyIdentity(r, &query); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 		score, err := svc.Score(r.Context(), qp.Get("graph"), graph.NodeID(u), graph.NodeID(v), query)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeSvcError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"score": score})
@@ -494,27 +562,90 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, svc.Stats())
 	})
 
-	return mux
+	return withRecover(svc, withDrain(svc, mux))
 }
 
-// streamWriteTimeout bounds how long one NDJSON result line may take to
-// reach the client. A streaming request holds admission tokens and pooled
-// engines for its whole lifetime, so without this bound a handful of
-// clients that open a stream and stop reading would wedge the server's
-// admission controller; with it, a stalled write errors out and the
-// handler's deferred Stop releases everything. A client that keeps
-// reading, however slowly per line, refreshes the deadline on every write.
-const streamWriteTimeout = 30 * time.Second
+// withDrain rejects new work with 503 + Retry-After once the service is
+// draining, while health and stats endpoints keep answering (load balancers
+// and operators need them most exactly then). Requests already inside a
+// handler are unaffected — drain only gates the door.
+func withDrain(svc *Service, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if svc.Draining() {
+			switch r.URL.Path {
+			case "/healthz", "/readyz", "/stats":
+			default:
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, ErrDraining)
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// withRecover converts a handler panic into a 500 error envelope when the
+// response has not started, and into a dropped connection when it has
+// (matching net/http's own abort semantics). Either way the panic stops at
+// the request boundary: one poisoned request cannot take the daemon down.
+func withRecover(svc *Service, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rw := &headerTracker{ResponseWriter: w}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p) // deliberate abort; let net/http handle it
+			}
+			svc.notePanic()
+			if !rw.wrote {
+				writeError(rw, http.StatusInternalServerError, fmt.Errorf("internal panic: %v", p))
+			}
+		}()
+		h.ServeHTTP(rw, r)
+	})
+}
+
+// headerTracker records whether the response has started, so the recover
+// middleware knows whether a 500 envelope can still be written.
+type headerTracker struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *headerTracker) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *headerTracker) Write(b []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// flush and deadline hooks through the tracker.
+func (t *headerTracker) Unwrap() http.ResponseWriter { return t.ResponseWriter }
 
 // streamNDJSON drives a pull stream onto the wire as NDJSON: one result
 // object per line, flushed as produced, so the client sees the first result
 // while the join is still deepening. cursor results are skipped first (the
 // "next page" continuation), then up to k results are written (k = 0
 // streams to exhaustion). The final line is a terminator object —
-// {"done":true,"count":…,"next_cursor":…,"exhausted":…} on success, or
-// {"error":…} if the stream failed mid-flight (the HTTP status is already
-// on the wire by then; the in-band error line is the only channel left).
-func streamNDJSON(w http.ResponseWriter, cursor, k int, next func() (any, bool, error)) {
+// {"done":true,"count":…,"next_cursor":…,"exhausted":…,"truncated":…} on
+// success (truncated marks a deadline-budget cut: the lines above it are a
+// correct ranking prefix), or {"error":…} if the stream failed mid-flight
+// (the HTTP status is already on the wire by then; the in-band error line is
+// the only channel left).
+//
+// Each line write runs under the service's StreamWriteTimeout: a streaming
+// request holds admission tokens and pooled engines for its whole lifetime,
+// so without the per-line deadline a handful of clients that open a stream
+// and stop reading would wedge the admission controller. A client that keeps
+// reading, however slowly per line, refreshes the deadline on every write.
+func streamNDJSON(svc *Service, w http.ResponseWriter, cursor, k int, next func() (any, bool, error), truncated func() bool) {
 	rc := http.NewResponseController(w)
 	// The per-line deadlines below are absolute; clear them on the way out
 	// or the last one would outlive this response and kill the next request
@@ -524,10 +655,31 @@ func streamNDJSON(w http.ResponseWriter, cursor, k int, next func() (any, bool, 
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flush := func() { _ = rc.Flush() }
+	writeTimeout := svc.WriteTimeout()
+	done := func(written int, exhausted bool) {
+		line := map[string]any{
+			"done":        true,
+			"count":       written,
+			"next_cursor": cursor + written,
+			"exhausted":   exhausted,
+		}
+		if truncated != nil && truncated() {
+			line["truncated"] = true
+		}
+		_ = enc.Encode(line)
+		flush()
+	}
 	written, skip, exhausted := 0, cursor, false
 	for k == 0 || written < k {
 		v, ok, err := next()
 		if err != nil {
+			if errors.Is(err, ErrBudgetExceeded) {
+				// The budget cut the ranking short; everything on the wire is
+				// a correct prefix, so terminate normally with the marker
+				// instead of failing a request that produced valid results.
+				done(written, false)
+				return
+			}
 			// The in-band line carries the same envelope shape as a
 			// non-streaming error; 500 because the request was accepted.
 			body := errorBody(err)
@@ -547,20 +699,45 @@ func streamNDJSON(w http.ResponseWriter, cursor, k int, next func() (any, bool, 
 		// Refresh the per-line write deadline (best effort: httptest's
 		// recorder does not support deadlines, and a real server that
 		// cannot set one just keeps the old behavior).
-		_ = rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		if writeTimeout > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+		}
+		if err := svc.cfg.Fault.Inject(fault.ResponseWrite); err != nil {
+			return // injected write failure: same path as a vanished client
+		}
 		if err := enc.Encode(v); err != nil {
 			return // client went away or stalled; the deferred Stop cleans up
 		}
 		written++
 		flush()
 	}
-	_ = enc.Encode(map[string]any{
-		"done":        true,
-		"count":       written,
-		"next_cursor": cursor + written,
-		"exhausted":   exhausted,
-	})
-	flush()
+	done(written, exhausted)
+}
+
+// writeSvcError maps a service error to its transport status: quota
+// rejections are 429 and drain rejections 503 (both with Retry-After — the
+// condition is transient by construction), everything else stays a 400.
+func writeSvcError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQuotaExceeded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// addMeta folds batch degradation metadata into a response body.
+func addMeta(body map[string]any, meta BatchMeta) {
+	if meta.ClampedK != 0 {
+		body["clamped_k"] = meta.ClampedK
+	}
+	if meta.Truncated {
+		body["truncated"] = true
+	}
 }
 
 // optionsFromQuery parses the option knobs the GET routes (/score,

@@ -17,6 +17,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -25,9 +26,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dht"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/join2"
 	"repro/internal/plan"
@@ -58,7 +61,53 @@ type Config struct {
 	// concurrent requests (the admission controller grants each request
 	// between 1 and its resolved worker count). 0 selects GOMAXPROCS.
 	MaxConcurrency int
+
+	// TenantInFlight caps how many requests of one tenant may hold admission
+	// tokens at once; further requests of that tenant wait even while tokens
+	// are free, so one tenant cannot monopolize the worker pool. 0 selects
+	// MaxConcurrency (no per-tenant limit beyond the global one).
+	TenantInFlight int
+
+	// TenantQueue caps how many requests of one tenant may wait for
+	// admission; beyond it, requests fail fast with ErrQuotaExceeded.
+	// 0 selects 32.
+	TenantQueue int
+
+	// DefaultBudget is the wall-clock deadline budget applied to queries that
+	// do not carry their own (Query.Budget). 0 means no default budget.
+	DefaultBudget time.Duration
+
+	// MaxBudget caps every query's budget, including queries with none.
+	// 0 means no cap.
+	MaxBudget time.Duration
+
+	// ShedQueue is the admission-waiter count at which the HTTP layer starts
+	// shedding load by clamping demanded k toward cached or cheap prefixes
+	// (shedding engages only when no tokens are free AND at least ShedQueue
+	// requests are already waiting). 0 selects 8; negative disables shedding.
+	ShedQueue int
+
+	// ShedK is the k that over-demanding batch requests are clamped to while
+	// shedding (when no cached prefix can serve them). 0 selects 16.
+	ShedK int
+
+	// StreamWriteTimeout bounds each NDJSON line write of a streaming HTTP
+	// response, so one stalled reader cannot pin pooled engines and admission
+	// tokens forever. 0 selects 30s; negative disables the per-write deadline.
+	StreamWriteTimeout time.Duration
+
+	// Fault, when non-nil, injects faults (errors, latency, panics) at the
+	// service's instrumented sites — engine checkout, walk rounds, response
+	// writes. Test-only; nil (the default) is a strict no-op.
+	Fault *fault.Injector
 }
+
+const (
+	defaultTenantQueue  = 32
+	defaultShedQueue    = 8
+	defaultShedK        = 16
+	defaultWriteTimeout = 30 * time.Second
+)
 
 func (c Config) withDefaults() Config {
 	// MaxGraphs, MaxSessions, and MaxConcurrency have no meaningful
@@ -80,6 +129,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConcurrency < 1 {
 		c.MaxConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.TenantInFlight < 1 {
+		c.TenantInFlight = c.MaxConcurrency
+	}
+	if c.TenantQueue < 1 {
+		c.TenantQueue = defaultTenantQueue
+	}
+	if c.ShedQueue == 0 {
+		c.ShedQueue = defaultShedQueue
+	}
+	if c.ShedK < 1 {
+		c.ShedK = defaultShedK
+	}
+	if c.StreamWriteTimeout == 0 {
+		c.StreamWriteTimeout = defaultWriteTimeout
 	}
 	return c
 }
@@ -116,7 +180,26 @@ type Query struct {
 	// are bit-identical under any choice; an unknown name or one of the
 	// wrong query class fails the request.
 	Algorithm string
+	// Tenant attributes the request to an admission-quota bucket; empty is
+	// the anonymous shared bucket. Quotas never change results — only
+	// whether and when a request is admitted.
+	Tenant string
+	// Priority selects the admission class: PriorityInteractive (the zero
+	// value) or PriorityBatch. Batch requests still make progress under
+	// load, just at a lower weighted-fair share.
+	Priority int
+	// Budget is this query's wall-clock deadline budget; 0 defers to the
+	// service's DefaultBudget. An expired budget truncates the query to the
+	// ranking prefix produced so far (marked truncated) rather than failing
+	// it outright.
+	Budget time.Duration
 }
+
+// Priority classes for Query.Priority.
+const (
+	PriorityInteractive = classInteractive
+	PriorityBatch       = classBatch
+)
 
 // resolve applies the defaults; it must stay in lockstep with
 // dhtjoin.Options.resolve so served results are bit-identical to one-shot
@@ -194,6 +277,17 @@ type Stats struct {
 	Walks         int64 `json:"walks"`
 	EdgeSweeps    int64 `json:"edge_sweeps"`
 	FrontierEdges int64 `json:"frontier_edges"`
+
+	// Hardening surface: quota rejections, budget truncations, shed clamps,
+	// and recovered panics are monotone counters; the admission gauges and
+	// the drain flag describe the instantaneous load state.
+	QuotaRejections   int64 `json:"quota_rejections"`
+	BudgetTruncations int64 `json:"budget_truncations"`
+	ShedClamps        int64 `json:"shed_clamps"`
+	PanicsRecovered   int64 `json:"panics_recovered"`
+	AdmissionFree     int   `json:"admission_free"`
+	AdmissionWaiting  int   `json:"admission_waiting"`
+	Draining          bool  `json:"draining"`
 }
 
 // relabeledGraph pairs a reordered graph with its id map.
@@ -266,11 +360,13 @@ type Service struct {
 
 	adm      *admission
 	counters dht.Counters // lifetime engine work, fed by every session pool
+	draining atomic.Bool  // set once by StartDrain; never cleared
 
 	join2Reqs, joinNReqs, scoreReqs    atomic.Int64
 	resultHits, resultMisses           atomic.Int64
 	retiredMemoHits, retiredMemoMisses atomic.Int64 // from evicted sessions
 	planReqs, planCacheHits            atomic.Int64
+	budgetTruncs, shedClamps, panics   atomic.Int64
 
 	picksMu sync.Mutex
 	picks   map[string]int64 // executions per chosen executor name
@@ -283,9 +379,74 @@ func New(cfg Config) *Service {
 		cfg:      cfg,
 		graphs:   make(map[string]*graphEntry),
 		sessions: make(map[sessionKey]*session),
-		adm:      newAdmission(cfg.MaxConcurrency),
+		adm:      newAdmission(cfg.MaxConcurrency, cfg.TenantInFlight, cfg.TenantQueue),
 		picks:    make(map[string]int64),
 	}
+}
+
+// StartDrain moves the service into graceful drain: every subsequent query
+// entry point fails fast with ErrDraining while already-open streams keep
+// running to completion (or until their contexts are cancelled by the
+// caller's drain budget). Idempotent; drain is one-way.
+func (s *Service) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// admitGate is the shared fail-fast check at every query entry point.
+func (s *Service) admitGate() error {
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	return nil
+}
+
+// Shedding reports whether the service is overloaded enough that the HTTP
+// layer should degrade demanded k: no admission tokens free and at least
+// ShedQueue requests already waiting. Purely advisory — shedding never
+// changes the scores of what is served, only how much of the ranking is.
+func (s *Service) Shedding() bool {
+	if s.cfg.ShedQueue < 0 {
+		return false
+	}
+	free, waiting, _ := s.adm.snapshot()
+	return free == 0 && waiting >= s.cfg.ShedQueue
+}
+
+// ShedK returns the k that over-demanding requests degrade to while shedding.
+func (s *Service) ShedK() int { return s.cfg.ShedK }
+
+// WriteTimeout returns the per-line write deadline for streaming responses
+// (0 means disabled).
+func (s *Service) WriteTimeout() time.Duration {
+	if s.cfg.StreamWriteTimeout < 0 {
+		return 0
+	}
+	return s.cfg.StreamWriteTimeout
+}
+
+// notePanic counts one recovered panic (stream pulls and HTTP handlers).
+func (s *Service) notePanic() { s.panics.Add(1) }
+
+// budgetContext applies the query's resolved wall-clock budget to ctx,
+// installing ErrBudgetExceeded as the cancellation cause so budget expiry is
+// distinguishable from a client cancel. The returned cancel must always be
+// called. With no budget configured the context passes through unchanged.
+func (s *Service) budgetContext(ctx context.Context, q *Query) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := q.Budget
+	if b <= 0 {
+		b = s.cfg.DefaultBudget
+	}
+	if s.cfg.MaxBudget > 0 && (b <= 0 || b > s.cfg.MaxBudget) {
+		b = s.cfg.MaxBudget
+	}
+	if b <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeoutCause(ctx, b, ErrBudgetExceeded)
 }
 
 // planFor runs the planner for one request through the session's plan
@@ -356,13 +517,25 @@ func (s *Service) LoadGraph(name string, g *graph.Graph, sets []*graph.NodeSet) 
 	return nil
 }
 
-// LoadGraphText reads a text-format graph (with node sets) and registers it.
-func (s *Service) LoadGraphText(name string, r io.Reader) error {
+// LoadGraphText reads a text-format graph (with node sets) and registers it,
+// returning the registered entry's description. The info is computed from the
+// parsed graph itself — not from a post-load registry lookup — so a
+// concurrent DropGraph or replacing load cannot make a successful load look
+// like the graph vanished.
+func (s *Service) LoadGraphText(name string, r io.Reader) (GraphInfo, error) {
 	g, sets, err := graph.ReadText(r)
 	if err != nil {
-		return err
+		return GraphInfo{}, err
 	}
-	return s.LoadGraph(name, g, sets)
+	if err := s.LoadGraph(name, g, sets); err != nil {
+		return GraphInfo{}, err
+	}
+	info := GraphInfo{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	for _, set := range sets {
+		info.Sets = append(info.Sets, set.Name)
+	}
+	sort.Strings(info.Sets)
+	return info, nil
 }
 
 // DropGraph removes the named graph and its sessions; reports existence.
@@ -629,8 +802,17 @@ func (rq *join2Req) open(ctx context.Context, initial int, batch bool) (*Join2St
 	if err != nil {
 		return nil, err
 	}
-	granted, err := rq.svc.adm.acquire(ctx, resolveWorkers(rq.query.Workers))
+	// The budget clock starts here, covering the admission wait too: a
+	// request that spends its whole budget queued is already late.
+	qctx, cancel := rq.svc.budgetContext(ctx, &rq.query)
+	g, err := rq.svc.adm.acquire(qctx, rq.query.Tenant, rq.query.Priority, resolveWorkers(rq.query.Workers))
 	if err != nil {
+		cancel()
+		return nil, admitErr(qctx, err)
+	}
+	if err := rq.svc.cfg.Fault.Inject(fault.Checkout); err != nil {
+		rq.svc.adm.release(g)
+		cancel()
 		return nil, err
 	}
 	sess := rq.sess
@@ -644,11 +826,12 @@ func (rq *join2Req) open(ctx context.Context, initial int, batch bool) (*Join2St
 		P:          rq.pn,
 		Q:          rq.qn,
 		Measure:    rq.query.Measure,
-		Workers:    granted,
+		Workers:    g.n,
 		BatchWidth: rq.query.BatchWidth,
 		Pool:       sess.pool,
 		Memo:       sess.memo,
 		Counters:   ctrs,
+		Cancel:     rq.svc.cancelPoll(qctx),
 	}
 	if sess.rl != nil {
 		cfg.P = sess.rl.MapToNew(cfg.P)
@@ -656,14 +839,38 @@ func (rq *join2Req) open(ctx context.Context, initial int, batch bool) (*Join2St
 	}
 	st, err := join2.NewNamedStream(pl.Algorithm, cfg, join2.StreamSpec{Initial: initial}, batch)
 	if err != nil {
-		rq.svc.adm.release(granted)
+		rq.svc.adm.release(g)
+		cancel()
 		return nil, err
 	}
 	rq.svc.recordPick(pl.Algorithm)
-	if ctx == nil {
-		ctx = context.Background()
+	return &Join2Stream{svc: rq.svc, ctx: qctx, cancel: cancel, sess: sess, key: rq.key, st: st, rl: sess.rl, grant: g, ctrs: ctrs}, nil
+}
+
+// cancelPoll builds the joiners' walk-round cancellation hook for a query
+// context: it reports the context's cause (ErrBudgetExceeded on budget
+// expiry, context.Canceled on client disconnect) and doubles as the
+// walk-round fault-injection site.
+func (s *Service) cancelPoll(ctx context.Context) func() error {
+	return func() error {
+		if err := s.cfg.Fault.Inject(fault.WalkRound); err != nil {
+			return err
+		}
+		// Cause is nil while ctx is live, so this is a pure poll.
+		return context.Cause(ctx)
 	}
-	return &Join2Stream{svc: rq.svc, ctx: ctx, sess: sess, key: rq.key, st: st, rl: sess.rl, granted: granted, ctrs: ctrs}, nil
+}
+
+// admitErr maps an admission wait that died with the context to the richer
+// cancellation cause (budget expiry vs. plain cancel); quota rejections pass
+// through.
+func admitErr(ctx context.Context, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+	}
+	return err
 }
 
 // workload assembles the planner's view of the request for demand k.
@@ -697,14 +904,16 @@ const maxCachedPrefix = 4096
 type Join2Stream struct {
 	svc       *Service
 	ctx       context.Context
+	cancel    context.CancelFunc // releases the budget timer; nil for replays
 	sess      *session
 	key       string
 	st        join2.Stream
 	rl        *graph.Relabeling
-	granted   int
+	grant     *grant
 	ctrs      *dht.Counters // run-scoped; feeds the session calibration on Stop
 	drained   []join2.Result
 	truncated bool // results past maxCachedPrefix were not recorded
+	budgetHit bool // the deadline budget cut the ranking short
 	exhausted bool
 	stopped   bool
 
@@ -714,14 +923,22 @@ type Join2Stream struct {
 	pos    int
 }
 
+// Truncated reports whether the stream's deadline budget expired: everything
+// already returned is a correct ranking prefix, but the ranking was cut
+// short. Meaningful once Next has returned an error or Stop has run.
+func (s *Join2Stream) Truncated() bool { return s.budgetHit }
+
 // Next returns the next-best pair in the caller's id space; ok is false at
 // exhaustion (or after Stop). A cancelled ctx stops the stream and returns
-// its error.
+// its cause: ErrBudgetExceeded marks a truncated-but-correct prefix, while a
+// plain cancel is an aborted request.
 func (s *Join2Stream) Next() (join2.Result, bool, error) {
 	if s.stopped {
 		return join2.Result{}, false, nil
 	}
-	if err := s.ctx.Err(); err != nil {
+	if s.ctx.Err() != nil {
+		err := context.Cause(s.ctx)
+		s.noteBudget(err)
 		s.Stop()
 		return join2.Result{}, false, err
 	}
@@ -735,8 +952,9 @@ func (s *Join2Stream) Next() (join2.Result, bool, error) {
 		s.Stop()
 		return join2.Result{}, false, nil
 	}
-	r, ok, err := s.st.Next()
+	r, ok, err := s.safeNext()
 	if err != nil {
+		s.noteBudget(err)
 		s.Stop()
 		return join2.Result{}, false, err
 	}
@@ -757,6 +975,27 @@ func (s *Join2Stream) Next() (join2.Result, bool, error) {
 	return r, true, nil
 }
 
+// safeNext pulls from the underlying stream, converting a panic into an
+// error so a crashing joiner still flows into Stop (engines released,
+// admission returned) instead of unwinding through the caller.
+func (s *Join2Stream) safeNext() (r join2.Result, ok bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.svc.notePanic()
+			r, ok, err = join2.Result{}, false, fmt.Errorf("service: panic in join stream: %v", p)
+		}
+	}()
+	return s.st.Next()
+}
+
+// noteBudget records a budget-expiry truncation exactly once per stream.
+func (s *Join2Stream) noteBudget(err error) {
+	if errors.Is(err, ErrBudgetExceeded) && !s.budgetHit {
+		s.budgetHit = true
+		s.svc.budgetTruncs.Add(1)
+	}
+}
+
 // NextK pulls up to k further results (fewer at exhaustion; on error the
 // results drained before it are returned alongside).
 func (s *Join2Stream) NextK(k int) ([]join2.Result, error) {
@@ -773,8 +1012,11 @@ func (s *Join2Stream) Stop() {
 	if s.st != nil {
 		s.st.Release()
 	}
-	s.svc.adm.release(s.granted)
-	s.granted = 0
+	s.svc.adm.release(s.grant)
+	s.grant = nil
+	if s.cancel != nil {
+		s.cancel()
+	}
 	if s.ctrs != nil {
 		// Observed-cost feedback: the run's walk counters recalibrate the
 		// session's cost-unit estimate for future plans.
@@ -795,6 +1037,9 @@ func (s *Join2Stream) Stop() {
 // client) aborts the work and returns the engines to the session pool.
 func (s *Service) OpenJoin2(ctx context.Context, graphName string, p, q SetRef, query Query) (*Join2Stream, error) {
 	s.join2Reqs.Add(1)
+	if err := s.admitGate(); err != nil {
+		return nil, err
+	}
 	rq, err := s.resolveJoin2(graphName, p, q, query)
 	if err != nil {
 		return nil, err
@@ -812,17 +1057,45 @@ func (s *Service) OpenJoin2(ctx context.Context, graphName string, p, q SetRef, 
 	return rq.open(ctx, 0, false)
 }
 
+// BatchMeta describes how a batch response was degraded under pressure; the
+// zero value means "served exactly as demanded".
+type BatchMeta struct {
+	// ClampedK, when non-zero, is the k the request was degraded to by load
+	// shedding (the served ranking is the exact top-ClampedK).
+	ClampedK int `json:"clamped_k,omitempty"`
+	// Truncated reports that the deadline budget expired mid-join: the
+	// served results are a correct ranking prefix, but shorter than asked.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
 // Join2 runs (or serves from the prefix cache) a top-k 2-way join from p to
 // q with B-IDJ-Y, exactly as dhtjoin.TopKPairs would evaluate it. It drains
-// the same stream OpenJoin2 exposes.
+// the same stream OpenJoin2 exposes. When the deadline budget expires
+// mid-join, the prefix drained so far is returned alongside
+// ErrBudgetExceeded.
 func (s *Service) Join2(ctx context.Context, graphName string, p, q SetRef, k int, query Query) ([]join2.Result, error) {
+	res, meta, err := s.Join2Meta(ctx, graphName, p, q, k, query)
+	if err == nil && meta.Truncated {
+		err = ErrBudgetExceeded
+	}
+	return res, err
+}
+
+// Join2Meta is Join2 with load-degradation metadata: the HTTP layer uses it
+// to report shed clamps and budget truncations as part of a 200 response
+// instead of an opaque failure.
+func (s *Service) Join2Meta(ctx context.Context, graphName string, p, q SetRef, k int, query Query) ([]join2.Result, BatchMeta, error) {
+	var meta BatchMeta
 	s.join2Reqs.Add(1)
+	if err := s.admitGate(); err != nil {
+		return nil, meta, err
+	}
 	if k <= 0 {
-		return nil, fmt.Errorf("service: k must be positive, got %d", k)
+		return nil, meta, fmt.Errorf("service: k must be positive, got %d", k)
 	}
 	rq, err := s.resolveJoin2(graphName, p, q, query)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	if pre, ok := rq.sess.results.get(rq.key, k); ok {
 		s.resultHits.Add(1)
@@ -830,19 +1103,51 @@ func (s *Service) Join2(ctx context.Context, graphName string, p, q SetRef, k in
 		n := min(k, len(res))
 		out := make([]join2.Result, n)
 		copy(out, res[:n])
-		return out, nil
+		return out, meta, nil
+	}
+	// Under shed, an over-demanding miss degrades: any cached prefix beats
+	// running a join, and failing that the demand is clamped to ShedK. The
+	// served results are still the exact top of the ranking — shedding only
+	// shortens it.
+	if shedK := s.cfg.ShedK; s.Shedding() && k > shedK {
+		if pre, ok := rq.sess.results.getAny(rq.key); ok && pre.n > 0 {
+			s.resultHits.Add(1)
+			s.shedClamps.Add(1)
+			res := pre.results.([]join2.Result)
+			n := min(k, pre.n)
+			out := make([]join2.Result, n)
+			copy(out, res[:n])
+			meta.ClampedK = n
+			return out, meta, nil
+		}
+		k = shedK
+		meta.ClampedK = shedK
+		s.shedClamps.Add(1)
 	}
 	s.resultMisses.Add(1)
 	st, err := rq.open(ctx, k, true)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, ErrBudgetExceeded) {
+			// The budget expired before the join could start (e.g. spent
+			// queued at admission): the correct prefix is the empty one.
+			s.budgetTruncs.Add(1)
+			meta.Truncated = true
+			return nil, meta, nil
+		}
+		return nil, meta, err
 	}
 	defer st.Stop()
 	res, err := st.NextK(k)
-	if err != nil {
-		return nil, err
+	if errors.Is(err, ErrBudgetExceeded) {
+		// The drained prefix is correct as far as it goes; surface it with
+		// the truncation marker instead of discarding paid-for work.
+		meta.Truncated = true
+		return res, meta, nil
 	}
-	return res, nil
+	if err != nil {
+		return nil, meta, err
+	}
+	return res, meta, nil
 }
 
 // joinNReq is one resolved n-way request.
@@ -922,8 +1227,15 @@ func (rq *joinNReq) open(ctx context.Context) (*JoinNStream, error) {
 	if err != nil {
 		return nil, err
 	}
-	granted, err := rq.svc.adm.acquire(ctx, resolveWorkers(rq.query.Workers))
+	qctx, cancel := rq.svc.budgetContext(ctx, &rq.query)
+	g, err := rq.svc.adm.acquire(qctx, rq.query.Tenant, rq.query.Priority, resolveWorkers(rq.query.Workers))
 	if err != nil {
+		cancel()
+		return nil, admitErr(qctx, err)
+	}
+	if err := rq.svc.cfg.Fault.Inject(fault.Checkout); err != nil {
+		rq.svc.adm.release(g)
+		cancel()
 		return nil, err
 	}
 	sess := rq.sess
@@ -951,27 +1263,27 @@ func (rq *joinNReq) open(ctx context.Context) (*JoinNStream, error) {
 		K:          1, // required by Validate; the stream itself is k-free
 		Distinct:   rq.query.Distinct,
 		Measure:    rq.query.Measure,
-		Workers:    granted,
+		Workers:    g.n,
 		BatchWidth: rq.query.BatchWidth,
 		Pool:       sess.pool,
 		Memo:       sess.memo,
 		Counters:   ctrs,
+		Cancel:     rq.svc.cancelPoll(qctx),
 	}
 	alg, err := core.NewNamed(pl.Algorithm, spec, rq.m)
 	if err != nil {
-		rq.svc.adm.release(granted)
+		rq.svc.adm.release(g)
+		cancel()
 		return nil, err
 	}
 	st, err := alg.Stream()
 	if err != nil {
-		rq.svc.adm.release(granted)
+		rq.svc.adm.release(g)
+		cancel()
 		return nil, err
 	}
 	rq.svc.recordPick(pl.Algorithm)
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	return &JoinNStream{svc: rq.svc, ctx: ctx, sess: sess, key: rq.key, st: st, rl: sess.rl, granted: granted, ctrs: ctrs}, nil
+	return &JoinNStream{svc: rq.svc, ctx: qctx, cancel: cancel, sess: sess, key: rq.key, st: st, rl: sess.rl, grant: g, ctrs: ctrs}, nil
 }
 
 // workload assembles the planner's view of the n-way request.
@@ -996,14 +1308,16 @@ func (rq *joinNReq) workload() plan.Workload {
 type JoinNStream struct {
 	svc       *Service
 	ctx       context.Context
+	cancel    context.CancelFunc // releases the budget timer; nil for replays
 	sess      *session
 	key       string
 	st        core.TupleStream
 	rl        *graph.Relabeling
-	granted   int
+	grant     *grant
 	ctrs      *dht.Counters // run-scoped; feeds the session calibration on Stop
 	drained   []core.Answer
 	truncated bool // answers past maxCachedPrefix were not recorded
+	budgetHit bool // the deadline budget cut the ranking short
 	exhausted bool
 	stopped   bool
 
@@ -1013,13 +1327,39 @@ type JoinNStream struct {
 	pos    int
 }
 
+// Truncated reports whether the stream's deadline budget expired; see
+// Join2Stream.Truncated.
+func (s *JoinNStream) Truncated() bool { return s.budgetHit }
+
+// noteBudget records a budget-expiry truncation exactly once per stream.
+func (s *JoinNStream) noteBudget(err error) {
+	if errors.Is(err, ErrBudgetExceeded) && !s.budgetHit {
+		s.budgetHit = true
+		s.svc.budgetTruncs.Add(1)
+	}
+}
+
+// safeNext pulls from the underlying stream with panic recovery; see
+// Join2Stream.safeNext.
+func (s *JoinNStream) safeNext() (a core.Answer, ok bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.svc.notePanic()
+			a, ok, err = core.Answer{}, false, fmt.Errorf("service: panic in join stream: %v", p)
+		}
+	}()
+	return s.st.Next()
+}
+
 // Next returns the next-best answer in the caller's id space; see
 // Join2Stream.Next.
 func (s *JoinNStream) Next() (core.Answer, bool, error) {
 	if s.stopped {
 		return core.Answer{}, false, nil
 	}
-	if err := s.ctx.Err(); err != nil {
+	if s.ctx.Err() != nil {
+		err := context.Cause(s.ctx)
+		s.noteBudget(err)
 		s.Stop()
 		return core.Answer{}, false, err
 	}
@@ -1037,8 +1377,9 @@ func (s *JoinNStream) Next() (core.Answer, bool, error) {
 		s.Stop()
 		return core.Answer{}, false, nil
 	}
-	a, ok, err := s.st.Next()
+	a, ok, err := s.safeNext()
 	if err != nil {
+		s.noteBudget(err)
 		s.Stop()
 		return core.Answer{}, false, err
 	}
@@ -1081,8 +1422,11 @@ func (s *JoinNStream) Stop() {
 	if s.st != nil {
 		s.st.Release()
 	}
-	s.svc.adm.release(s.granted)
-	s.granted = 0
+	s.svc.adm.release(s.grant)
+	s.grant = nil
+	if s.cancel != nil {
+		s.cancel()
+	}
 	if s.ctrs != nil {
 		s.sess.calib.Observe(s.ctrs.Snapshot(), s.sess.g.NumEdges())
 	}
@@ -1097,6 +1441,9 @@ func (s *JoinNStream) Stop() {
 // OpenJoinN opens a streaming n-way join request; see OpenJoin2.
 func (s *Service) OpenJoinN(ctx context.Context, graphName string, sets []SetRef, edges [][2]int, query Query) (*JoinNStream, error) {
 	s.joinNReqs.Add(1)
+	if err := s.admitGate(); err != nil {
+		return nil, err
+	}
 	rq, err := s.resolveJoinN(graphName, sets, edges, query)
 	if err != nil {
 		return nil, err
@@ -1117,34 +1464,74 @@ func (s *Service) OpenJoinN(ctx context.Context, graphName string, sets []SetRef
 // JoinN runs (or serves from the prefix cache) a top-k n-way join with PJ-i
 // over the query graph described by sets and edges (edges index into sets),
 // exactly as dhtjoin.TopK would evaluate it. It drains the same stream
-// OpenJoinN exposes.
+// OpenJoinN exposes. When the deadline budget expires mid-join, the prefix
+// drained so far is returned alongside ErrBudgetExceeded.
 func (s *Service) JoinN(ctx context.Context, graphName string, sets []SetRef, edges [][2]int, k int, query Query) ([]core.Answer, error) {
+	res, meta, err := s.JoinNMeta(ctx, graphName, sets, edges, k, query)
+	if err == nil && meta.Truncated {
+		err = ErrBudgetExceeded
+	}
+	return res, err
+}
+
+// JoinNMeta is JoinN with load-degradation metadata; see Join2Meta.
+func (s *Service) JoinNMeta(ctx context.Context, graphName string, sets []SetRef, edges [][2]int, k int, query Query) ([]core.Answer, BatchMeta, error) {
+	var meta BatchMeta
 	s.joinNReqs.Add(1)
+	if err := s.admitGate(); err != nil {
+		return nil, meta, err
+	}
 	if k <= 0 {
-		return nil, fmt.Errorf("service: k must be positive, got %d", k)
+		return nil, meta, fmt.Errorf("service: k must be positive, got %d", k)
 	}
 	rq, err := s.resolveJoinN(graphName, sets, edges, query)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	if rq.key != "" {
 		if pre, ok := rq.sess.results.get(rq.key, k); ok {
 			s.resultHits.Add(1)
 			res := pre.results.([]core.Answer)
-			return copyAnswers(res[:min(k, len(res))]), nil
+			return copyAnswers(res[:min(k, len(res))]), meta, nil
 		}
+	}
+	if shedK := s.cfg.ShedK; s.Shedding() && k > shedK {
+		if rq.key != "" {
+			if pre, ok := rq.sess.results.getAny(rq.key); ok && pre.n > 0 {
+				s.resultHits.Add(1)
+				s.shedClamps.Add(1)
+				res := pre.results.([]core.Answer)
+				n := min(k, pre.n)
+				meta.ClampedK = n
+				return copyAnswers(res[:n]), meta, nil
+			}
+		}
+		k = shedK
+		meta.ClampedK = shedK
+		s.shedClamps.Add(1)
+	}
+	if rq.key != "" {
 		s.resultMisses.Add(1)
 	}
 	st, err := rq.open(ctx)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, ErrBudgetExceeded) {
+			s.budgetTruncs.Add(1)
+			meta.Truncated = true
+			return nil, meta, nil
+		}
+		return nil, meta, err
 	}
 	defer st.Stop()
 	answers, err := st.NextK(k)
-	if err != nil {
-		return nil, err
+	if errors.Is(err, ErrBudgetExceeded) {
+		meta.Truncated = true
+		return answers, meta, nil
 	}
-	return answers, nil
+	if err != nil {
+		return nil, meta, err
+	}
+	return answers, meta, nil
 }
 
 // ExplainJoin2 resolves a 2-way request and returns the plan its execution
@@ -1178,6 +1565,9 @@ func (s *Service) ExplainJoinN(ctx context.Context, graphName string, sets []Set
 // here, matching the one-shot facade). ctx bounds the wait for admission.
 func (s *Service) Score(ctx context.Context, graphName string, u, v graph.NodeID, query Query) (float64, error) {
 	s.scoreReqs.Add(1)
+	if err := s.admitGate(); err != nil {
+		return 0, err
+	}
 	params, d, _, _, err := query.resolve()
 	if err != nil {
 		return 0, err
@@ -1194,11 +1584,11 @@ func (s *Service) Score(ctx context.Context, graphName string, u, v graph.NodeID
 	if err != nil {
 		return 0, err
 	}
-	granted, err := s.adm.acquire(ctx, 1)
+	g, err := s.adm.acquire(ctx, query.Tenant, query.Priority, 1)
 	if err != nil {
 		return 0, err
 	}
-	defer s.adm.release(granted)
+	defer s.adm.release(g)
 	e := sess.pool.Get()
 	defer sess.pool.Put(e)
 	return e.ForwardScoreKind(query.Measure, u, v, d), nil
@@ -1223,9 +1613,19 @@ func (s *Service) Stats() Stats {
 	}
 	s.picksMu.Unlock()
 	snap := s.counters.Snapshot()
+	free, waiting, rejected := s.adm.snapshot()
 	return Stats{
-		Graphs:        graphs,
-		Sessions:      sessions,
+		Graphs:   graphs,
+		Sessions: sessions,
+
+		QuotaRejections:   rejected,
+		BudgetTruncations: s.budgetTruncs.Load(),
+		ShedClamps:        s.shedClamps.Load(),
+		PanicsRecovered:   s.panics.Load(),
+		AdmissionFree:     free,
+		AdmissionWaiting:  waiting,
+		Draining:          s.draining.Load(),
+
 		Join2Requests: s.join2Reqs.Load(),
 		JoinNRequests: s.joinNReqs.Load(),
 		ScoreRequests: s.scoreReqs.Load(),

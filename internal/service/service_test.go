@@ -131,8 +131,12 @@ func TestServiceLoadGraphText(t *testing.T) {
 		t.Fatal(err)
 	}
 	svc := New(Config{})
-	if err := svc.LoadGraphText("g", &buf); err != nil {
+	info, err := svc.LoadGraphText("g", &buf)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if info.Name != "g" || info.Nodes != g.NumNodes() || len(info.Sets) != len(sets) {
+		t.Fatalf("LoadGraphText info = %+v", info)
 	}
 	got, err := svc.Join2(context.Background(), "g", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 10, Query{})
 	if err != nil {
@@ -464,22 +468,24 @@ func TestRefKeyNoCollisions(t *testing.T) {
 // release wakes waiters, and a cancelled context abandons the wait.
 func TestAdmission(t *testing.T) {
 	ctx := context.Background()
-	a := newAdmission(4)
-	if got, err := a.acquire(ctx, 3); got != 3 || err != nil {
-		t.Fatalf("acquire(3) = %d, %v", got, err)
+	a := newAdmission(4, 0, 0)
+	g1, err := a.acquire(ctx, "", classInteractive, 3)
+	if err != nil || g1.n != 3 {
+		t.Fatalf("acquire(3) = %+v, %v", g1, err)
 	}
-	if got, err := a.acquire(ctx, 5); got != 1 || err != nil {
-		t.Fatalf("acquire(5) with 1 free = %d, %v", got, err)
+	g2, err := a.acquire(ctx, "", classInteractive, 5)
+	if err != nil || g2.n != 1 {
+		t.Fatalf("acquire(5) with 1 free = %+v, %v", g2, err)
 	}
 	done := make(chan int)
 	go func() {
-		n, err := a.acquire(ctx, 2)
+		g, err := a.acquire(ctx, "", classInteractive, 2)
 		if err != nil {
 			t.Error(err)
 		}
-		done <- n
+		done <- g.n
 	}()
-	a.release(3)
+	a.release(g1)
 	if got := <-done; got < 1 || got > 2 {
 		t.Fatalf("blocked acquire granted %d", got)
 	}
@@ -488,15 +494,16 @@ func TestAdmission(t *testing.T) {
 // TestAdmissionHonorsContext: a waiter whose request context dies must stop
 // occupying the queue and report the context error.
 func TestAdmissionHonorsContext(t *testing.T) {
-	a := newAdmission(1)
-	if _, err := a.acquire(context.Background(), 1); err != nil {
+	a := newAdmission(1, 0, 0)
+	held, err := a.acquire(context.Background(), "", classInteractive, 1)
+	if err != nil {
 		t.Fatal(err)
 	}
 	// All tokens held: a cancelled waiter must abort rather than block.
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error)
 	go func() {
-		_, err := a.acquire(ctx, 1)
+		_, err := a.acquire(ctx, "", classInteractive, 1)
 		errc <- err
 	}()
 	cancel()
@@ -504,12 +511,12 @@ func TestAdmissionHonorsContext(t *testing.T) {
 		t.Fatalf("cancelled acquire returned %v", err)
 	}
 	// Pre-cancelled contexts never touch the tokens.
-	if n, err := a.acquire(ctx, 3); err == nil || n != 0 {
-		t.Fatalf("pre-cancelled acquire = %d, %v", n, err)
+	if g, err := a.acquire(ctx, "", classInteractive, 3); err == nil || g != nil {
+		t.Fatalf("pre-cancelled acquire = %+v, %v", g, err)
 	}
-	a.release(1)
-	if n, err := a.acquire(context.Background(), 1); n != 1 || err != nil {
-		t.Fatalf("post-release acquire = %d, %v", n, err)
+	a.release(held)
+	if g, err := a.acquire(context.Background(), "", classInteractive, 1); err != nil || g.n != 1 {
+		t.Fatalf("post-release acquire = %+v, %v", g, err)
 	}
 }
 

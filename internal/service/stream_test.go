@@ -169,9 +169,9 @@ func TestServiceStreamCancellation(t *testing.T) {
 		t.Fatalf("%d engines outstanding after cancellation", n)
 	}
 	// Admission tokens are back: a full-width request is granted instantly.
-	granted, err := svc.adm.acquire(context.Background(), 2)
-	if err != nil || granted != 2 {
-		t.Fatalf("admission after cancel: granted=%d err=%v", granted, err)
+	granted, err := svc.adm.acquire(context.Background(), "", classInteractive, 2)
+	if err != nil || granted.n != 2 {
+		t.Fatalf("admission after cancel: granted=%+v err=%v", granted, err)
 	}
 	svc.adm.release(granted)
 
