@@ -8,17 +8,26 @@
 //
 //	njoind -addr :8080
 //	njoind -addr :8080 -graph yeast=yeast.graph -graph dblp=dblp.graph
+//	njoind -addr :8080 -data-dir /var/lib/njoind
+//
+// With -data-dir the registry is durable: PUT writes a checksummed snapshot
+// segment, edge updates append to a per-graph WAL (folded into a fresh
+// snapshot every -snapshot-every records or -snapshot-bytes bytes), DELETE
+// removes the on-disk state, and a restart recovers every persisted graph —
+// validating checksums, truncating torn WAL tails, and falling back to the
+// previous snapshot generation when the newest is corrupt — before serving.
 //
 // API (JSON; see internal/service.NewHandler):
 //
 //	PUT    /graphs/{name}   load a text-format graph (request body = file)
 //	GET    /graphs          list loaded graphs
-//	DELETE /graphs/{name}   drop a graph
+//	DELETE /graphs/{name}   drop a graph (and its durable state)
+//	POST   /graphs/{name}/edges  atomic edge-update batch ({"add":[...],"del":[...]})
 //	POST   /join2           {"graph":"g","p":{"set":"U"},"q":{"set":"D"},"k":10}
 //	POST   /joinN           {"graph":"g","sets":[...],"shape":"chain","k":5}
 //	GET    /score           ?graph=g&u=3&v=8
 //	GET    /explain         ?graph=g&p=U&q=D&k=10 (dry-run plan, named sets)
-//	GET    /stats           service counters (incl. planner picks)
+//	GET    /stats           service counters (incl. planner picks and persistence)
 //
 // The execution algorithm is chosen per request by the cost-based planner
 // (internal/plan) over the graph's structural stats and the session's
@@ -50,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // graphFlags collects repeated -graph name=path pairs.
@@ -74,6 +84,9 @@ func main() {
 		defaultBudget = flag.Duration("default-budget", 0, "deadline budget applied to queries that carry none (0 = none)")
 		maxBudget     = flag.Duration("max-budget", 0, "cap on any per-query deadline budget (0 = uncapped)")
 		drainBudget   = flag.Duration("drain-budget", 15*time.Second, "how long in-flight requests may finish after SIGTERM before hard cancel")
+		dataDir       = flag.String("data-dir", "", "durable graph store directory (empty = in-memory only)")
+		snapEvery     = flag.Int("snapshot-every", 0, "fold a graph's WAL into a snapshot after this many edit batches (0 = default 64, negative disables)")
+		snapBytes     = flag.Int64("snapshot-bytes", 0, "fold a graph's WAL into a snapshot after this many bytes (0 = default 4MiB, negative disables)")
 		preload       graphFlags
 	)
 	flag.Var(&preload, "graph", "preload a graph as name=path (repeatable)")
@@ -88,14 +101,49 @@ func main() {
 		TenantQueue:     *tenantQueue,
 		DefaultBudget:   *defaultBudget,
 		MaxBudget:       *maxBudget,
+	}, store.Config{
+		Dir:           *dataDir,
+		SnapshotEvery: *snapEvery,
+		SnapshotBytes: *snapBytes,
 	}, *drainBudget, preload); err != nil {
 		fmt.Fprintln(os.Stderr, "njoind:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg service.Config, drainBudget time.Duration, preload []string) error {
-	svc := service.New(cfg)
+func run(addr string, cfg service.Config, storeCfg store.Config, drainBudget time.Duration, preload []string) error {
+	if storeCfg.Dir != "" {
+		st, recovered, err := store.Open(storeCfg)
+		if err != nil {
+			return fmt.Errorf("opening data dir %s: %w", storeCfg.Dir, err)
+		}
+		defer st.Close()
+		cfg.Store = st
+		ctr := st.Counters()
+		fmt.Fprintf(os.Stderr,
+			"njoind: data dir %s: recovered %d graph(s) (wal records replayed %d, torn tails truncated %d, wals discarded %d, snapshot fallbacks %d, orphans swept %d)\n",
+			storeCfg.Dir, ctr.GraphsRecovered, ctr.WALReplayed, ctr.WALTruncations, ctr.WALDiscards, ctr.SnapshotFallbacks, ctr.Orphans)
+		svc := service.New(cfg)
+		if err := svc.AdoptRecovered(recovered); err != nil {
+			return err
+		}
+		for _, rec := range recovered {
+			degraded := ""
+			if rec.TornTail {
+				degraded += ", torn wal tail truncated"
+			}
+			if rec.Fallback {
+				degraded += ", fell back to an older snapshot"
+			}
+			fmt.Fprintf(os.Stderr, "njoind: recovered graph %q at generation %d (%d wal record(s) replayed%s)\n",
+				rec.Name, rec.Gen, rec.Replayed, degraded)
+		}
+		return runService(addr, svc, drainBudget, preload)
+	}
+	return runService(addr, service.New(cfg), drainBudget, preload)
+}
+
+func runService(addr string, svc *service.Service, drainBudget time.Duration, preload []string) error {
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestRestartServesPersistedGraphs is the whole-binary durability test: a
+// real njoind process is loaded over HTTP, edited, killed with SIGKILL (no
+// drain, no cleanup — the crash case), and restarted on the same data dir.
+// The restarted process must serve the same graphs at the same generations
+// with bit-identical join results, without any re-PUT.
+func TestRestartServesPersistedGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the njoind binary")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "njoind")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	// First life: load a graph, join, apply an edit, join again.
+	proc1, base1 := startServer(t, bin, dataDir)
+	putGraph(t, base1, "comm")
+	join1 := postJoin(t, base1, "comm", 10)
+
+	edit := `{"add":[{"u":0,"v":60,"w":5},{"u":60,"v":100,"w":2}],"del":[{"u":1,"v":0}]}`
+	resp := doReq(t, http.MethodPost, base1+"/graphs/comm/edges", strings.NewReader(edit))
+	var info struct {
+		Generation uint64 `json:"generation"`
+	}
+	decodeBody(t, resp, &info)
+	if info.Generation != 2 {
+		t.Fatalf("generation after edit = %d, want 2", info.Generation)
+	}
+	join2 := postJoin(t, base1, "comm", 10)
+	if bytes.Equal(join1, join2) {
+		t.Fatal("edit did not change the join results (test has no signal)")
+	}
+
+	// kill -9: no shutdown path runs; only the durable state survives.
+	if err := proc1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	proc1.Wait()
+
+	// Second life: same data dir, no -graph preloads, no PUTs.
+	_, base2 := startServer(t, bin, dataDir)
+	var listing struct {
+		Graphs []struct {
+			Name       string `json:"name"`
+			Generation uint64 `json:"generation"`
+		} `json:"graphs"`
+	}
+	decodeBody(t, doReq(t, http.MethodGet, base2+"/graphs", nil), &listing)
+	if len(listing.Graphs) != 1 || listing.Graphs[0].Name != "comm" || listing.Graphs[0].Generation != 2 {
+		t.Fatalf("restarted /graphs = %+v", listing)
+	}
+	join3 := postJoin(t, base2, "comm", 10)
+	if !bytes.Equal(join2, join3) {
+		t.Fatalf("post-restart join differs:\n pre %s\npost %s", join2, join3)
+	}
+
+	// /stats is warm about recovery: the generation map is populated and the
+	// WAL replay is visible.
+	var stats struct {
+		Generations map[string]uint64 `json:"generations"`
+		Persistence struct {
+			WALReplayed     int64 `json:"wal_replayed"`
+			GraphsRecovered int64 `json:"graphs_recovered"`
+		} `json:"persistence"`
+	}
+	decodeBody(t, doReq(t, http.MethodGet, base2+"/stats", nil), &stats)
+	if stats.Generations["comm"] != 2 {
+		t.Fatalf("stats generations = %v", stats.Generations)
+	}
+	if stats.Persistence.GraphsRecovered != 1 || stats.Persistence.WALReplayed != 1 {
+		t.Fatalf("stats persistence = %+v", stats.Persistence)
+	}
+
+	// A delete in the second life must be durable too.
+	doReq(t, http.MethodDelete, base2+"/graphs/comm", nil)
+	var after struct {
+		Graphs []struct {
+			Name string `json:"name"`
+		} `json:"graphs"`
+	}
+	decodeBody(t, doReq(t, http.MethodGet, base2+"/graphs", nil), &after)
+	if len(after.Graphs) != 0 {
+		t.Fatalf("graphs after delete = %+v", after)
+	}
+}
+
+// startServer launches njoind -addr 127.0.0.1:0 -data-dir dataDir and waits
+// for the "serving on" stderr line, returning the process and base URL. The
+// process is SIGKILLed at test cleanup (if still alive).
+func startServer(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data-dir", dataDir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if addr, ok := strings.CutPrefix(line, "njoind: serving on "); ok {
+				addrCh <- strings.TrimSpace(addr)
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("njoind did not report a listen address")
+		return nil, ""
+	}
+}
+
+// putGraph uploads the deterministic community test graph in text format.
+func putGraph(t *testing.T, base, name string) {
+	t.Helper()
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{50, 50, 40}, PIn: 0.12, POut: 0.05, Seed: 7, MaxWeight: 3, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteText(&buf, g, sets...); err != nil {
+		t.Fatal(err)
+	}
+	doReq(t, http.MethodPut, base+"/graphs/"+name, &buf)
+}
+
+func postJoin(t *testing.T, base, name string, k int) []byte {
+	t.Helper()
+	body := fmt.Sprintf(`{"graph":%q,"p":{"set":"C0"},"q":{"set":"C1"},"k":%d}`, name, k)
+	resp := doReq(t, http.MethodPost, base+"/join2", strings.NewReader(body))
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func doReq(t *testing.T, method, url string, body io.Reader) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("%s %s: %d %s", method, url, resp.StatusCode, b)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

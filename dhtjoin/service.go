@@ -52,8 +52,13 @@ func (s *Service) LoadGraphText(name string, r io.Reader) error {
 	return err
 }
 
-// DropGraph removes the named graph and its cached sessions.
-func (s *Service) DropGraph(name string) bool { return s.s.DropGraph(name) }
+// DropGraph removes the named graph and its cached sessions (and, when the
+// service was configured with a durable store, its on-disk state; a partial
+// on-disk failure still stops the graph being served and is retryable).
+func (s *Service) DropGraph(name string) bool {
+	ok, _ := s.s.DropGraph(name)
+	return ok
+}
 
 // Graphs lists the loaded graphs sorted by name.
 func (s *Service) Graphs() []GraphInfo { return s.s.Graphs() }

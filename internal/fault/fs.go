@@ -1,0 +1,156 @@
+// Filesystem fault sites: the persistent store (internal/store) performs all
+// of its I/O through the FS interface below, so tests can thread a Faulty
+// wrapper (deterministic injector-driven short writes, fsync failures, and
+// crashes around rename) and a crashable in-memory filesystem (MemFS)
+// underneath a completely unmodified store.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// The store's filesystem injection sites.
+const (
+	// FSWrite fires before each file write; an error rule turns the write
+	// into a torn write: half the bytes are written, then the error returns.
+	FSWrite Site = "fs.write"
+	// FSSync fires on file fsync; an error rule skips the sync entirely, so
+	// the written bytes are not durable (MemFS will drop them on Crash).
+	FSSync Site = "fs.sync"
+	// FSSyncDir fires on directory fsync; an error rule skips it, so entry
+	// creations/renames/removals are not durable.
+	FSSyncDir Site = "fs.syncdir"
+	// FSRename fires before a rename; an error rule suppresses the rename
+	// (crash-before-rename: the temp file exists, the target does not).
+	FSRename Site = "fs.rename"
+	// FSRenamed fires after a successful rename (crash-after-rename: the
+	// operation happened but the caller observes a failure).
+	FSRenamed Site = "fs.renamed"
+	// FSRemove fires before a file removal, suppressing it on error.
+	FSRemove Site = "fs.remove"
+)
+
+// File is the subset of *os.File the store needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Name() string
+}
+
+// FS is the filesystem seam. OS is the production implementation; Faulty
+// wraps any FS with injected faults; MemFS is the crashable in-memory
+// implementation the crash-matrix tests run against.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(name string, perm fs.FileMode) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making entry creations, renames, and
+	// removals durable (the second fsync of the atomic-replace protocol).
+	SyncDir(name string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+func (OS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+
+func (OS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Faulty wraps an FS with injector-driven faults at the FS* sites. A nil
+// injector passes everything through.
+type Faulty struct {
+	Inner FS
+	Inj   *Injector
+}
+
+func (f Faulty) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	file, err := f.Inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return faultyFile{File: file, inj: f.Inj}, nil
+}
+
+func (f Faulty) Rename(oldpath, newpath string) error {
+	if err := f.Inj.Inject(FSRename); err != nil {
+		return err // crash-before-rename: nothing happened
+	}
+	if err := f.Inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	// crash-after-rename: the rename is on disk but the caller sees failure.
+	return f.Inj.Inject(FSRenamed)
+}
+
+func (f Faulty) Remove(name string) error {
+	if err := f.Inj.Inject(FSRemove); err != nil {
+		return err
+	}
+	return f.Inner.Remove(name)
+}
+
+func (f Faulty) MkdirAll(name string, perm fs.FileMode) error { return f.Inner.MkdirAll(name, perm) }
+func (f Faulty) ReadDir(name string) ([]fs.DirEntry, error)   { return f.Inner.ReadDir(name) }
+func (f Faulty) Stat(name string) (fs.FileInfo, error)        { return f.Inner.Stat(name) }
+
+func (f Faulty) SyncDir(name string) error {
+	if err := f.Inj.Inject(FSSyncDir); err != nil {
+		return err // sync skipped: entry metadata stays volatile
+	}
+	return f.Inner.SyncDir(name)
+}
+
+// faultyFile injects write and sync faults on one handle.
+type faultyFile struct {
+	File
+	inj *Injector
+}
+
+func (f faultyFile) Write(p []byte) (int, error) {
+	if err := f.inj.Inject(FSWrite); err != nil {
+		// Torn write: half the payload lands, then the failure surfaces.
+		n, werr := f.File.Write(p[:len(p)/2])
+		if werr != nil {
+			return n, werr
+		}
+		return n, err
+	}
+	return f.File.Write(p)
+}
+
+func (f faultyFile) Sync() error {
+	if err := f.inj.Inject(FSSync); err != nil {
+		return err // sync skipped: recent writes stay volatile
+	}
+	return f.File.Sync()
+}
+
+// errStaleHandle marks operations on file handles that survived a MemFS
+// crash; the pre-crash process is gone, so its handles must stop working.
+var errStaleHandle = fmt.Errorf("fault: stale file handle (filesystem crashed)")

@@ -1,0 +1,272 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"testing"
+)
+
+func mustOpen(t *testing.T, m *MemFS, name string, flag int) File {
+	t.Helper()
+	f, err := m.OpenFile(name, flag, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func readFile(t *testing.T, m FS, name string) []byte {
+	t.Helper()
+	f, err := m.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestMemFSCrashDropsUnsyncedContent(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f := mustOpen(t, m, "/d/f", os.O_WRONLY|os.O_CREATE)
+	f.Write([]byte("durable"))
+	f.Sync()
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte(" volatile"))
+	// Not synced: the tail must vanish on crash.
+	m.Crash(0)
+	if got := readFile(t, m, "/d/f"); string(got) != "durable" {
+		t.Fatalf("post-crash content = %q, want %q", got, "durable")
+	}
+	// The pre-crash handle belongs to a dead process.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, errStaleHandle) {
+		t.Fatalf("stale handle write err = %v", err)
+	}
+}
+
+func TestMemFSCrashKeepsUnsyncedPrefix(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+	f := mustOpen(t, m, "/d/f", os.O_WRONLY|os.O_CREATE)
+	f.Write([]byte("base"))
+	f.Sync()
+	m.SyncDir("/d")
+	f.Write([]byte("0123456789"))
+	// keepUnsynced models a torn write: a prefix of the unsynced tail
+	// reached the platter before power was lost.
+	m.Crash(3)
+	if got := readFile(t, m, "/d/f"); string(got) != "base012" {
+		t.Fatalf("post-crash content = %q, want %q", got, "base012")
+	}
+}
+
+func TestMemFSCrashDropsUnsyncedDirEntries(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+	// Content synced but the entry never dir-synced: the file vanishes —
+	// this is exactly why the atomic-replace protocol needs the second fsync.
+	f := mustOpen(t, m, "/d/f", os.O_WRONLY|os.O_CREATE)
+	f.Write([]byte("synced bytes"))
+	f.Sync()
+	f.Close()
+	m.Crash(0)
+	if _, err := m.Stat("/d/f"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("entry survived crash without SyncDir: %v", err)
+	}
+}
+
+func TestMemFSCrashRevertsUnsyncedRename(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+	f := mustOpen(t, m, "/d/old", os.O_WRONLY|os.O_CREATE)
+	f.Write([]byte("v1"))
+	f.Sync()
+	m.SyncDir("/d")
+
+	if err := m.Rename("/d/old", "/d/new"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(0)
+	if _, err := m.Stat("/d/new"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("rename survived crash without SyncDir")
+	}
+	if got := readFile(t, m, "/d/old"); string(got) != "v1" {
+		t.Fatalf("old name content = %q", got)
+	}
+
+	// With the dir sync the rename is durable.
+	m.Rename("/d/old", "/d/new")
+	m.SyncDir("/d")
+	m.Crash(0)
+	if _, err := m.Stat("/d/old"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("old entry survived a synced rename")
+	}
+	if got := readFile(t, m, "/d/new"); string(got) != "v1" {
+		t.Fatalf("new name content = %q", got)
+	}
+}
+
+func TestMemFSCrashRevertsUnsyncedRemove(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+	f := mustOpen(t, m, "/d/f", os.O_WRONLY|os.O_CREATE)
+	f.Write([]byte("v1"))
+	f.Sync()
+	m.SyncDir("/d")
+	if err := m.Remove("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(0)
+	if got := readFile(t, m, "/d/f"); string(got) != "v1" {
+		t.Fatalf("removed-but-unsynced file did not come back: %q", got)
+	}
+}
+
+func TestMemFSUnsyncedTruncateRevertsToSynced(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+	f := mustOpen(t, m, "/d/f", os.O_WRONLY|os.O_CREATE)
+	f.Write([]byte("0123456789"))
+	f.Sync()
+	m.SyncDir("/d")
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(0)
+	if got := readFile(t, m, "/d/f"); string(got) != "0123456789" {
+		t.Fatalf("unsynced truncate survived crash: %q", got)
+	}
+	// Synced truncate is durable.
+	f2 := mustOpen(t, m, "/d/f", os.O_RDWR)
+	f2.Truncate(4)
+	f2.Sync()
+	m.Crash(0)
+	if got := readFile(t, m, "/d/f"); string(got) != "0123" {
+		t.Fatalf("synced truncate lost: %q", got)
+	}
+}
+
+func TestMemFSOpenFlags(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+	if _, err := m.OpenFile("/d/missing", os.O_RDONLY, 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	f := mustOpen(t, m, "/d/f", os.O_WRONLY|os.O_CREATE)
+	f.Write([]byte("abc"))
+	f.Close()
+	// O_APPEND writes go to the end regardless of prior handle state.
+	a := mustOpen(t, m, "/d/f", os.O_WRONLY|os.O_APPEND)
+	a.Write([]byte("def"))
+	a.Close()
+	if got := readFile(t, m, "/d/f"); string(got) != "abcdef" {
+		t.Fatalf("append result = %q", got)
+	}
+	// O_TRUNC discards content on open.
+	tr := mustOpen(t, m, "/d/f", os.O_WRONLY|os.O_TRUNC)
+	tr.Write([]byte("x"))
+	tr.Close()
+	if got := readFile(t, m, "/d/f"); string(got) != "x" {
+		t.Fatalf("trunc result = %q", got)
+	}
+	// A write-only handle refuses reads.
+	w := mustOpen(t, m, "/d/f", os.O_WRONLY)
+	if _, err := w.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on O_WRONLY handle succeeded")
+	}
+}
+
+func TestFaultyTornWrite(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+	inj := New(1)
+	inj.Add(FSWrite, Rule{Every: 1, Err: errors.New("boom")})
+	ffs := Faulty{Inner: m, Inj: inj}
+
+	f, err := ffs.OpenFile("/d/f", os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v, want ErrInjected", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write reported %d bytes, want half (5)", n)
+	}
+	f.Close()
+	if got := readFile(t, m, "/d/f"); string(got) != "01234" {
+		t.Fatalf("on-disk content after torn write = %q", got)
+	}
+}
+
+func TestFaultySyncAndSyncDirSkip(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+	inj := New(1)
+	inj.Add(FSSync, Rule{Every: 1, Err: errors.New("boom")})
+	inj.Add(FSSyncDir, Rule{Every: 1, Err: errors.New("boom")})
+	ffs := Faulty{Inner: m, Inj: inj}
+
+	f, _ := ffs.OpenFile("/d/f", os.O_WRONLY|os.O_CREATE, 0o644)
+	f.Write([]byte("data"))
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync err = %v", err)
+	}
+	if err := ffs.SyncDir("/d"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("syncdir err = %v", err)
+	}
+	// Neither the bytes nor the entry were made durable.
+	m.Crash(0)
+	if _, err := m.Stat("/d/f"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("file survived skipped sync + syncdir: %v", err)
+	}
+}
+
+func TestFaultyRenameSites(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+	f, _ := m.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE, 0o644)
+	f.Sync()
+	m.SyncDir("/d")
+
+	// FSRename suppresses the rename entirely.
+	inj := New(1)
+	inj.Add(FSRename, Rule{Every: 1, Err: errors.New("boom")})
+	if err := (Faulty{Inner: m, Inj: inj}).Rename("/d/a", "/d/b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename err = %v", err)
+	}
+	if _, err := m.Stat("/d/a"); err != nil {
+		t.Fatal("suppressed rename moved the file")
+	}
+
+	// FSRenamed lets the rename happen, then reports failure.
+	inj2 := New(1)
+	inj2.Add(FSRenamed, Rule{Every: 1, Err: errors.New("boom")})
+	if err := (Faulty{Inner: m, Inj: inj2}).Rename("/d/a", "/d/b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("renamed err = %v", err)
+	}
+	if _, err := m.Stat("/d/b"); err != nil {
+		t.Fatal("crash-after-rename did not move the file")
+	}
+
+	// FSRemove suppresses the removal.
+	inj3 := New(1)
+	inj3.Add(FSRemove, Rule{Every: 1, Err: errors.New("boom")})
+	if err := (Faulty{Inner: m, Inj: inj3}).Remove("/d/b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("remove err = %v", err)
+	}
+	if _, err := m.Stat("/d/b"); err != nil {
+		t.Fatal("suppressed remove deleted the file")
+	}
+}

@@ -1,0 +1,337 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MemFS is an in-memory filesystem with POSIX-style crash semantics, built
+// for the store's crash-matrix tests:
+//
+//   - file contents become durable only on File.Sync — a Crash reverts each
+//     file to its last-synced bytes (optionally keeping a prefix of the
+//     unsynced tail, modeling a torn write that partially reached the platter);
+//   - directory entries (creations, renames, removals) become durable only on
+//     SyncDir — a Crash reverts each directory to its last-synced entry set,
+//     so a renamed-but-not-dir-synced file reverts to its old name and a
+//     created-but-not-dir-synced file vanishes even if its content was synced.
+//
+// This is the strict model that makes the temp-file → fsync → rename →
+// dir-fsync protocol necessary, not just customary. Handles opened before a
+// Crash fail afterwards (the pre-crash process is gone).
+type MemFS struct {
+	mu    sync.Mutex
+	epoch int
+	dirs  map[string]*memDir
+}
+
+type memDir struct {
+	entries map[string]*memFile // live view
+	synced  map[string]*memFile // as of the last SyncDir
+}
+
+type memFile struct {
+	data   []byte
+	synced []byte // as of the last Sync
+}
+
+// NewMemFS returns an empty in-memory filesystem containing only "/".
+func NewMemFS() *MemFS {
+	return &MemFS{dirs: map[string]*memDir{"/": newMemDir()}}
+}
+
+func newMemDir() *memDir {
+	return &memDir{entries: map[string]*memFile{}, synced: map[string]*memFile{}}
+}
+
+func clean(name string) string {
+	p := filepath.ToSlash(filepath.Clean(name))
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return p
+}
+
+func split(name string) (dir, base string) {
+	p := clean(name)
+	dir, base = filepath.Split(p)
+	return clean(dir), base
+}
+
+// Crash simulates a power loss: every directory reverts to its last-synced
+// entry set and every file to its last-synced contents plus at most
+// keepUnsynced bytes of the unsynced tail (0 = strict, unsynced data is gone
+// entirely). All open handles become stale. Safe to call at any point; the
+// post-crash filesystem is exactly what a recovering process may observe.
+func (m *MemFS) Crash(keepUnsynced int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch++
+	seen := map[*memFile]bool{}
+	for _, d := range m.dirs {
+		d.entries = make(map[string]*memFile, len(d.synced))
+		for name, f := range d.synced {
+			d.entries[name] = f
+		}
+		for _, f := range d.entries {
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			keep := len(f.synced)
+			if keep+keepUnsynced < len(f.data) {
+				f.data = append([]byte(nil), f.data[:keep+keepUnsynced]...)
+			}
+			if len(f.data) < keep {
+				// A truncate below the synced length that was never synced
+				// still loses data on some filesystems; model the safe view:
+				// the synced bytes are what recovery sees.
+				f.data = append([]byte(nil), f.synced...)
+			}
+		}
+	}
+}
+
+func (m *MemFS) MkdirAll(name string, _ fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := clean(name)
+	for {
+		if _, ok := m.dirs[p]; !ok {
+			m.dirs[p] = newMemDir()
+		}
+		if p == "/" {
+			return nil
+		}
+		p, _ = split(p)
+	}
+}
+
+func (m *MemFS) OpenFile(name string, flag int, _ fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir, base := split(name)
+	d, ok := m.dirs[dir]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	f, ok := d.entries[base]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		f = &memFile{}
+		d.entries[base] = f // entry durable only after SyncDir
+	case flag&os.O_TRUNC != 0:
+		f.data = nil // content change; durable only after Sync
+	}
+	return &memHandle{fs: m, f: f, name: clean(name), epoch: m.epoch,
+		append: flag&os.O_APPEND != 0, readable: flag&os.O_WRONLY == 0}, nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	od, ob := split(oldpath)
+	nd, nb := split(newpath)
+	from, ok1 := m.dirs[od]
+	to, ok2 := m.dirs[nd]
+	if !ok1 || !ok2 {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	f, ok := from.entries[ob]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(from.entries, ob)
+	to.entries[nb] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir, base := split(name)
+	d, ok := m.dirs[dir]
+	if !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	if _, ok := d.entries[base]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(d.entries, base)
+	return nil
+}
+
+func (m *MemFS) SyncDir(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.dirs[clean(name)]
+	if !ok {
+		return &fs.PathError{Op: "syncdir", Path: name, Err: fs.ErrNotExist}
+	}
+	d.synced = make(map[string]*memFile, len(d.entries))
+	for n, f := range d.entries {
+		d.synced[n] = f
+	}
+	return nil
+}
+
+func (m *MemFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := clean(name)
+	d, ok := m.dirs[p]
+	if !ok {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	var out []fs.DirEntry
+	for n, f := range d.entries {
+		out = append(out, memInfo{name: n, size: int64(len(f.data))})
+	}
+	for dp := range m.dirs {
+		if parent, base := split(dp); dp != "/" && parent == p {
+			out = append(out, memInfo{name: base, dir: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+func (m *MemFS) Stat(name string) (fs.FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := clean(name)
+	if _, ok := m.dirs[p]; ok {
+		return memInfo{name: p, dir: true}, nil
+	}
+	dir, base := split(p)
+	if d, ok := m.dirs[dir]; ok {
+		if f, ok := d.entries[base]; ok {
+			return memInfo{name: base, size: int64(len(f.data))}, nil
+		}
+	}
+	return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+}
+
+// memHandle is one open file descriptor.
+type memHandle struct {
+	fs       *MemFS
+	f        *memFile
+	name     string
+	epoch    int
+	off      int64
+	append   bool
+	readable bool
+	closed   bool
+}
+
+func (h *memHandle) check() error {
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.epoch != h.fs.epoch {
+		return errStaleHandle
+	}
+	return nil
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	if !h.readable {
+		return 0, &fs.PathError{Op: "read", Path: h.name, Err: fs.ErrPermission}
+	}
+	if h.off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	if h.append {
+		h.off = int64(len(h.f.data))
+	}
+	need := h.off + int64(len(p))
+	if need > int64(len(h.f.data)) {
+		grown := make([]byte, need)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	copy(h.f.data[h.off:], p)
+	h.off = need
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check(); err != nil {
+		return err
+	}
+	h.f.synced = append([]byte(nil), h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check(); err != nil {
+		return err
+	}
+	if size < 0 || size > int64(len(h.f.data)) {
+		return fmt.Errorf("memfs: truncate %s to %d out of range", h.name, size)
+	}
+	h.f.data = append([]byte(nil), h.f.data[:size]...)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+func (h *memHandle) Name() string { return h.name }
+
+// memInfo implements both fs.FileInfo and fs.DirEntry.
+type memInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memInfo) Name() string { return i.name }
+func (i memInfo) Size() int64  { return i.size }
+func (i memInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memInfo) ModTime() time.Time         { return time.Time{} }
+func (i memInfo) IsDir() bool                { return i.dir }
+func (i memInfo) Sys() any                   { return nil }
+func (i memInfo) Type() fs.FileMode          { return i.Mode().Type() }
+func (i memInfo) Info() (fs.FileInfo, error) { return i, nil }

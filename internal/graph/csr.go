@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the serialization seam between the immutable CSR graph and
+// the persistent store (internal/store): raw access to the out-CSR arrays, a
+// sort-free constructor that rebuilds a Graph from a previously-built CSR in
+// O(|V|+|E|), a hook to install a persisted Stats summary without rescanning,
+// and a deterministic edit operator the store's WAL replay is defined in
+// terms of.
+
+// CSR returns the graph's out-CSR arrays: outIndex (length NumNodes+1),
+// outTo, and outW (length NumEdges each). The slices alias internal storage
+// and must not be modified.
+func (g *Graph) CSR() (outIndex []int64, outTo []NodeID, outW []float64) {
+	return g.outIndex, g.outTo, g.outW
+}
+
+// RawLabels returns the node-label slice (nil when the graph is unlabeled).
+// The slice aliases internal storage and must not be modified.
+func (g *Graph) RawLabels() []string { return g.labels }
+
+// PrimeStats installs a precomputed structural summary as the graph's cached
+// Stats, so a graph loaded from a snapshot serves the query planner without
+// paying the O(|V|+|E|) scan (plus union-find) on boot. It only takes effect
+// if Stats has not been computed yet; later Stats calls return s verbatim.
+func (g *Graph) PrimeStats(s Stats) {
+	g.statsOnce.Do(func() { g.stats = s })
+}
+
+// NewFromCSR rebuilds a Graph directly from the out-CSR triple of a
+// previously built graph (see CSR), recomputing transition probabilities and
+// in-adjacency in O(|V|+|E|) — no edge sort, no duplicate merge. The input
+// must satisfy the Builder's postconditions (monotone index, per-node targets
+// strictly sorted, positive finite weights); violations are reported as
+// errors, never panics, because the caller is typically deserializing
+// untrusted bytes. labels may be nil or length n.
+//
+// The resulting graph is field-for-field identical to the graph the CSR was
+// taken from: probabilities are recomputed with the same summation order the
+// Builder uses, so joins over a reloaded graph are bit-identical to joins
+// over the original.
+func NewFromCSR(n int, outIndex []int64, outTo []NodeID, outW []float64, labels []string) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative node count %d", n)
+	}
+	if len(outIndex) != n+1 {
+		return nil, fmt.Errorf("graph: outIndex length %d, want %d", len(outIndex), n+1)
+	}
+	m := len(outTo)
+	if len(outW) != m {
+		return nil, fmt.Errorf("graph: outW length %d, want %d", len(outW), m)
+	}
+	if outIndex[0] != 0 || outIndex[n] != int64(m) {
+		return nil, fmt.Errorf("graph: outIndex bounds [%d,%d], want [0,%d]", outIndex[0], outIndex[n], m)
+	}
+	g := &Graph{n: n, outIndex: outIndex, outTo: outTo, outW: outW}
+	g.outP = make([]float64, m)
+	for u := 0; u < n; u++ {
+		lo, hi := outIndex[u], outIndex[u+1]
+		if hi < lo || hi > int64(m) {
+			return nil, fmt.Errorf("graph: out index not monotone at node %d", u)
+		}
+		var sum float64
+		for j := lo; j < hi; j++ {
+			v := outTo[j]
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: edge (%d,%d) target out of range", u, v)
+			}
+			if j > lo && v <= outTo[j-1] {
+				return nil, fmt.Errorf("graph: out edges of %d not strictly sorted", u)
+			}
+			w := outW[j]
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("graph: edge (%d,%d) has invalid weight %v", u, v, w)
+			}
+			sum += w
+		}
+		if sum > 0 {
+			for j := lo; j < hi; j++ {
+				g.outP[j] = outW[j] / sum
+			}
+		}
+	}
+	// In-adjacency, by the Builder's counting pass (walking the out-CSR in
+	// order keeps in-lists sorted by source).
+	g.inIndex = make([]int64, n+1)
+	g.inFrom = make([]NodeID, m)
+	g.inW = make([]float64, m)
+	g.inP = make([]float64, m)
+	for _, v := range outTo {
+		g.inIndex[v+1]++
+	}
+	for u := 0; u < n; u++ {
+		g.inIndex[u+1] += g.inIndex[u]
+	}
+	next := make([]int64, n)
+	for u := 0; u < n; u++ {
+		next[u] = g.inIndex[u]
+	}
+	for u := 0; u < n; u++ {
+		for j := outIndex[u]; j < outIndex[u+1]; j++ {
+			v := outTo[j]
+			i := next[v]
+			g.inFrom[i] = NodeID(u)
+			g.inW[i] = outW[j]
+			g.inP[i] = g.outP[j]
+			next[v]++
+		}
+	}
+	if labels != nil {
+		if len(labels) != n {
+			return nil, fmt.Errorf("graph: labels length %d, want %d", len(labels), n)
+		}
+		g.labels = labels
+	}
+	return g, nil
+}
+
+// Edge is one weighted directed arc, the unit of the store's edge WAL.
+type Edge struct {
+	U, V NodeID
+	W    float64
+}
+
+// ApplyEdits returns a new graph with adds inserted and dels removed, leaving
+// g untouched. Adding an arc that already exists sums the weights (the
+// Builder's duplicate convention); deleting removes the single directed arc
+// (u,v) entirely and ignores arcs that do not exist. Node ids in adds beyond
+// g's range grow the node count; ids in dels beyond it are ignored. Within
+// one call, deletions are applied after all additions.
+//
+// The operation is deterministic: the same (g, adds, dels) always produces
+// the bit-identical graph, which is what makes WAL replay reproduce exactly
+// the graph the live process had — per-arc weights accumulate in a fixed
+// order (g's arcs first, then adds in argument order).
+func ApplyEdits(g *Graph, adds []Edge, dels [][2]NodeID) (*Graph, error) {
+	n := g.NumNodes()
+	for _, e := range adds {
+		if e.U < 0 || e.V < 0 {
+			return nil, fmt.Errorf("graph: edit adds arc (%d,%d) with negative endpoint", e.U, e.V)
+		}
+		if e.W <= 0 || math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+			return nil, fmt.Errorf("graph: edit adds arc (%d,%d) with invalid weight %v", e.U, e.V, e.W)
+		}
+		if int(e.U) >= n {
+			n = int(e.U) + 1
+		}
+		if int(e.V) >= n {
+			n = int(e.V) + 1
+		}
+	}
+	type arc struct{ u, v NodeID }
+	// Accumulate per-arc weights in a fixed order (existing CSR order, then
+	// adds in order), so duplicate sums are reproducible bit for bit.
+	weight := make(map[arc]float64, g.NumEdges()+len(adds))
+	for u := 0; u < g.NumNodes(); u++ {
+		to, w, _ := g.OutEdges(NodeID(u))
+		for j := range to {
+			weight[arc{NodeID(u), to[j]}] += w[j]
+		}
+	}
+	for _, e := range adds {
+		weight[arc{e.U, e.V}] += e.W
+	}
+	for _, d := range dels {
+		delete(weight, arc{d[0], d[1]})
+	}
+	b := NewBuilder(n, true)
+	for a, w := range weight {
+		b.AddEdge(a.u, a.v, w)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if l := g.Label(NodeID(u)); l != "" {
+			b.SetLabel(NodeID(u), l)
+		}
+	}
+	return b.Build(), nil
+}

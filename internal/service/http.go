@@ -153,6 +153,27 @@ type join2Request struct {
 	Options *OptionsJSON `json:"options,omitempty"`
 }
 
+// edgeUpdateRequest is the POST /graphs/{name}/edges body: one atomic batch
+// of weighted-arc insertions and deletions. An add of an existing arc sums
+// into its weight (the graph builder's duplicate convention); a del removes
+// the directed arc entirely and is a no-op if absent. Deletions apply after
+// additions. The whole batch is durable (or rejected) as a unit.
+type edgeUpdateRequest struct {
+	Add []edgeAddJSON `json:"add,omitempty"`
+	Del []edgeDelJSON `json:"del,omitempty"`
+}
+
+type edgeAddJSON struct {
+	U graph.NodeID `json:"u"`
+	V graph.NodeID `json:"v"`
+	W float64      `json:"w"`
+}
+
+type edgeDelJSON struct {
+	U graph.NodeID `json:"u"`
+	V graph.NodeID `json:"v"`
+}
+
 // pairJSON is one served 2-way result.
 type pairJSON struct {
 	P     graph.NodeID `json:"p"`
@@ -227,7 +248,8 @@ func shapeEdges(shape string, n int) ([][2]int, error) {
 //
 //	PUT    /graphs/{name}   load a text-format graph (body = graph file)
 //	GET    /graphs          list loaded graphs
-//	DELETE /graphs/{name}   drop a graph
+//	DELETE /graphs/{name}   drop a graph (and its durable state, if any)
+//	POST   /graphs/{name}/edges  apply an atomic edge-update batch ({"add":[{"u":..,"v":..,"w":..}],"del":[{"u":..,"v":..}]})
 //	POST   /join2           top-k 2-way join (planner-picked; force with options.algo)
 //	POST   /joinN           top-k n-way join (planner-picked; force with options.algo)
 //	GET    /score           single pair score (?graph=&u=&v=[&lambda=&d=...])
@@ -286,11 +308,42 @@ func NewHandler(svc *Service) http.Handler {
 
 	mux.HandleFunc("DELETE /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
-		if !svc.DropGraph(name) {
+		ok, err := svc.DropGraph(name)
+		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("no graph %q loaded", name))
 			return
 		}
+		if err != nil {
+			// The graph is no longer served, but some on-disk state survived;
+			// the client should retry the delete to finish the removal.
+			writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("graph %q dropped from serving but durable removal incomplete (retry the delete): %w", name, err))
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+	})
+
+	mux.HandleFunc("POST /graphs/{name}/edges", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		var req edgeUpdateRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		adds := make([]graph.Edge, len(req.Add))
+		for i, e := range req.Add {
+			adds[i] = graph.Edge{U: e.U, V: e.V, W: e.W}
+		}
+		dels := make([][2]graph.NodeID, len(req.Del))
+		for i, d := range req.Del {
+			dels[i] = [2]graph.NodeID{d.U, d.V}
+		}
+		info, err := svc.UpdateEdges(name, adds, dels)
+		if err != nil {
+			writeSvcError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
 	})
 
 	mux.HandleFunc("POST /join2", func(w http.ResponseWriter, r *http.Request) {

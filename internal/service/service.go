@@ -35,6 +35,7 @@ import (
 	"repro/internal/join2"
 	"repro/internal/plan"
 	"repro/internal/rankjoin"
+	"repro/internal/store"
 )
 
 // Config sizes the service. The zero value selects the defaults.
@@ -100,6 +101,14 @@ type Config struct {
 	// service's instrumented sites — engine checkout, walk rounds, response
 	// writes. Test-only; nil (the default) is a strict no-op.
 	Fault *fault.Injector
+
+	// Store, when non-nil, makes the registry durable: loads write a
+	// checksummed snapshot, edge updates append to a per-graph WAL, and drops
+	// remove the on-disk state. It also changes MaxGraphs from a hard limit
+	// into a residency bound — a full registry evicts the least recently used
+	// graph from memory only (its durable state stays on disk and reloads
+	// transparently on next use) instead of failing the load.
+	Store *store.Store
 }
 
 const (
@@ -251,6 +260,14 @@ type GraphInfo struct {
 	Nodes int      `json:"nodes"`
 	Edges int      `json:"edges"`
 	Sets  []string `json:"sets"`
+
+	// Generation counts the graph's durable state changes (snapshot base +
+	// WAL records with a store attached; a plain in-memory edit counter
+	// without one). 0 until the graph is first edited or persisted.
+	Generation uint64 `json:"generation,omitempty"`
+	// Evicted marks a persisted graph not currently resident in memory; it
+	// reloads transparently on first use.
+	Evicted bool `json:"evicted,omitempty"`
 }
 
 // Stats is a snapshot of the service's monotone work counters plus the
@@ -288,6 +305,17 @@ type Stats struct {
 	AdmissionFree     int   `json:"admission_free"`
 	AdmissionWaiting  int   `json:"admission_waiting"`
 	Draining          bool  `json:"draining"`
+
+	// Durability surface: edge-update requests served, the store's
+	// persistence counters (WAL appends, snapshots, recovery outcomes —
+	// present only with a store attached), and each persisted graph's
+	// current generation. A warm Generations map right after boot is how an
+	// operator confirms recovery repopulated the registry; non-zero
+	// WALTruncations or SnapshotFallbacks inside Persistence mean recovery
+	// degraded a graph to its last consistent state.
+	EdgeUpdates int64             `json:"edge_updates,omitempty"`
+	Persistence *store.Counters   `json:"persistence,omitempty"`
+	Generations map[string]uint64 `json:"generations,omitempty"`
 }
 
 // relabeledGraph pairs a reordered graph with its id map.
@@ -300,6 +328,7 @@ type relabeledGraph struct {
 type graphEntry struct {
 	g    *graph.Graph
 	sets map[string]*graph.NodeSet
+	gen  uint64 // durable generation (see GraphInfo.Generation)
 
 	mu        sync.Mutex
 	relabeled map[graph.RelabelMode]*relabeledGraph // built once per mode
@@ -355,8 +384,12 @@ type Service struct {
 
 	mu           sync.Mutex
 	graphs       map[string]*graphEntry
+	graphOrder   []string // most recently used last; drives store-backed eviction
 	sessions     map[sessionKey]*session
 	sessionOrder []sessionKey // most recently used last
+
+	store  *store.Store // nil without persistence
+	editMu sync.Mutex   // serializes edge updates (read-modify-write + WAL append)
 
 	adm      *admission
 	counters dht.Counters // lifetime engine work, fed by every session pool
@@ -367,6 +400,7 @@ type Service struct {
 	retiredMemoHits, retiredMemoMisses atomic.Int64 // from evicted sessions
 	planReqs, planCacheHits            atomic.Int64
 	budgetTruncs, shedClamps, panics   atomic.Int64
+	edgeUpdates                        atomic.Int64
 
 	picksMu sync.Mutex
 	picks   map[string]int64 // executions per chosen executor name
@@ -377,6 +411,7 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
 		cfg:      cfg,
+		store:    cfg.Store,
 		graphs:   make(map[string]*graphEntry),
 		sessions: make(map[sessionKey]*session),
 		adm:      newAdmission(cfg.MaxConcurrency, cfg.TenantInFlight, cfg.TenantQueue),
@@ -488,8 +523,11 @@ func (s *Service) recordPick(name string) {
 }
 
 // LoadGraph registers g under name with its node sets. Loading an existing
-// name replaces it (old sessions die with their graph pointer); loading a
-// new name into a full registry fails.
+// name replaces it (old sessions die with their graph pointer). With a store
+// attached the graph is made durable first — the load fails without changing
+// served state if the snapshot cannot be written — and a full registry
+// evicts its least recently used resident instead of failing; without one,
+// loading a new name into a full registry fails.
 func (s *Service) LoadGraph(name string, g *graph.Graph, sets []*graph.NodeSet) error {
 	if name == "" {
 		return fmt.Errorf("service: graph name must be non-empty")
@@ -504,13 +542,24 @@ func (s *Service) LoadGraph(name string, g *graph.Graph, sets []*graph.NodeSet) 
 		}
 		byName[set.Name] = set
 	}
+	var gen uint64
+	if s.store != nil {
+		var err error
+		if gen, err = s.store.Put(name, g, sets); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old, replacing := s.graphs[name]
 	if !replacing && len(s.graphs) >= s.cfg.MaxGraphs {
-		return fmt.Errorf("service: graph registry full (%d); drop one first", s.cfg.MaxGraphs)
+		if s.store == nil {
+			return fmt.Errorf("service: graph registry full (%d); drop one first", s.cfg.MaxGraphs)
+		}
+		s.evictGraphLocked(name)
 	}
-	s.graphs[name] = &graphEntry{g: g, sets: byName}
+	s.graphs[name] = &graphEntry{g: g, sets: byName, gen: gen}
+	s.touchGraphLocked(name)
 	if replacing {
 		s.purgeSessionsLocked(old.g)
 	}
@@ -531,6 +580,9 @@ func (s *Service) LoadGraphText(name string, r io.Reader) (GraphInfo, error) {
 		return GraphInfo{}, err
 	}
 	info := GraphInfo{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	if s.store != nil {
+		info.Generation = s.store.Gen(name)
+	}
 	for _, set := range sets {
 		info.Sets = append(info.Sets, set.Name)
 	}
@@ -538,17 +590,27 @@ func (s *Service) LoadGraphText(name string, r io.Reader) (GraphInfo, error) {
 	return info, nil
 }
 
-// DropGraph removes the named graph and its sessions; reports existence.
-func (s *Service) DropGraph(name string) bool {
+// DropGraph removes the named graph — its registry entry, its sessions, and
+// (with a store attached) its on-disk state — reporting whether it existed.
+// The graph stops being served even when the durable removal fails partway;
+// the error is surfaced so the caller can retry the drop, and recovery
+// treats a partially deleted graph as either fully present or fully absent.
+func (s *Service) DropGraph(name string) (bool, error) {
+	var derr error
+	existed := false
+	if s.store != nil && s.store.Has(name) {
+		existed = true
+		derr = s.store.Delete(name)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ge, ok := s.graphs[name]
-	if !ok {
-		return false
+	if ge, ok := s.graphs[name]; ok {
+		existed = true
+		delete(s.graphs, name)
+		s.removeGraphOrderLocked(name)
+		s.purgeSessionsLocked(ge.g)
 	}
-	delete(s.graphs, name)
-	s.purgeSessionsLocked(ge.g)
-	return true
+	return existed, derr
 }
 
 // purgeSessionsLocked drops every session keyed on g, retiring their memo
@@ -575,32 +637,55 @@ func (s *Service) retireSessionLocked(key sessionKey) {
 	}
 }
 
-// Graphs lists the registry sorted by name.
+// Graphs lists the registry sorted by name — resident graphs plus any
+// persisted graphs currently evicted from memory (marked Evicted; they
+// reload on first use).
 func (s *Service) Graphs() []GraphInfo {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]GraphInfo, 0, len(s.graphs))
 	for name, ge := range s.graphs {
-		info := GraphInfo{Name: name, Nodes: ge.g.NumNodes(), Edges: ge.g.NumEdges()}
+		info := GraphInfo{Name: name, Nodes: ge.g.NumNodes(), Edges: ge.g.NumEdges(), Generation: ge.gen}
 		for sn := range ge.sets {
 			info.Sets = append(info.Sets, sn)
 		}
 		sort.Strings(info.Sets)
 		out = append(out, info)
 	}
+	resident := make(map[string]bool, len(s.graphs))
+	for name := range s.graphs {
+		resident[name] = true
+	}
+	s.mu.Unlock()
+	if s.store != nil {
+		for _, name := range s.store.Names() {
+			if resident[name] {
+				continue
+			}
+			nodes, edges, gen, sets, ok := s.store.Info(name)
+			if !ok {
+				continue
+			}
+			out = append(out, GraphInfo{Name: name, Nodes: nodes, Edges: edges, Sets: sets, Generation: gen, Evicted: true})
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// graphFor resolves a registry name.
+// graphFor resolves a registry name, lazily reloading a persisted graph that
+// was evicted from memory.
 func (s *Service) graphFor(name string) (*graphEntry, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	ge, ok := s.graphs[name]
-	if !ok {
+	if ge, ok := s.graphs[name]; ok {
+		s.touchGraphLocked(name)
+		s.mu.Unlock()
+		return ge, nil
+	}
+	s.mu.Unlock()
+	if s.store == nil || !s.store.Has(name) {
 		return nil, fmt.Errorf("service: no graph %q loaded", name)
 	}
-	return ge, nil
+	return s.reloadGraph(name)
 }
 
 // sessionFor returns (creating if needed) the shared session for the
@@ -1614,6 +1699,17 @@ func (s *Service) Stats() Stats {
 	s.picksMu.Unlock()
 	snap := s.counters.Snapshot()
 	free, waiting, rejected := s.adm.snapshot()
+	var persistence *store.Counters
+	var generations map[string]uint64
+	if s.store != nil {
+		c := s.store.Counters()
+		persistence = &c
+		names := s.store.Names()
+		generations = make(map[string]uint64, len(names))
+		for _, name := range names {
+			generations[name] = s.store.Gen(name)
+		}
+	}
 	return Stats{
 		Graphs:   graphs,
 		Sessions: sessions,
@@ -1625,6 +1721,10 @@ func (s *Service) Stats() Stats {
 		AdmissionFree:     free,
 		AdmissionWaiting:  waiting,
 		Draining:          s.draining.Load(),
+
+		EdgeUpdates: s.edgeUpdates.Load(),
+		Persistence: persistence,
+		Generations: generations,
 
 		Join2Requests: s.join2Reqs.Load(),
 		JoinNRequests: s.joinNReqs.Load(),

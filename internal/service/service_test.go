@@ -116,8 +116,11 @@ func TestServiceRegistry(t *testing.T) {
 	if infos[0].Nodes != g.NumNodes() || len(infos[0].Sets) != len(sets) {
 		t.Fatalf("GraphInfo = %+v", infos[0])
 	}
-	if !svc.DropGraph("a") || svc.DropGraph("a") {
-		t.Fatal("DropGraph existence reporting wrong")
+	if ok, err := svc.DropGraph("a"); !ok || err != nil {
+		t.Fatalf("DropGraph(a) = %v, %v", ok, err)
+	}
+	if ok, err := svc.DropGraph("a"); ok || err != nil {
+		t.Fatalf("second DropGraph(a) = %v, %v", ok, err)
 	}
 	if _, err := svc.Join2(context.Background(), "a", SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 5, Query{}); err == nil {
 		t.Fatal("join on dropped graph succeeded")

@@ -1,0 +1,260 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// The crash matrix: a scripted op sequence runs against the real store over
+// a fault-injecting, crashable in-memory filesystem. At the first fault the
+// filesystem "loses power" and the store is reopened over the surviving
+// bytes. The property checked is committed-prefix consistency: every graph
+// recovers to either its last acknowledged state or (only for the op that
+// was in flight) the pending state — never a mix, never anything else.
+
+// gmodel is one graph's expected durable state.
+type gmodel struct {
+	g    *graph.Graph
+	sets []*graph.NodeSet
+}
+
+// action is one scripted store operation together with its post state.
+type action struct {
+	kind string // "put", "append", "delete"
+	name string
+	adds []graph.Edge
+	dels [][2]graph.NodeID
+	g    *graph.Graph
+	sets []*graph.NodeSet
+}
+
+// crashScript builds a deterministic op sequence covering puts, appends
+// (including threshold folds at SnapshotEvery=2), replacement puts, and
+// deletes across two graphs.
+func crashScript(t testing.TB) []action {
+	t.Helper()
+	ga, setsA := testGraph(t)
+	bb := graph.NewBuilder(4, true)
+	bb.AddEdge(0, 1, 1)
+	bb.AddEdge(1, 2, 2)
+	bb.AddEdge(2, 3, 1)
+	gb := bb.Build()
+	setsB := []*graph.NodeSet{graph.NewNodeSet("S", []graph.NodeID{0, 1})}
+
+	var script []action
+	put := func(name string, g *graph.Graph, sets []*graph.NodeSet) *graph.Graph {
+		script = append(script, action{kind: "put", name: name, g: g, sets: sets})
+		return g
+	}
+	appendTo := func(name string, g *graph.Graph, sets []*graph.NodeSet, adds []graph.Edge, dels [][2]graph.NodeID) *graph.Graph {
+		next, err := graph.ApplyEdits(g, adds, dels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		script = append(script, action{kind: "append", name: name, adds: adds, dels: dels, g: next, sets: sets})
+		return next
+	}
+
+	a := put("alpha", ga, setsA)
+	a = appendTo("alpha", a, setsA, []graph.Edge{{U: 0, V: 4, W: 2}}, nil)
+	a = appendTo("alpha", a, setsA, []graph.Edge{{U: 4, V: 1, W: 1}}, nil) // fold (every=2)
+	b := put("beta", gb, setsB)
+	a = appendTo("alpha", a, setsA, nil, [][2]graph.NodeID{{0, 1}})
+	_ = appendTo("beta", b, setsB, []graph.Edge{{U: 3, V: 0, W: 1}}, nil)
+	script = append(script, action{kind: "delete", name: "beta"})
+	a = appendTo("alpha", a, setsA, []graph.Edge{{U: 5, V: 3, W: 0.5}}, nil) // fold
+	ga2, err := graph.ApplyEdits(ga, []graph.Edge{{U: 2, V: 5, W: 7}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = put("alpha", ga2, setsA)
+	_ = appendTo("alpha", a, setsA, []graph.Edge{{U: 1, V: 3, W: 1}}, nil)
+	return script
+}
+
+// exec runs one action against the store.
+func exec(s *Store, a action) error {
+	switch a.kind {
+	case "put":
+		_, err := s.Put(a.name, a.g, a.sets)
+		return err
+	case "append":
+		_, _, err := s.AppendEdits(a.name, a.adds, a.dels, a.g, a.sets)
+		return err
+	default:
+		return s.Delete(a.name)
+	}
+}
+
+// apply folds one action into the model.
+func apply(m map[string]gmodel, a action) {
+	if a.kind == "delete" {
+		delete(m, a.name)
+		return
+	}
+	m[a.name] = gmodel{g: a.g, sets: a.sets}
+}
+
+func cloneModel(m map[string]gmodel) map[string]gmodel {
+	out := make(map[string]gmodel, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func TestCrashMatrix(t *testing.T) {
+	sites := []fault.Site{fault.FSWrite, fault.FSSync, fault.FSSyncDir,
+		fault.FSRename, fault.FSRenamed, fault.FSRemove}
+	for _, site := range sites {
+		for _, every := range []int{1, 2, 3, 5} {
+			for _, keep := range []int{0, 5} {
+				name := fmt.Sprintf("%s/every=%d/keep=%d", site, every, keep)
+				t.Run(name, func(t *testing.T) {
+					runCrashCell(t, site, every, keep)
+				})
+			}
+		}
+	}
+}
+
+func runCrashCell(t *testing.T, site fault.Site, every, keep int) {
+	script := crashScript(t)
+	mfs := fault.NewMemFS()
+	inj := fault.New(int64(every)*1000 + int64(keep))
+	inj.Add(site, fault.Rule{Every: every, Err: errors.New("boom")})
+
+	s, _, err := Open(Config{Dir: "/data", FS: fault.Faulty{Inner: mfs, Inj: inj}, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	committed := map[string]gmodel{}
+	var pending map[string]gmodel // committed + the op in flight at the crash
+	crashed := false
+	for _, a := range script {
+		firedBefore := inj.Fired(site)
+		err := exec(s, a)
+		if err != nil {
+			// The op failed mid-flight: its effects may or may not have
+			// reached the platter. Both outcomes are acceptable after crash.
+			pending = cloneModel(committed)
+			apply(pending, a)
+			crashed = true
+		} else {
+			apply(committed, a)
+			if inj.Fired(site) > firedBefore {
+				// The store absorbed a fault (e.g. a failed threshold fold)
+				// and still acknowledged the op: after a crash right here the
+				// acknowledged state alone must be recoverable.
+				crashed = true
+			}
+		}
+		if crashed {
+			break
+		}
+	}
+	if !crashed {
+		s.Close()
+	}
+	mfs.Crash(keep)
+
+	// Reopen over the post-crash filesystem, fault-free.
+	s2, recs, err := Open(Config{Dir: "/data", FS: mfs, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	got := make(map[string]Recovered, len(recs))
+	for _, rec := range recs {
+		got[rec.Name] = rec
+	}
+
+	names := map[string]bool{}
+	for n := range committed {
+		names[n] = true
+	}
+	for n := range pending {
+		names[n] = true
+	}
+	for _, a := range script {
+		names[a.name] = true // deleted graphs must assert absence too
+	}
+	for name := range names {
+		rec, present := got[name]
+		okCommitted := stateMatches(committed, name, rec, present)
+		okPending := pending != nil && stateMatches(pending, name, rec, present)
+		if !okCommitted && !okPending {
+			t.Errorf("graph %q: recovered state (present=%v) matches neither the committed prefix nor the pending op", name, present)
+		}
+	}
+
+	// Whatever survived must remain fully operational: append an edit to each
+	// recovered graph and read it back.
+	for _, rec := range recs {
+		adds := []graph.Edge{{U: 0, V: 2, W: 3}}
+		next, err := graph.ApplyEdits(rec.Graph, adds, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s2.AppendEdits(rec.Name, adds, nil, next, rec.Sets); err != nil {
+			t.Errorf("graph %q: append after recovery: %v", rec.Name, err)
+			continue
+		}
+		lg, _, _, err := s2.Load(rec.Name)
+		if err != nil || !graphEqual(next, lg) {
+			t.Errorf("graph %q: load after post-recovery append: err=%v", rec.Name, err)
+		}
+	}
+	s2.Close()
+}
+
+// stateMatches reports whether a recovery outcome for name agrees with a
+// model: absent graphs must be absent, present graphs must be bit-identical
+// with identical sets.
+func stateMatches(m map[string]gmodel, name string, rec Recovered, present bool) bool {
+	want, ok := m[name]
+	if !ok {
+		return !present
+	}
+	return present && graphEqual(want.g, rec.Graph) && setsEqual(want.sets, rec.Sets)
+}
+
+// TestCrashAfterEveryOp crashes (strictly, losing all unsynced state) after
+// each successful op with no injected faults at all: every acknowledged
+// prefix must be exactly recoverable.
+func TestCrashAfterEveryOp(t *testing.T) {
+	script := crashScript(t)
+	for cut := 1; cut <= len(script); cut++ {
+		mfs := fault.NewMemFS()
+		s, _, err := Open(Config{Dir: "/data", FS: mfs, SnapshotEvery: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		committed := map[string]gmodel{}
+		for _, a := range script[:cut] {
+			if err := exec(s, a); err != nil {
+				t.Fatalf("cut %d: op on %q failed: %v", cut, a.name, err)
+			}
+			apply(committed, a)
+		}
+		mfs.Crash(0)
+		_, recs, err := Open(Config{Dir: "/data", FS: mfs, SnapshotEvery: 2})
+		if err != nil {
+			t.Fatalf("cut %d: recovery: %v", cut, err)
+		}
+		got := make(map[string]Recovered, len(recs))
+		for _, rec := range recs {
+			got[rec.Name] = rec
+		}
+		for _, a := range script {
+			rec, present := got[a.name]
+			if !stateMatches(committed, a.name, rec, present) {
+				t.Errorf("cut %d: graph %q: recovered state (present=%v) is not the acknowledged state", cut, a.name, present)
+			}
+		}
+	}
+}
