@@ -40,6 +40,7 @@ func main() {
 		k         = flag.Int("k", 50, "number of answers")
 		m         = flag.Int("m", 50, "per-edge 2-way join budget (PJ/PJ-i)")
 		algo      = flag.String("algo", "auto", "auto (cost-based planner) | nl | ap | pj | pji")
+		accuracy  = flag.String("accuracy", "exact", "planner kernel contract: exact | fast (certified fast kernel; identical answers)")
 		explain   = flag.Bool("explain", false, "print the chosen plan and cost table without running the join")
 		aggName   = flag.String("agg", "MIN", "aggregate: SUM | MIN | MAX | AVG")
 		lambda    = flag.Float64("lambda", 0.2, "DHTλ decay factor")
@@ -50,13 +51,13 @@ func main() {
 		quiet     = flag.Bool("q", false, "print answers only, no timing")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *setNames, *shape, *k, *m, *algo, *aggName, *lambda, *useDHTE, *usePPR, *eps, *limit, *quiet, *explain); err != nil {
+	if err := run(*graphPath, *setNames, *shape, *k, *m, *algo, *accuracy, *aggName, *lambda, *useDHTE, *usePPR, *eps, *limit, *quiet, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "njoin:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, setNames, shape string, k, m int, algo, aggName string, lambda float64, useDHTE, usePPR bool, eps float64, limit int, quiet, explain bool) error {
+func run(graphPath, setNames, shape string, k, m int, algo, accuracy, aggName string, lambda float64, useDHTE, usePPR bool, eps float64, limit int, quiet, explain bool) error {
 	if graphPath == "" || setNames == "" {
 		return fmt.Errorf("-graph and -sets are required (see -h)")
 	}
@@ -142,7 +143,11 @@ func run(graphPath, setNames, shape string, k, m int, algo, aggName string, lamb
 	default:
 		return fmt.Errorf("unknown algorithm %q (want auto, nl, ap, pj, or pji)", algo)
 	}
-	w := plan.Workload{Stats: g.Stats(), K: k, M: m, D: spec.D}
+	acc, err := plan.ParseAccuracy(accuracy)
+	if err != nil {
+		return err
+	}
+	w := plan.Workload{Stats: g.Stats(), K: k, M: m, D: spec.D, Accuracy: acc}
 	for _, s := range chosen {
 		w.SetSizes = append(w.SetSizes, s.Len())
 	}

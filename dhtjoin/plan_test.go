@@ -349,3 +349,54 @@ func TestHintsOverrideOptions(t *testing.T) {
 	}
 	comparePairs(t, "hints-override", 21, 20, got, want)
 }
+
+// TestAccuracyOption covers the Options.Accuracy knob end to end: an
+// unknown spelling is rejected with ErrInvalidOptions, the default and
+// "exact" plans never choose a certified executor, "fast" accuracy makes
+// the certified executors eligible (every estimate row carries its
+// eligibility), and whatever the fast plan picks, the ranking stays
+// bit-identical to the exact plan's.
+func TestAccuracyOption(t *testing.T) {
+	ctx := context.Background()
+	g, sets := plannerWorld(t, 7)
+	p, q := sets[0], sets[1]
+
+	if _, err := NewPairQuery(g, p, q).WithOptions(&Options{Accuracy: "wrong"}).Explain(ctx); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("bad accuracy error = %v, want ErrInvalidOptions", err)
+	}
+
+	for _, spelling := range []string{"", "exact"} {
+		pl, err := NewPairQuery(g, p, q).WithOptions(&Options{Accuracy: spelling}).Explain(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range pl.Estimates {
+			if e.Certified && !e.Excluded {
+				t.Fatalf("accuracy %q: certified %s eligible", spelling, e.Algorithm)
+			}
+			if e.Algorithm == pl.Algorithm && e.Certified {
+				t.Fatalf("accuracy %q picked certified %s", spelling, pl.Algorithm)
+			}
+		}
+	}
+
+	fast, err := NewPairQuery(g, p, q).WithOptions(&Options{Accuracy: "fast"}).Explain(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range fast.Estimates {
+		if e.Excluded {
+			t.Fatalf("fast accuracy still excludes %s", e.Algorithm)
+		}
+	}
+
+	want, err := NewPairQuery(g, p, q).TopKPairs(ctx, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewPairQuery(g, p, q).WithOptions(&Options{Accuracy: "fast"}).TopKPairs(ctx, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePairs(t, "fast-accuracy", 7, 25, got, want)
+}

@@ -152,7 +152,18 @@ func (qy *Query) Validate() error {
 	if _, _, _, _, err := qy.opts.resolve(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 	}
+	if _, err := qy.accuracy(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
 	return qy.validateHints()
+}
+
+// accuracy resolves Options.Accuracy to the planner knob.
+func (qy *Query) accuracy() (plan.Accuracy, error) {
+	if qy.opts == nil {
+		return plan.Exact, nil
+	}
+	return plan.ParseAccuracy(qy.opts.Accuracy)
 }
 
 // validateHints rejects invalid hint combinations with the typed sentinels.
@@ -206,6 +217,9 @@ func (qy *Query) knobs() (workers, batchWidth int, relabel RelabelMode) {
 func (qy *Query) workload(d, k, m int) plan.Workload {
 	workers, batchWidth, _ := qy.knobs()
 	w := plan.Workload{Stats: qy.g.Stats(), K: k, M: m, D: d, Workers: workers, BatchWidth: batchWidth}
+	// Invalid accuracy spellings were rejected at Validate/open time; a
+	// parse failure here can only leave the conservative Exact default.
+	w.Accuracy, _ = qy.accuracy()
 	if qy.join != nil {
 		w.SetSizes = make([]int, qy.join.NumSets())
 		for i := range w.SetSizes {

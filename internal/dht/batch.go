@@ -11,7 +11,11 @@ import (
 // CSR row scan when the caller does not choose a width. Eight float64 lanes
 // are exactly one 64-byte cache line, so each node's mass block occupies a
 // single line: relaxing an edge touches one line of cur and one of next no
-// matter how many of the eight walks carry mass through it.
+// matter how many of the lanes carry mass through it. The default is a
+// cache-line consequence of the float64 element type, not a property of the
+// kernel — callers may pick any width, and the float32 fast kernel's
+// DefaultFastWidth (16) is the same one-line-per-node layout at half the
+// element size.
 const DefaultBatchWidth = 8
 
 // BatchEngine evaluates up to W independent truncated walks over one graph
@@ -373,8 +377,11 @@ func (be *BatchEngine) push(backward bool, aw int) {
 
 // laneWidth is the specialized lane count of the hot inner loops: the
 // DefaultBatchWidth cache-line block, handled with fixed-size array pointers
-// so the compiler drops the per-lane bounds checks and the eight independent
-// multiply-adds pipeline.
+// so the compiler drops the per-lane bounds checks and the laneWidth
+// independent multiply-adds pipeline. Only calls whose active and capacity
+// widths both equal laneWidth take this path (the `wide` flag in step);
+// every other width runs the variable-width loops, so the specialization is
+// an optimization, never an assumption about W.
 const laneWidth = DefaultBatchWidth
 
 // anyNonZeroLanes is anyNonZero over a fixed-width block.
@@ -563,7 +570,8 @@ func (be *BatchEngine) BackWalkScoresBatch(kind Kind, qs []graph.NodeID, steps i
 	a, b := be.Params.Alpha, be.Params.Beta
 	if be.outFull {
 		// Transpose the node-major accumulator into the out columns while
-		// applying the affine fold — eight sequential write streams.
+		// applying the affine fold — one sequential write stream per
+		// active column.
 		acc := be.acc
 		for c := 0; c < aw; c++ {
 			col := out[c]

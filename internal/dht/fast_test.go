@@ -1,0 +1,197 @@
+package dht
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func mustFastEngine(t testing.TB, g *graph.Graph, p Params, d, w, workers int) *FastBatchEngine {
+	t.Helper()
+	fe, err := NewFastBatchEngine(g, p, d, w, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fe
+}
+
+// TestFastContract pins the kernel-contract surface: the fast engine
+// advertises FastCertified with a strictly positive score bound, the
+// existing engines advertise BitIdentical with bound exactly 0.
+func TestFastContract(t *testing.T) {
+	g := sparseTestGraphs(t)[0]
+	p := DHTLambda(0.2)
+	e, err := NewEngine(g, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := mustBatchEngine(t, g, p, 8, 8)
+	fe := mustFastEngine(t, g, p, 8, 0, 0)
+	if e.Contract() != BitIdentical || e.ScoreBound() != 0 {
+		t.Fatalf("Engine contract %v bound %v", e.Contract(), e.ScoreBound())
+	}
+	if be.Contract() != BitIdentical || be.ScoreBound() != 0 {
+		t.Fatalf("BatchEngine contract %v bound %v", be.Contract(), be.ScoreBound())
+	}
+	if fe.Contract() != FastCertified {
+		t.Fatalf("FastBatchEngine contract %v", fe.Contract())
+	}
+	if fe.ScoreBound() <= 0 {
+		t.Fatalf("fast score bound %v, want > 0", fe.ScoreBound())
+	}
+	if fe.Width() != DefaultFastWidth {
+		t.Fatalf("default fast width %d, want %d", fe.Width(), DefaultFastWidth)
+	}
+}
+
+// TestFastBackScoresWithinBound is the error-bound contract: every fast
+// backward score must land within ScoreBound() of the bit-identical
+// reference, across graphs, measures, and widths {8, 16, 32}.
+func TestFastBackScoresWithinBound(t *testing.T) {
+	p := DHTLambda(0.2)
+	const d = 8
+	for gi, g := range sparseTestGraphs(t) {
+		solo, err := NewEngine(g, p, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumNodes()
+		qs := make([]graph.NodeID, 0, n)
+		for u := 0; u < n; u++ {
+			qs = append(qs, graph.NodeID(u))
+		}
+		for _, kind := range []Kind{FirstHit, Reach} {
+			for _, w := range []int{8, 16, 32} {
+				fe := mustFastEngine(t, g, p, d, w, 0)
+				eps := fe.ScoreBound()
+				for base := 0; base < len(qs); base += w {
+					end := min(base+w, len(qs))
+					chunk := qs[base:end]
+					cols := fe.BackWalkScoresBatch(kind, chunk, d)
+					for ci, q := range chunk {
+						ref := solo.BackWalkScores(kind, q, d)
+						for u := range ref {
+							if diff := math.Abs(cols[ci][u] - ref[u]); diff > eps {
+								t.Fatalf("graph %d kind %v w=%d q=%d u=%d: |%v - %v| = %v > eps %v",
+									gi, kind, w, q, u, cols[ci][u], ref[u], diff, eps)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastForwardProbsWithinBound checks the forward shape: folding a fast
+// probability row with Params.Score lands within ScoreBound() of the exact
+// forward score.
+func TestFastForwardProbsWithinBound(t *testing.T) {
+	p := DHTLambda(0.2)
+	const d = 8
+	g := sparseTestGraphs(t)[0]
+	solo, err := NewEngine(g, p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := mustFastEngine(t, g, p, d, 16, 0)
+	eps := fe.ScoreBound()
+	n := g.NumNodes()
+	ps := make([]graph.NodeID, 0, fe.W)
+	qs := make([]graph.NodeID, 0, fe.W)
+	check := func() {
+		rows := fe.ForwardProbsBatch(FirstHit, ps, qs, d)
+		for c := range ps {
+			got := p.Score(rows[c])
+			if ps[c] == qs[c] {
+				got = 0
+			}
+			want := solo.ForwardScoreAt(ps[c], qs[c], d)
+			if diff := math.Abs(got - want); diff > eps {
+				t.Fatalf("pair (%d,%d): |%v - %v| = %v > eps %v", ps[c], qs[c], got, want, diff, eps)
+			}
+		}
+		ps, qs = ps[:0], qs[:0]
+	}
+	for u := 0; u < n; u++ {
+		ps = append(ps, graph.NodeID(u))
+		qs = append(qs, graph.NodeID((u*7+3)%n))
+		if len(ps) == fe.W {
+			check()
+		}
+	}
+	if len(ps) > 0 {
+		check()
+	}
+}
+
+// TestFastDeterministicAcrossWorkers pins the partitioned parallel sweep's
+// key property: row ownership is disjoint and each row sums sequentially,
+// so the output is bit-for-bit independent of the worker count. The graph
+// is sized past fastParallelMin so the parallel path actually engages.
+func TestFastDeterministicAcrossWorkers(t *testing.T) {
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{700, 700}, PIn: 0.02, POut: 0.005, Seed: 9, MaxWeight: 3, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < fastParallelMin {
+		t.Fatalf("test graph too small to engage the parallel sweep: %d nodes", g.NumNodes())
+	}
+	p := DHTLambda(0.2)
+	qs := sets[1].Nodes()[:16]
+	var ref [][]float64
+	for _, workers := range []int{1, 2, 8} {
+		fe := mustFastEngine(t, g, p, 8, 16, workers)
+		cols := fe.BackWalkScoresBatch(FirstHit, qs, 8)
+		if ref == nil {
+			ref = make([][]float64, len(cols))
+			for c := range cols {
+				ref[c] = append([]float64(nil), cols[c]...)
+			}
+			continue
+		}
+		for c := range cols {
+			for u := range cols[c] {
+				if cols[c][u] != ref[c][u] {
+					t.Fatalf("workers=%d col %d node %d: %v != %v (worker count changed the result)",
+						workers, c, u, cols[c][u], ref[c][u])
+				}
+			}
+		}
+	}
+}
+
+// TestFastCountersFlushToSink mirrors the batch-engine sink test: walks
+// count columns, sweep deltas arrive per batch, and Certify flows through
+// the chain.
+func TestFastCountersFlushToSink(t *testing.T) {
+	g := sparseTestGraphs(t)[0]
+	var sink Counters
+	fe := mustFastEngine(t, g, DHTLambda(0.2), 4, 8, 0)
+	fe.Sink = &sink
+	fe.BackWalkScoresBatch(FirstHit, []graph.NodeID{0, 1, 2}, 4)
+	fe.ForwardProbsBatch(FirstHit, []graph.NodeID{0, 1}, []graph.NodeID{3, 4}, 4)
+	snap := sink.Snapshot()
+	if snap.Walks != 5 {
+		t.Fatalf("sink walks = %d, want 5 (3 backward columns + 2 forward)", snap.Walks)
+	}
+	if snap.EdgeSweeps != fe.EdgeSweeps {
+		t.Fatalf("sink sweeps %d diverge from engine %d", snap.EdgeSweeps, fe.EdgeSweeps)
+	}
+	var root Counters
+	chained := Counters{Chain: &root}
+	chained.Certify(1, 40, 30)
+	for _, c := range []*Counters{&chained, &root} {
+		s := c.Snapshot()
+		if s.KernelPicks != 1 || s.Reverified != 40 || s.FallbackPairs != 30 {
+			t.Fatalf("certify counters = %+v", s)
+		}
+	}
+	chained.Reset()
+	if s := chained.Snapshot(); s.KernelPicks != 0 || s.Reverified != 0 || s.FallbackPairs != 0 {
+		t.Fatalf("reset left certify counters: %+v", s)
+	}
+}

@@ -1,0 +1,98 @@
+package dht
+
+import "repro/internal/graph"
+
+// Contract names the correctness guarantee a walk kernel makes about the
+// scores it returns. The repo's equivalence property suites pin every joiner
+// to the BitIdentical contract; the FastCertified contract trades exact
+// arithmetic for throughput while still quantifying the damage, so a joiner
+// can *certify* a ranking by re-verifying only the scores whose error band
+// straddles a decision boundary.
+type Contract int
+
+const (
+	// BitIdentical kernels reproduce the reference dense-sweep float64
+	// arithmetic bit for bit: same additions, same order. Their score bound
+	// is exactly 0 and callers may compare outputs with ==.
+	BitIdentical Contract = iota
+
+	// FastCertified kernels may reorder and lower-precision the arithmetic
+	// (float32 lanes, partitioned parallel sweeps) but must return a
+	// conservative per-score error bound ε: every returned score ŝ satisfies
+	// |ŝ − s| ≤ ε against the bit-identical reference s. Callers own the
+	// certification: decisions whose score gap exceeds the combined bounds
+	// are safe; anything inside the ε-band must be re-verified through a
+	// BitIdentical kernel.
+	FastCertified
+)
+
+// String implements fmt.Stringer for diagnostics and Explain output.
+func (c Contract) String() string {
+	switch c {
+	case BitIdentical:
+		return "bit-identical"
+	case FastCertified:
+		return "fast-certified"
+	default:
+		return "unknown"
+	}
+}
+
+// Kernel is the contract-level view of a walk engine: which guarantee it
+// makes and how loose its scores may be. Engine, BatchEngine, and
+// FastBatchEngine all implement it; the EnginePool uses it to keep the two
+// contracts from ever satisfying each other's checkouts.
+type Kernel interface {
+	// Contract reports the correctness guarantee of every score this kernel
+	// returns.
+	Contract() Contract
+	// ScoreBound returns the conservative per-score error bound ε: each
+	// returned score is within ε of the bit-identical reference value.
+	// BitIdentical kernels return exactly 0.
+	ScoreBound() float64
+}
+
+// BatchKernel is a Kernel that evaluates whole batches of walk columns — the
+// interface the batched joiners actually consume. Width reports the lane
+// count of one CSR traversal; BackWalkScoresBatch and ForwardProbsBatch have
+// the BatchEngine semantics (engine-owned rows, valid until the next batch
+// call on the same kernel).
+type BatchKernel interface {
+	Kernel
+	// Width is the number of walk columns one CSR sweep advances.
+	Width() int
+	// BackWalkScoresBatch computes score columns out[c][u] = h_steps(u, qs[c])
+	// for every source node u, one column per target.
+	BackWalkScoresBatch(kind Kind, qs []graph.NodeID, steps int) [][]float64
+	// ForwardProbsBatch computes per-step hit probabilities
+	// rows[c][i] = P_{i+1}(ps[c], qs[c]) for each seed/target pair; fold a
+	// row with Params.Score to obtain h_steps(ps[c], qs[c]).
+	ForwardProbsBatch(kind Kind, ps, qs []graph.NodeID, steps int) [][]float64
+}
+
+// Contract on the adaptive sparse/dense solo engine: its sparse and dense
+// paths perform identical additions in identical order (see push), so it is
+// the reference arithmetic itself.
+func (e *Engine) Contract() Contract { return BitIdentical }
+
+// ScoreBound is 0: Engine scores are the reference values.
+func (e *Engine) ScoreBound() float64 { return 0 }
+
+// Contract on the W-column float64 batch engine: its wide sweeps accumulate
+// each column independently in the same ascending source order as the solo
+// engine, which the batched-kernel bit-identity suite pins.
+func (e *BatchEngine) Contract() Contract { return BitIdentical }
+
+// ScoreBound is 0: BatchEngine columns are bit-identical to Engine's.
+func (e *BatchEngine) ScoreBound() float64 { return 0 }
+
+// Width reports the engine's column capacity.
+func (e *BatchEngine) Width() int { return e.W }
+
+// Interface conformance: both batch engines serve the batched joiners
+// through the same BatchKernel shape; only the contract differs.
+var (
+	_ Kernel      = (*Engine)(nil)
+	_ BatchKernel = (*BatchEngine)(nil)
+	_ BatchKernel = (*FastBatchEngine)(nil)
+)

@@ -209,6 +209,38 @@ func (c *Config) checkoutBatch(pool *dht.EnginePool) *dht.BatchEngine {
 	return be
 }
 
+// fastEngine builds (or, with a caller pool, checks out) a FastCertified
+// kernel for the config, attached to its counter sink. Only the certified
+// joiners call it; the bit-identical joiners never see a fast engine — the
+// pool's contract validation enforces the same separation on reuse.
+func (c *Config) fastEngine() *dht.FastBatchEngine {
+	if c.Pool != nil {
+		fe := c.Pool.GetFast()
+		fe.Workers = c.Workers
+		if c.Counters != nil {
+			fe.Sink = c.Counters
+		}
+		return fe
+	}
+	fe, err := dht.NewFastBatchEngine(c.Graph, c.Params, c.D, 0, c.Workers)
+	if err != nil {
+		panic(err) // unreachable: Validate ran in the joiner constructor
+	}
+	fe.Sink = c.Counters
+	return fe
+}
+
+// releaseFastEngine is releaseEngines for the FastCertified kernel.
+func (c *Config) releaseFastEngine(fe **dht.FastBatchEngine) {
+	if *fe == nil {
+		return
+	}
+	if c.Pool != nil {
+		c.Pool.PutFast(*fe)
+	}
+	*fe = nil
+}
+
 // batchMinSteps is the shortest walk the joiners hand to the batched kernel.
 // Shorter walks (the l = 1, 2 deepening rounds) touch so few nodes that the
 // batch's zero lanes cost more than the amortized CSR traversal saves; they

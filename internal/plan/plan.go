@@ -57,6 +57,50 @@ func (c Class) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("%q", c.String())), nil
 }
 
+// Accuracy is the planner's kernel-contract knob: which walk kernels an
+// unforced Decide may pick. Every registered executor emits exactly correct
+// rankings either way — certified executors re-verify through the
+// bit-identical kernel — so the knob gates *how* scores are computed, never
+// what is returned.
+type Accuracy int
+
+const (
+	// Exact (the default) restricts the cost choice to bit-identical
+	// executors: every floating-point operation matches the reference
+	// arithmetic. The conservative default — plans, calibration, and bench
+	// baselines behave exactly as before the fast kernel existed.
+	Exact Accuracy = iota
+	// Fast additionally admits certified fast-path executors (float32
+	// parallel kernels with ε-band re-verification) to the cost choice.
+	Fast
+)
+
+// String names the accuracy mode.
+func (a Accuracy) String() string {
+	if a == Fast {
+		return "fast"
+	}
+	return "exact"
+}
+
+// MarshalJSON renders the accuracy as its string form.
+func (a Accuracy) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", a.String())), nil
+}
+
+// ParseAccuracy resolves the wire/flag spellings of the accuracy knob; the
+// empty string selects the Exact default.
+func ParseAccuracy(s string) (Accuracy, error) {
+	switch s {
+	case "", "exact":
+		return Exact, nil
+	case "fast":
+		return Fast, nil
+	default:
+		return Exact, fmt.Errorf("plan: unknown accuracy %q (want \"exact\" or \"fast\")", s)
+	}
+}
+
 // Typed planner errors; callers branch with errors.Is. The dhtjoin facade
 // wraps them into its own sentinels (ErrUnknownAlgorithm, ErrHintConflict).
 var (
@@ -88,6 +132,13 @@ type Descriptor struct {
 	// from the m-th (the incremental F structure of §VI-D); non-resumable
 	// executors re-join with a grown budget when pulled past their batch.
 	Resumable bool
+
+	// Certified marks fast-path executors: they run the bulk of their walk
+	// work on a FastCertified kernel and re-verify the ε-band through the
+	// bit-identical kernel. Results are still exactly correct, but an
+	// unforced Decide only considers them when the workload's Accuracy is
+	// Fast.
+	Certified bool
 
 	// Cost estimates the executor's work on a workload.
 	Cost CostFunc
@@ -178,6 +229,13 @@ type Workload struct {
 	Workers    int `json:"workers,omitempty"`
 	BatchWidth int `json:"batch_width,omitempty"`
 
+	// Accuracy gates which kernel contracts the cost choice may use: Exact
+	// (default) considers only bit-identical executors, Fast additionally
+	// admits the certified fast path. Forced algorithm names bypass the
+	// gate — forcing a certified executor is always safe, its results are
+	// exact.
+	Accuracy Accuracy `json:"accuracy"`
+
 	// Calib, when non-nil, recalibrates the walk-cost unit from observed
 	// engine counters (serving sessions feed it on every stream Stop).
 	Calib *Calibration `json:"-"`
@@ -259,6 +317,8 @@ type Estimate struct {
 	Cost      float64 `json:"cost"` // estimated edge relaxations
 	Streaming bool    `json:"streaming"`
 	Resumable bool    `json:"resumable"`
+	Certified bool    `json:"certified,omitempty"` // fast-path executor (ε-band re-verify)
+	Excluded  bool    `json:"excluded,omitempty"`  // shown but ineligible at this accuracy
 }
 
 // Plan is the planner's decision for one query: the chosen executor, every
@@ -290,6 +350,11 @@ func Decide(class Class, w Workload, forced string) (*Plan, error) {
 			Cost:      d.Cost(w),
 			Streaming: d.Streaming,
 			Resumable: d.Resumable,
+			Certified: d.Certified,
+			// Certified executors stay in the Explain table either way, but
+			// the cost choice skips them unless the workload opts into the
+			// fast path.
+			Excluded: d.Certified && w.Accuracy != Fast,
 		})
 	}
 	sort.SliceStable(ests, func(i, j int) bool {
@@ -298,7 +363,21 @@ func Decide(class Class, w Workload, forced string) (*Plan, error) {
 		}
 		return ests[i].Algorithm < ests[j].Algorithm
 	})
-	pl := &Plan{Class: class, Algorithm: ests[0].Algorithm, Estimates: ests, Workload: w}
+	chosen := ""
+	for _, e := range ests {
+		if !e.Excluded {
+			chosen = e.Algorithm
+			break
+		}
+	}
+	if chosen == "" {
+		// Unreachable with the built-in registry (the bit-identical
+		// executors are never excluded), but a probe registry could exclude
+		// everything.
+		return nil, fmt.Errorf("%w: no %s executor eligible at accuracy %s",
+			ErrUnknownExecutor, class, w.Accuracy)
+	}
+	pl := &Plan{Class: class, Algorithm: chosen, Estimates: ests, Workload: w}
 	if forced != "" {
 		d, ok := Lookup(forced)
 		if !ok {
@@ -357,9 +436,10 @@ func (p *Plan) Format() string {
 		fmt.Fprintf(&sb, "workload: sets=[%s] edges=%d k=%d m=%d d=%d",
 			strings.Join(sizes, ","), len(w.QueryEdges), w.K, w.M, w.D)
 	}
+	fmt.Fprintf(&sb, "; accuracy=%s", w.Accuracy)
 	fmt.Fprintf(&sb, "; graph |V|=%d |E|=%d meanDeg=%.2f walkCost=%.0f\n",
 		w.Stats.Nodes, w.Stats.Arcs, w.Stats.MeanOutDeg, w.WalkCost())
-	fmt.Fprintf(&sb, "%-10s %14s %10s %10s\n", "candidate", "est.relaxations", "streaming", "resumable")
+	fmt.Fprintf(&sb, "%-10s %14s %10s %10s %10s\n", "candidate", "est.relaxations", "streaming", "resumable", "kernel")
 	for _, e := range p.Estimates {
 		mark := func(b bool) string {
 			if b {
@@ -367,7 +447,15 @@ func (p *Plan) Format() string {
 			}
 			return "no"
 		}
-		fmt.Fprintf(&sb, "%-10s %14.3g %10s %10s\n", e.Algorithm, e.Cost, mark(e.Streaming), mark(e.Resumable))
+		kernel := "exact"
+		if e.Certified {
+			kernel = "fast"
+			if e.Excluded {
+				kernel = "fast (off)"
+			}
+		}
+		fmt.Fprintf(&sb, "%-10s %14.3g %10s %10s %10s\n",
+			e.Algorithm, e.Cost, mark(e.Streaming), mark(e.Resumable), kernel)
 	}
 	return sb.String()
 }

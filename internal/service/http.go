@@ -37,6 +37,7 @@ type OptionsJSON struct {
 	BatchWidth int     `json:"batch_width,omitempty"`
 	Relabel    string  `json:"relabel,omitempty"`   // off | degree | bfs
 	Algo       string  `json:"algo,omitempty"`      // force an executor (B-IDJ-Y, B-BJ, PJ-i, AP, …); empty = cost-based planner
+	Accuracy   string  `json:"accuracy,omitempty"`  // planner kernel contract: "exact" (default) | "fast" (certified fast kernel; same ranking)
 	Tenant     string  `json:"tenant,omitempty"`    // admission-quota bucket (X-Tenant header is the fallback)
 	Priority   string  `json:"priority,omitempty"`  // "interactive" (default) | "batch" (X-Priority header is the fallback)
 	BudgetMS   int     `json:"budget_ms,omitempty"` // wall-clock deadline budget in milliseconds; 0 = server default
@@ -92,6 +93,7 @@ func (o *OptionsJSON) toQuery() (Query, error) {
 	q.Workers = o.Workers
 	q.BatchWidth = o.BatchWidth
 	q.Algorithm = o.Algo
+	q.Accuracy = o.Accuracy
 	q.Tenant = o.Tenant
 	switch o.Priority {
 	case "", "interactive":
@@ -799,12 +801,13 @@ func addMeta(body map[string]any, meta BatchMeta) {
 // harmlessly ignored downstream.
 func optionsFromQuery(qp url.Values) (OptionsJSON, error) {
 	opts := OptionsJSON{
-		Agg:     qp.Get("agg"),
-		Measure: qp.Get("measure"),
-		Relabel: qp.Get("relabel"),
-		Algo:    qp.Get("algo"),
-		DHTE:    qp.Get("dhte") == "true",
-		PPR:     qp.Get("ppr") == "true",
+		Agg:      qp.Get("agg"),
+		Measure:  qp.Get("measure"),
+		Relabel:  qp.Get("relabel"),
+		Algo:     qp.Get("algo"),
+		Accuracy: qp.Get("accuracy"),
+		DHTE:     qp.Get("dhte") == "true",
+		PPR:      qp.Get("ppr") == "true",
 	}
 	var err error
 	if s := qp.Get("lambda"); s != "" {

@@ -189,6 +189,12 @@ type Query struct {
 	// are bit-identical under any choice; an unknown name or one of the
 	// wrong query class fails the request.
 	Algorithm string
+	// Accuracy selects the planner's kernel contract: "" or "exact" (the
+	// default) restricts plans to bit-identical executors, "fast" also
+	// admits the certified fast-kernel executors — same emitted ranking
+	// (every answer near the cut is re-verified through the exact kernel),
+	// different cost. Any other spelling fails the request.
+	Accuracy string
 	// Tenant attributes the request to an admission-quota bucket; empty is
 	// the anonymous shared bucket. Quotas never change results — only
 	// whether and when a request is admitted.
@@ -246,6 +252,11 @@ func (q *Query) resolve() (dht.Params, int, rankjoin.Aggregate, int, error) {
 	return p, d, agg, m, nil
 }
 
+// accuracy resolves the planner's kernel-contract knob.
+func (q *Query) accuracy() (plan.Accuracy, error) {
+	return plan.ParseAccuracy(q.Accuracy)
+}
+
 // SetRef names the node set of one join position: either a set declared by
 // the loaded graph (Name) or an explicit node list (IDs). Exactly one must
 // be set.
@@ -294,6 +305,14 @@ type Stats struct {
 	Walks         int64 `json:"walks"`
 	EdgeSweeps    int64 `json:"edge_sweeps"`
 	FrontierEdges int64 `json:"frontier_edges"`
+
+	// Certified fast-kernel surface: runs that executed on the fast kernel,
+	// pairs re-verified through the bit-identical kernel, and the re-verify
+	// excess over the demanded k (band pairs rescored beyond what was
+	// emitted — the price of certification near ties).
+	KernelPicks   int64 `json:"kernel_picks"`
+	Reverified    int64 `json:"reverified"`
+	FallbackPairs int64 `json:"fallback_pairs"`
 
 	// Hardening surface: quota rejections, budget truncations, shed clamps,
 	// and recovered panics are monotone counters; the admission gauges and
@@ -374,7 +393,20 @@ type session struct {
 	memo    *dht.ScoreMemo    // concurrency-safe score columns
 	results *resultLRU        // recent top-k results, original id space
 	plans   *planCache        // planner decisions, keyed like the result LRU (+k)
-	calib   *plan.Calibration // observed-cost feedback from finished streams
+	calib   *plan.Calibration // observed-cost feedback from bit-identical runs
+	// calibFast is the fast-kernel bucket: calibration is keyed by kernel
+	// contract because the certified executors mix cheap float32-lane
+	// sweeps with exact rescores — folding their counters into the exact
+	// bucket would skew the cost unit every exact plan is priced with.
+	calibFast *plan.Calibration
+}
+
+// calibFor selects the session's calibration bucket for a kernel contract.
+func (sess *session) calibFor(certified bool) *plan.Calibration {
+	if certified {
+		return sess.calibFast
+	}
+	return sess.calib
 }
 
 // Service is the concurrent query-serving subsystem. All methods are safe
@@ -491,15 +523,21 @@ func (s *Service) budgetContext(ctx context.Context, q *Query) (context.Context,
 // cache (validation is the whole cost).
 func (s *Service) planFor(sess *session, class plan.Class, baseKey string, k int, w plan.Workload, forced string) (*plan.Plan, error) {
 	s.planReqs.Add(1)
-	w.Calib = sess.calib
+	// Fast-accuracy plans are priced (and their cache entries validated)
+	// with the fast-kernel calibration bucket; the contract the executed
+	// stream actually ran under decides which bucket its counters feed.
+	cal := sess.calibFor(w.Accuracy == plan.Fast)
+	w.Calib = cal
 	if forced != "" {
 		return plan.Decide(class, w, forced)
 	}
 	var key string
 	var gen uint64
 	if baseKey != "" {
+		// baseKey embeds the accuracy mode (queryKey), so exact and fast
+		// decisions never alias one cache slot.
 		key = fmt.Sprintf("%s|plan-k=%d", baseKey, k)
-		gen = sess.calib.Gen()
+		gen = cal.Gen()
 		if pl, ok := sess.plans.get(key, gen); ok {
 			s.planCacheHits.Add(1)
 			return pl, nil
@@ -708,13 +746,14 @@ func (s *Service) sessionFor(ge *graphEntry, params dht.Params, d int, mode grap
 	}
 	pool.Sink = &s.counters
 	sess := &session{
-		g:       rl.g,
-		rl:      rl.r,
-		pool:    pool,
-		memo:    newSessionMemo(s.cfg.MemoSize),
-		results: newResultLRU(s.cfg.ResultCacheSize),
-		plans:   newPlanCache(planCacheCap),
-		calib:   &plan.Calibration{},
+		g:         rl.g,
+		rl:        rl.r,
+		pool:      pool,
+		memo:      newSessionMemo(s.cfg.MemoSize),
+		results:   newResultLRU(s.cfg.ResultCacheSize),
+		plans:     newPlanCache(planCacheCap),
+		calib:     &plan.Calibration{},
+		calibFast: &plan.Calibration{},
 	}
 
 	s.mu.Lock()
@@ -812,8 +851,12 @@ func refKey(sb *strings.Builder, ref SetRef) {
 }
 
 // queryKey serializes the parts of a resolved query shared by all ops.
-func queryKey(sb *strings.Builder, params dht.Params, d int, q *Query) {
-	fmt.Fprintf(sb, "|p=%v,%v,%v|d=%d|ms=%d", params.Alpha, params.Beta, params.Lambda, d, q.Measure)
+// Accuracy is part of the key even though certified plans emit the same
+// ranking: the plan cache is keyed off this string, and an exact-accuracy
+// request must never be served a plan whose eligibility set included the
+// certified executors (or vice versa).
+func queryKey(sb *strings.Builder, params dht.Params, d int, q *Query, acc plan.Accuracy) {
+	fmt.Fprintf(sb, "|p=%v,%v,%v|d=%d|ms=%d|acc=%s", params.Alpha, params.Beta, params.Lambda, d, q.Measure, acc)
 }
 
 // join2Req is one resolved 2-way request: registry entry, session, node
@@ -825,6 +868,7 @@ type join2Req struct {
 	params dht.Params
 	d      int
 	m      int // resolved per-edge budget: the default initial stream batch
+	acc    plan.Accuracy
 	query  Query
 	key    string
 }
@@ -834,6 +878,10 @@ type join2Req struct {
 // a bad hint must fail even when the ranking itself is already cached.
 func (s *Service) resolveJoin2(graphName string, p, q SetRef, query Query) (*join2Req, error) {
 	params, d, _, m, err := query.resolve()
+	if err != nil {
+		return nil, err
+	}
+	acc, err := query.accuracy()
 	if err != nil {
 		return nil, err
 	}
@@ -866,8 +914,8 @@ func (s *Service) resolveJoin2(graphName string, p, q SetRef, query Query) (*joi
 	refKey(&sb, p)
 	sb.WriteByte('|')
 	refKey(&sb, q)
-	queryKey(&sb, params, d, &query)
-	return &join2Req{svc: s, sess: sess, pn: pn, qn: qn, params: params, d: d, m: m, query: query, key: sb.String()}, nil
+	queryKey(&sb, params, d, &query, acc)
+	return &join2Req{svc: s, sess: sess, pn: pn, qn: qn, params: params, d: d, m: m, acc: acc, query: query, key: sb.String()}, nil
 }
 
 // open acquires admission (honoring ctx) and starts the pair stream.
@@ -929,7 +977,20 @@ func (rq *join2Req) open(ctx context.Context, initial int, batch bool) (*Join2St
 		return nil, err
 	}
 	rq.svc.recordPick(pl.Algorithm)
-	return &Join2Stream{svc: rq.svc, ctx: qctx, cancel: cancel, sess: sess, key: rq.key, st: st, rl: sess.rl, grant: g, ctrs: ctrs}, nil
+	return &Join2Stream{svc: rq.svc, ctx: qctx, cancel: cancel, sess: sess, key: rq.key, st: st, rl: sess.rl, grant: g,
+		ctrs: ctrs, calib: sess.calibFor(planCertified(pl))}, nil
+}
+
+// planCertified reports whether the plan's chosen executor runs the
+// certified fast kernel, looked up in the plan's own estimate table (which
+// forced plans carry too).
+func planCertified(pl *plan.Plan) bool {
+	for _, e := range pl.Estimates {
+		if e.Algorithm == pl.Algorithm {
+			return e.Certified
+		}
+	}
+	return false
 }
 
 // cancelPoll builds the joiners' walk-round cancellation hook for a query
@@ -969,6 +1030,7 @@ func (rq *join2Req) workload(k int) plan.Workload {
 		D:          rq.d,
 		Workers:    rq.query.Workers,
 		BatchWidth: rq.query.BatchWidth,
+		Accuracy:   rq.acc,
 	}
 }
 
@@ -995,7 +1057,8 @@ type Join2Stream struct {
 	st        join2.Stream
 	rl        *graph.Relabeling
 	grant     *grant
-	ctrs      *dht.Counters // run-scoped; feeds the session calibration on Stop
+	ctrs      *dht.Counters     // run-scoped; feeds the session calibration on Stop
+	calib     *plan.Calibration // the kernel bucket the run's counters feed
 	drained   []join2.Result
 	truncated bool // results past maxCachedPrefix were not recorded
 	budgetHit bool // the deadline budget cut the ranking short
@@ -1104,8 +1167,8 @@ func (s *Join2Stream) Stop() {
 	}
 	if s.ctrs != nil {
 		// Observed-cost feedback: the run's walk counters recalibrate the
-		// session's cost-unit estimate for future plans.
-		s.sess.calib.Observe(s.ctrs.Snapshot(), s.sess.g.NumEdges())
+		// cost-unit estimate of the kernel bucket the stream executed under.
+		s.calib.Observe(s.ctrs.Snapshot(), s.sess.g.NumEdges())
 	}
 	if s.replay == nil && (len(s.drained) > 0 || s.exhausted) {
 		cp := make([]join2.Result, len(s.drained))
@@ -1245,6 +1308,7 @@ type joinNReq struct {
 	d        int
 	agg      rankjoin.Aggregate
 	m        int
+	acc      plan.Accuracy
 	query    Query
 	key      string // empty when the request must bypass the cache
 }
@@ -1253,6 +1317,10 @@ type joinNReq struct {
 // algorithms are validated before any cache, as in resolveJoin2.
 func (s *Service) resolveJoinN(graphName string, sets []SetRef, edges [][2]int, query Query) (*joinNReq, error) {
 	params, d, agg, m, err := query.resolve()
+	if err != nil {
+		return nil, err
+	}
+	acc, err := query.accuracy()
 	if err != nil {
 		return nil, err
 	}
@@ -1298,11 +1366,11 @@ func (s *Service) resolveJoinN(graphName string, sets []SetRef, edges [][2]int, 
 			fmt.Fprintf(&sb, "e%d-%d,", e[0], e[1])
 		}
 		fmt.Fprintf(&sb, "|agg=%s|m=%d|dist=%v", agg.Name(), m, query.Distinct)
-		queryKey(&sb, params, d, &query)
+		queryKey(&sb, params, d, &query, acc)
 		key = sb.String()
 	}
 	return &joinNReq{svc: s, sess: sess, nodeSets: nodeSets, edges: edges,
-		params: params, d: d, agg: agg, m: m, query: query, key: key}, nil
+		params: params, d: d, agg: agg, m: m, acc: acc, query: query, key: key}, nil
 }
 
 // open acquires admission (honoring ctx) and starts the answer stream.
@@ -1380,6 +1448,7 @@ func (rq *joinNReq) workload() plan.Workload {
 		D:          rq.d,
 		Workers:    rq.query.Workers,
 		BatchWidth: rq.query.BatchWidth,
+		Accuracy:   rq.acc,
 	}
 	w.SetSizes = make([]int, len(rq.nodeSets))
 	for i, set := range rq.nodeSets {
@@ -1739,6 +1808,9 @@ func (s *Service) Stats() Stats {
 		Walks:         snap.Walks,
 		EdgeSweeps:    snap.EdgeSweeps,
 		FrontierEdges: snap.FrontierEdges,
+		KernelPicks:   snap.KernelPicks,
+		Reverified:    snap.Reverified,
+		FallbackPairs: snap.FallbackPairs,
 	}
 }
 
