@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/dhtjoin"
+	"repro/internal/cluster"
 	"repro/internal/dht"
 	"repro/internal/experiments"
 	"repro/internal/graph"
@@ -538,6 +539,79 @@ func benchSet() []spec {
 			}
 		}
 	}
+	// The cluster scatter bench: the ServiceJoin2 workload through a real
+	// 3-node in-process cluster — three services, three loopback RPC
+	// listeners, the graph sharded 3 ways with 2 replicas — so the number
+	// prices what shard-and-scatter costs over the single-node path
+	// (ServiceJoin2ColdResults is the closest apples-to-apples baseline:
+	// routed queries bypass the result cache too). Setup (cluster boot,
+	// segment shipping) sits outside the timed region; each iteration is a
+	// full scatter: open shard streams, τ-bounded merge, drain to 50.
+	clusterScatterBench := func() func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := joinCfg(b)
+			nodes := make([]*cluster.Node, 3)
+			svcs := make([]*service.Service, 3)
+			for i := range nodes {
+				svc := service.New(service.Config{MaxConcurrency: 16})
+				nd, err := cluster.Start(cluster.Config{
+					Name:    fmt.Sprintf("node-%d", i),
+					Bind:    "127.0.0.1:0",
+					Service: svc,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer nd.Close()
+				svc.SetRouter(nd)
+				nodes[i], svcs[i] = nd, svc
+			}
+			ctx := context.Background()
+			addrs := make([]string, len(nodes))
+			for i, nd := range nodes {
+				addrs[i] = nd.Self().Addr
+			}
+			for _, nd := range nodes {
+				if err := nd.Join(ctx, addrs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Placement is deterministic in (node names, graph name):
+			// "zipf" is a name whose parts land on peers of node-0, so the
+			// timed queries really scatter instead of collapsing to the
+			// local path.
+			if err := svcs[0].LoadGraph("zipf", cfg.Graph, nil); err != nil {
+				b.Fatal(err)
+			}
+			if err := nodes[0].PlaceGraph(ctx, "zipf", 3, 2); err != nil {
+				b.Fatal(err)
+			}
+			// Stride P and Q across the whole node range: the partitioner
+			// splits the ID space into contiguous ranges, and a P set
+			// concentrated in one community would leave the other parts
+			// empty (nothing to scatter). Same |P|, |Q|, and k as the
+			// ServiceJoin2 benches.
+			nn := cfg.Graph.NumNodes()
+			pids := make([]graph.NodeID, 100)
+			qids := make([]graph.NodeID, 100)
+			for i := range pids {
+				pids[i] = graph.NodeID(i * nn / 100)
+				qids[i] = graph.NodeID((i*nn/100 + nn/200) % nn)
+			}
+			p := service.SetRef{IDs: pids}
+			q := service.SetRef{IDs: qids}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svcs[0].Join2(ctx, "zipf", p, q, 50, service.Query{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if rs := nodes[0].RouterStats(); rs.ScatterQueries == 0 {
+				b.Fatal("cluster bench never scattered: placement kept every part local")
+			}
+		}
+	}
 	return []spec{
 		{"Fig9a2WayAlgos", expBench("fig9a")},
 		{"Fig7aYeastVsN", expBench("fig7a")},
@@ -560,5 +634,6 @@ func benchSet() []spec {
 		{"FastFBJTop50", fastJoinTop50()},
 		{"FastFig7a", fastFig7a()},
 		{"CertifiedFullRanking", plannerFull("B-BJ-fast")},
+		{"ClusterScatterTop50", clusterScatterBench()},
 	}
 }

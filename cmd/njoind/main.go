@@ -28,6 +28,18 @@
 //	GET    /score           ?graph=g&u=3&v=8
 //	GET    /explain         ?graph=g&p=U&q=D&k=10 (dry-run plan, named sets)
 //	GET    /stats           service counters (incl. planner picks and persistence)
+//	GET    /metrics         the same counters in Prometheus text format
+//
+// Cluster mode (see internal/cluster) starts when -cluster-addr is set: the
+// node serves a Kademlia-style RPC port, joins the ring via -peers, and two
+// extra endpoints appear — POST /cluster/place?graph=g shards a loaded graph
+// across the ring (full-graph replicas; the query-side candidate space is
+// what partitions), and GET /cluster reports membership, placements, and
+// scatter counters. 2-way joins against a placed graph scatter to the live
+// replica of every part and merge shard streams through the rank-join corner
+// bound, bit-identical to a single-node evaluation. -advertise splits the
+// announced address from the bound one (NAT/containers); -node-id pins the
+// ring identity independently of addresses.
 //
 // The execution algorithm is chosen per request by the cost-based planner
 // (internal/plan) over the graph's structural stats and the session's
@@ -63,6 +75,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -92,10 +105,24 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durable graph store directory (empty = in-memory only)")
 		snapEvery     = flag.Int("snapshot-every", 0, "fold a graph's WAL into a snapshot after this many edit batches (0 = default 64, negative disables)")
 		snapBytes     = flag.Int64("snapshot-bytes", 0, "fold a graph's WAL into a snapshot after this many bytes (0 = default 4MiB, negative disables)")
+		clusterAddr   = flag.String("cluster-addr", "", "cluster RPC listen address; empty disables cluster mode")
+		nodeID        = flag.String("node-id", "", "stable cluster node name (its hash is the ring position; default = advertised address)")
+		advertise     = flag.String("advertise", "", "cluster address announced to peers (default = the bound -cluster-addr)")
+		peers         = flag.String("peers", "", "comma-separated seed peer cluster addresses to join")
+		replicas      = flag.Int("replicas", 0, "replicas per placed shard (0 = default 2)")
+		alpha         = flag.Int("alpha", 0, "scatter/placement fan-out concurrency (0 = default 3)")
 		preload       graphFlags
 	)
 	flag.Var(&preload, "graph", "preload a graph as name=path (repeatable)")
 	flag.Parse()
+	copts := clusterOpts{
+		Bind:      *clusterAddr,
+		NodeID:    *nodeID,
+		Advertise: *advertise,
+		Peers:     *peers,
+		Replicas:  *replicas,
+		Alpha:     *alpha,
+	}
 	if err := run(*addr, service.Config{
 		MaxGraphs:       *maxGraphs,
 		MaxSessions:     *maxSessions,
@@ -110,13 +137,23 @@ func main() {
 		Dir:           *dataDir,
 		SnapshotEvery: *snapEvery,
 		SnapshotBytes: *snapBytes,
-	}, *drainBudget, preload); err != nil {
+	}, *drainBudget, preload, copts); err != nil {
 		fmt.Fprintln(os.Stderr, "njoind:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg service.Config, storeCfg store.Config, drainBudget time.Duration, preload []string) error {
+// clusterOpts carries the cluster-mode flags; a zero Bind disables them all.
+type clusterOpts struct {
+	Bind      string
+	NodeID    string
+	Advertise string
+	Peers     string
+	Replicas  int
+	Alpha     int
+}
+
+func run(addr string, cfg service.Config, storeCfg store.Config, drainBudget time.Duration, preload []string, copts clusterOpts) error {
 	if storeCfg.Dir != "" {
 		st, recovered, err := store.Open(storeCfg)
 		if err != nil {
@@ -143,12 +180,12 @@ func run(addr string, cfg service.Config, storeCfg store.Config, drainBudget tim
 			fmt.Fprintf(os.Stderr, "njoind: recovered graph %q at generation %d (%d wal record(s) replayed%s)\n",
 				rec.Name, rec.Gen, rec.Replayed, degraded)
 		}
-		return runService(addr, svc, drainBudget, preload)
+		return runService(addr, svc, drainBudget, preload, copts)
 	}
-	return runService(addr, service.New(cfg), drainBudget, preload)
+	return runService(addr, service.New(cfg), drainBudget, preload, copts)
 }
 
-func runService(addr string, svc *service.Service, drainBudget time.Duration, preload []string) error {
+func runService(addr string, svc *service.Service, drainBudget time.Duration, preload []string, copts clusterOpts) error {
 	for _, spec := range preload {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -165,6 +202,35 @@ func runService(addr string, svc *service.Service, drainBudget time.Duration, pr
 		}
 		fmt.Fprintf(os.Stderr, "njoind: loaded graph %q from %s\n", name, path)
 	}
+	handler := http.Handler(service.NewHandler(svc))
+	if copts.Bind != "" {
+		node, err := cluster.Start(cluster.Config{
+			Name:      copts.NodeID,
+			Bind:      copts.Bind,
+			Advertise: copts.Advertise,
+			Replicas:  copts.Replicas,
+			Alpha:     copts.Alpha,
+			Service:   svc,
+		})
+		if err != nil {
+			return fmt.Errorf("starting cluster node: %w", err)
+		}
+		defer node.Close()
+		svc.SetRouter(node)
+		handler = cluster.WrapHandler(node, handler)
+		fmt.Fprintf(os.Stderr, "njoind: cluster node %q serving RPC on %s (advertising %s)\n",
+			node.Self().Name, node.Addr(), node.Self().Addr)
+		if copts.Peers != "" {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err := node.Join(ctx, strings.Split(copts.Peers, ","))
+			cancel()
+			if err != nil {
+				// Seeds may simply not be up yet; inbound pings from them
+				// will converge membership later.
+				fmt.Fprintf(os.Stderr, "njoind: cluster join incomplete: %v\n", err)
+			}
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -172,7 +238,7 @@ func runService(addr string, svc *service.Service, drainBudget time.Duration, pr
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(stop)
-	return serve(ln, svc, drainBudget, stop)
+	return serve(ln, svc, handler, drainBudget, stop)
 }
 
 // serve runs the HTTP API on ln until a signal arrives on stop, then drains:
@@ -181,11 +247,11 @@ func runService(addr string, svc *service.Service, drainBudget time.Duration, pr
 // finish, and whatever is still running afterwards (or when a second signal
 // arrives) is hard-cancelled through the server's base context, which every
 // joiner polls at walk-round granularity.
-func serve(ln net.Listener, svc *service.Service, drainBudget time.Duration, stop chan os.Signal) error {
+func serve(ln net.Listener, svc *service.Service, handler http.Handler, drainBudget time.Duration, stop chan os.Signal) error {
 	baseCtx, hardCancel := context.WithCancel(context.Background())
 	defer hardCancel()
 	srv := &http.Server{
-		Handler:           service.NewHandler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 		MaxHeaderBytes:    1 << 20, // joins carry their payload in the body; headers stay small

@@ -55,7 +55,7 @@ func TestServeGracefulDrain(t *testing.T) {
 	ln := smallBufListener{raw}
 	stop := make(chan os.Signal, 1)
 	served := make(chan error, 1)
-	go func() { served <- serve(ln, svc, 30*time.Second, stop) }()
+	go func() { served <- serve(ln, svc, service.NewHandler(svc), 30*time.Second, stop) }()
 	base := "http://" + ln.Addr().String()
 
 	// Wait for the listener to answer.
@@ -171,7 +171,7 @@ func TestServeSecondSignalHardStops(t *testing.T) {
 	served := make(chan error, 1)
 	// A drain budget far longer than the test: only the second signal can
 	// bring the server down in time.
-	go func() { served <- serve(ln, svc, time.Hour, stop) }()
+	go func() { served <- serve(ln, svc, service.NewHandler(svc), time.Hour, stop) }()
 	base := "http://" + ln.Addr().String()
 
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// WrapHandler adds the cluster operator surface in front of the service's
+// HTTP API:
+//
+//	GET  /cluster        membership, placements, and scatter counters
+//	POST /cluster/place  ?graph=name[&parts=N][&replicas=K] — shard a loaded
+//	                     graph across the ring (parts defaults to the ring
+//	                     size, replicas to the node default)
+//
+// Everything else falls through to the wrapped handler.
+func WrapHandler(n *Node, inner http.Handler) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeClusterJSON(w, http.StatusOK, map[string]any{
+			"self":       n.Self(),
+			"members":    n.ring.Members(),
+			"placements": n.Placements(),
+			"stats":      n.RouterStats(),
+		})
+	})
+
+	mux.HandleFunc("POST /cluster/place", func(w http.ResponseWriter, r *http.Request) {
+		graphName := r.URL.Query().Get("graph")
+		if graphName == "" {
+			clusterError(w, http.StatusBadRequest, fmt.Errorf("place wants ?graph=name"))
+			return
+		}
+		parts, err := intParam(r, "parts")
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		replicas, err := intParam(r, "replicas")
+		if err != nil {
+			clusterError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := n.PlaceGraph(r.Context(), graphName, parts, replicas); err != nil {
+			clusterError(w, http.StatusBadGateway, err)
+			return
+		}
+		pl, _ := n.placementOf(graphName)
+		writeClusterJSON(w, http.StatusOK, map[string]any{
+			"graph": graphName, "parts": pl.Parts, "replicas": pl.Replicas, "nodes": pl.Nodes,
+		})
+	})
+
+	mux.Handle("/", inner)
+	return mux
+}
+
+// intParam parses an optional non-negative integer query parameter; absent
+// returns 0 (meaning "use the default").
+func intParam(r *http.Request, name string) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s=%q: want a non-negative integer", name, s)
+	}
+	return v, nil
+}
+
+// writeClusterJSON and clusterError mirror the service handler's response
+// shapes ({"error": {"status", "message"}}) without importing its
+// unexported helpers.
+func writeClusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func clusterError(w http.ResponseWriter, status int, err error) {
+	writeClusterJSON(w, status, map[string]any{
+		"error": map[string]any{"status": status, "message": err.Error()},
+	})
+}

@@ -1,0 +1,145 @@
+// Package cluster is njoind's shard-and-scatter layer: a Kademlia-style
+// consistent-hash ring places each graph partition on an owner node (and
+// replicates it to K peers), a thin envelope RPC ships store segments and
+// carries shard-side join streams, and a coordinator merges the per-shard
+// rank-ordered streams into a global top-k through the rank-join corner
+// bound — a shard stops being pulled the moment its next-possible score
+// falls below the global k-th.
+//
+// The design follows the D7024E Kademlia reference: 160-bit ids compared by
+// XOR distance, replicate-to-K-closest, α-parallel fan-out, MsgID/inflight
+// correlation with a single read loop per connection, per-RPC timeouts, and
+// no network calls under locks.
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/hex"
+	"sort"
+	"sync"
+)
+
+// ID is a 160-bit Kademlia-style identifier. Nodes and placement keys hash
+// onto the same space; distance is XOR, compared as a big-endian integer.
+type ID [20]byte
+
+// MakeID hashes an arbitrary string (a node name, a placement key) onto the
+// id space.
+func MakeID(s string) ID { return sha1.Sum([]byte(s)) }
+
+// String renders the id's leading bytes for logs.
+func (id ID) String() string { return hex.EncodeToString(id[:4]) }
+
+// xorCloser reports whether a is strictly closer to target than b under XOR
+// distance (big-endian comparison, per the Kademlia metric).
+func xorCloser(a, b, target ID) bool {
+	for i := range target {
+		da, db := a[i]^target[i], b[i]^target[i]
+		if da != db {
+			return da < db
+		}
+	}
+	return false
+}
+
+// Member is one ring participant: a stable name (which determines its id)
+// and the address peers reach it at — the *advertised* address, which may
+// differ from the bind address behind NAT or containers.
+type Member struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// id returns the member's position on the ring.
+func (m Member) id() ID { return MakeID(m.Name) }
+
+// Ring is the membership view: a set of members addressable by XOR
+// closeness to a key. All methods are safe for concurrent use. Membership
+// here is static-plus-gossip (flags seed it, PING upserts senders); there is
+// no failure detector — liveness is handled per-RPC by the coordinator's
+// replica failover.
+type Ring struct {
+	mu      sync.RWMutex
+	members map[string]Member // by name
+}
+
+// NewRing returns an empty ring.
+func NewRing() *Ring {
+	return &Ring{members: make(map[string]Member)}
+}
+
+// Upsert adds or updates a member. Same-name upserts replace the address
+// (a node restarting behind a new advertise address keeps its ring
+// position, which is a pure function of the name).
+func (r *Ring) Upsert(m Member) {
+	if m.Name == "" {
+		return
+	}
+	r.mu.Lock()
+	r.members[m.Name] = m
+	r.mu.Unlock()
+}
+
+// Remove drops a member by name.
+func (r *Ring) Remove(name string) {
+	r.mu.Lock()
+	delete(r.members, name)
+	r.mu.Unlock()
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members lists the membership sorted by name.
+func (r *Ring) Members() []Member {
+	r.mu.RLock()
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the member registered under name.
+func (r *Ring) Lookup(name string) (Member, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.members[name]
+	return m, ok
+}
+
+// Owners returns the k members closest to key by XOR distance, closest
+// first — the key's owner and its K−1 replicas. Fewer than k members
+// returns them all. The result is deterministic for a given membership:
+// equal distances are impossible (ids are distinct by construction), so the
+// ordering is total and every node computes the same owner list.
+func (r *Ring) Owners(key string, k int) []Member {
+	target := MakeID(key)
+	r.mu.RLock()
+	all := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		all = append(all, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].id(), all[j].id()
+		if bytes.Equal(a[:], b[:]) {
+			return all[i].Name < all[j].Name // unreachable for distinct names; total order regardless
+		}
+		return xorCloser(a, b, target)
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return all[:k]
+}

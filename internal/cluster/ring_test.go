@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringOf(names ...string) *Ring {
+	r := NewRing()
+	for _, n := range names {
+		r.Upsert(Member{Name: n, Addr: "addr-" + n})
+	}
+	return r
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("graph-%d/part-%d", i%17, i)
+	}
+	return out
+}
+
+func TestOwnersDeterministicAndDistinct(t *testing.T) {
+	r := ringOf("n0", "n1", "n2", "n3", "n4")
+	for _, key := range keys(200) {
+		a := r.Owners(key, 3)
+		b := r.Owners(key, 3)
+		if len(a) != 3 {
+			t.Fatalf("key %q: got %d owners, want 3", key, len(a))
+		}
+		seen := map[string]bool{}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("key %q: owners not deterministic: %v vs %v", key, a, b)
+			}
+			if seen[a[i].Name] {
+				t.Fatalf("key %q: duplicate member %q in replica set %v", key, a[i].Name, a)
+			}
+			seen[a[i].Name] = true
+		}
+	}
+}
+
+func TestOwnersClampAndOrder(t *testing.T) {
+	r := ringOf("n0", "n1")
+	if got := r.Owners("k", 5); len(got) != 2 {
+		t.Fatalf("k beyond membership: got %d owners, want 2", len(got))
+	}
+	if got := r.Owners("k", 0); len(got) != 0 {
+		t.Fatalf("k=0: got %v", got)
+	}
+	// Closest-first: the primary of Owners(k, 2) is Owners(k, 1)[0].
+	for _, key := range keys(50) {
+		one := r.Owners(key, 1)
+		two := r.Owners(key, 2)
+		if one[0] != two[0] {
+			t.Fatalf("key %q: primary unstable across k: %v vs %v", key, one, two)
+		}
+	}
+}
+
+// A node joining must steal only the keys it now owns: every key whose
+// replica set changed must include the new node in its new set.
+func TestRebalanceOnJoin(t *testing.T) {
+	const replicas = 2
+	base := ringOf("n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7")
+	ks := keys(2000)
+	before := make(map[string][]Member, len(ks))
+	for _, k := range ks {
+		before[k] = base.Owners(k, replicas)
+	}
+	base.Upsert(Member{Name: "n8", Addr: "addr-n8"})
+	moved := 0
+	for _, k := range ks {
+		after := base.Owners(k, replicas)
+		if !sameMembers(before[k], after) {
+			moved++
+			if !hasMember(after, "n8") {
+				t.Fatalf("key %q moved (%v -> %v) without involving the joining node", k, before[k], after)
+			}
+		}
+	}
+	// Expected fraction ≈ replicas/members = 2/9; allow generous slack but
+	// reject wholesale reshuffles (the classic mod-N failure moves ~8/9).
+	frac := float64(moved) / float64(len(ks))
+	if frac > 0.45 {
+		t.Fatalf("join moved %.0f%% of keys — not a consistent-hash rebalance", frac*100)
+	}
+	if moved == 0 {
+		t.Fatal("join moved no keys; the new node owns nothing")
+	}
+}
+
+// A node leaving must disturb only the keys it served: keys whose replica
+// set did not include the departed node keep their exact replica set.
+func TestRebalanceOnLeave(t *testing.T) {
+	const replicas = 3
+	r := ringOf("n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8")
+	ks := keys(2000)
+	before := make(map[string][]Member, len(ks))
+	for _, k := range ks {
+		before[k] = r.Owners(k, replicas)
+	}
+	r.Remove("n4")
+	for _, k := range ks {
+		after := r.Owners(k, replicas)
+		if hasMember(before[k], "n4") {
+			// Served keys keep their surviving replicas, in order, plus one
+			// new member at the end.
+			survivors := without(before[k], "n4")
+			for i := range survivors {
+				if after[i] != survivors[i] {
+					t.Fatalf("key %q: surviving replicas reordered: %v -> %v", k, before[k], after)
+				}
+			}
+			continue
+		}
+		if !sameMembers(before[k], after) {
+			t.Fatalf("key %q not served by departed node but moved: %v -> %v", k, before[k], after)
+		}
+	}
+}
+
+// Same-name upsert must keep the ring position (id is a function of the
+// name) while updating the address.
+func TestUpsertKeepsPosition(t *testing.T) {
+	r := ringOf("n0", "n1", "n2")
+	ks := keys(300)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Owners(k, 1)[0].Name
+	}
+	r.Upsert(Member{Name: "n1", Addr: "addr-n1-restarted"})
+	for _, k := range ks {
+		got := r.Owners(k, 1)[0]
+		if got.Name != before[k] {
+			t.Fatalf("key %q changed owner after an address-only upsert: %s -> %s", k, before[k], got.Name)
+		}
+		if got.Name == "n1" && got.Addr != "addr-n1-restarted" {
+			t.Fatalf("upsert did not propagate the new address: %+v", got)
+		}
+	}
+}
+
+func sameMembers(a, b []Member) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+func hasMember(ms []Member, name string) bool {
+	for _, m := range ms {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func without(ms []Member, name string) []Member {
+	out := make([]Member, 0, len(ms))
+	for _, m := range ms {
+		if m.Name != name {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,461 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The wire protocol is deliberately thin, per the Kademlia reference: every
+// message is one length-prefixed JSON envelope carrying Type, the sender's
+// identity (name + *advertised* address, never the bind address), a MsgID,
+// and a type-specific body. Requests and responses correlate by MsgID: the
+// sender parks a waiter in an inflight map and a single read loop per
+// connection delivers matching envelopes into it — the reader never blocks
+// on a dead consumer (each waiter carries an abandonment signal), and no
+// goroutine ever touches the network while holding a map lock. Streaming
+// responses (SCATTER-JOIN) are just many envelopes with one MsgID.
+
+// Message types.
+const (
+	msgPing = "ping" // liveness + membership gossip
+	msgPong = "pong"
+
+	msgPlace   = "place" // ship a segment + placement to an owner
+	msgPlaceOK = "place.ok"
+	msgFetch   = "fetch" // pull a graph's segment from a peer
+	msgFetchOK = "fetch.ok"
+
+	msgScatter       = "scatter"        // open a shard-side join stream
+	msgScatterLine   = "scatter.line"   // one rank-ordered result of the shard stream
+	msgScatterDone   = "scatter.done"   // shard stream terminator (exhaustion or error)
+	msgScatterMore   = "scatter.more"   // flow-control credit, coordinator → shard
+	msgScatterCancel = "scatter.cancel" // stop a shard stream early
+
+	msgError = "error" // request-level failure
+)
+
+// Envelope is the wire frame payload.
+type Envelope struct {
+	Type  string          `json:"type"`
+	Node  string          `json:"node,omitempty"` // sender's stable name
+	From  string          `json:"from,omitempty"` // sender's advertised address (announce, not bind)
+	MsgID uint64          `json:"msg_id"`
+	Body  json.RawMessage `json:"body,omitempty"`
+}
+
+// errorBody is the msgError payload.
+type errorBody struct {
+	Message string `json:"message"`
+}
+
+// maxFrame bounds one envelope frame. Segment shipping dominates; the limit
+// matches the HTTP layer's graph-upload bound.
+const maxFrame = 256 << 20
+
+// writeFrame writes one length-prefixed envelope. Callers serialize writes
+// per connection (writeMu); the deadline bounds a stalled peer.
+func writeFrame(c net.Conn, timeout time.Duration, env *Envelope) error {
+	b, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	if len(b) > maxFrame {
+		return fmt.Errorf("cluster: frame too large (%d bytes)", len(b))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if timeout > 0 {
+		_ = c.SetWriteDeadline(time.Now().Add(timeout))
+		defer c.SetWriteDeadline(time.Time{}) //nolint:errcheck // best effort
+	}
+	if _, err := c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = c.Write(b)
+	return err
+}
+
+// readFrame reads one envelope; io.EOF means a clean close.
+func readFrame(c net.Conn) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("cluster: oversized frame (%d bytes)", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(c, b); err != nil {
+		return nil, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("cluster: bad envelope: %w", err)
+	}
+	return &env, nil
+}
+
+// waiter receives the envelopes of one MsgID. The buffered channel absorbs
+// a stream burst; gone is closed when the caller abandons the exchange so
+// the read loop can never block forever on it.
+type waiter struct {
+	ch   chan *Envelope
+	gone chan struct{}
+	once sync.Once
+}
+
+func newWaiter(buf int) *waiter {
+	return &waiter{ch: make(chan *Envelope, buf), gone: make(chan struct{})}
+}
+
+func (w *waiter) abandon() { w.once.Do(func() { close(w.gone) }) }
+
+// peerConn is one outbound connection: a write-serialized conn, an inflight
+// map, and the single read loop draining it.
+type peerConn struct {
+	addr    string
+	c       net.Conn
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	inflight map[uint64]*waiter
+	err      error
+	dead     chan struct{}
+
+	nextID atomic.Uint64
+}
+
+// register parks a waiter for id; fails once the conn is dead.
+func (pc *peerConn) register(id uint64, w *waiter) error {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.err != nil {
+		return pc.err
+	}
+	pc.inflight[id] = w
+	return nil
+}
+
+// unregister drops id's waiter and marks it abandoned.
+func (pc *peerConn) unregister(id uint64) {
+	pc.mu.Lock()
+	w := pc.inflight[id]
+	delete(pc.inflight, id)
+	pc.mu.Unlock()
+	if w != nil {
+		w.abandon()
+	}
+}
+
+// fail terminates the connection: every parked waiter learns the error via
+// the closed dead channel, and future registers are refused.
+func (pc *peerConn) fail(err error) {
+	pc.mu.Lock()
+	if pc.err == nil {
+		pc.err = err
+		close(pc.dead)
+	}
+	waiters := pc.inflight
+	pc.inflight = make(map[uint64]*waiter)
+	pc.mu.Unlock()
+	for _, w := range waiters {
+		w.abandon()
+	}
+	_ = pc.c.Close()
+}
+
+// readLoop is the connection's single reader: it parses envelopes and
+// delivers each to its MsgID's waiter (dropping unmatched ones — late
+// replies to abandoned exchanges). It never blocks on an abandoned waiter
+// and holds no lock across channel sends.
+func (pc *peerConn) readLoop() {
+	for {
+		env, err := readFrame(pc.c)
+		if err != nil {
+			pc.fail(fmt.Errorf("cluster: connection to %s lost: %w", pc.addr, err))
+			return
+		}
+		pc.mu.Lock()
+		w := pc.inflight[env.MsgID]
+		pc.mu.Unlock()
+		if w == nil {
+			continue
+		}
+		select {
+		case w.ch <- env:
+		case <-w.gone:
+		}
+	}
+}
+
+// send marshals and writes one envelope (write-serialized).
+func (pc *peerConn) send(timeout time.Duration, env *Envelope) error {
+	pc.writeMu.Lock()
+	defer pc.writeMu.Unlock()
+	if err := writeFrame(pc.c, timeout, env); err != nil {
+		pc.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Transport manages outbound connections and request correlation for one
+// node. All methods are safe for concurrent use; no method performs network
+// I/O while holding the transport lock.
+type Transport struct {
+	self        Member
+	dialTimeout time.Duration
+	rpcTimeout  time.Duration
+
+	mu     sync.Mutex
+	conns  map[string]*peerConn
+	closed bool
+}
+
+// newTransport sizes a transport for self.
+func newTransport(self Member, dialTimeout, rpcTimeout time.Duration) *Transport {
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	if rpcTimeout <= 0 {
+		rpcTimeout = 5 * time.Second
+	}
+	return &Transport{self: self, dialTimeout: dialTimeout, rpcTimeout: rpcTimeout,
+		conns: make(map[string]*peerConn)}
+}
+
+// Close tears down every connection.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	conns := t.conns
+	t.conns = make(map[string]*peerConn)
+	t.closed = true
+	t.mu.Unlock()
+	for _, pc := range conns {
+		pc.fail(errors.New("cluster: transport closed"))
+	}
+}
+
+// peer returns (dialing if needed) the connection to addr. The dial runs
+// outside the lock; a lost race keeps the winner's connection.
+func (t *Transport) peer(addr string) (*peerConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("cluster: transport closed")
+	}
+	pc := t.conns[addr]
+	if pc != nil {
+		select {
+		case <-pc.dead:
+			delete(t.conns, addr) // stale; redial below
+			pc = nil
+		default:
+		}
+	}
+	t.mu.Unlock()
+	if pc != nil {
+		return pc, nil
+	}
+	c, err := net.DialTimeout("tcp", addr, t.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	fresh := &peerConn{addr: addr, c: c, inflight: make(map[uint64]*waiter), dead: make(chan struct{})}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = c.Close()
+		return nil, errors.New("cluster: transport closed")
+	}
+	if prev := t.conns[addr]; prev != nil {
+		alive := true
+		select {
+		case <-prev.dead:
+			alive = false
+		default:
+		}
+		if alive {
+			t.mu.Unlock()
+			_ = c.Close() // lost the dial race
+			return prev, nil
+		}
+	}
+	t.conns[addr] = fresh
+	t.mu.Unlock()
+	go fresh.readLoop()
+	return fresh, nil
+}
+
+// envelope stamps a fresh request envelope with the sender identity.
+func (t *Transport) envelope(pc *peerConn, typ string, body any) (*Envelope, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	return &Envelope{Type: typ, Node: t.self.Name, From: t.self.Addr,
+		MsgID: pc.nextID.Add(1), Body: raw}, nil
+}
+
+// Call performs one request/response exchange with addr under the per-RPC
+// timeout (and ctx). A msgError response surfaces as an error; any other
+// response type is decoded into reply (when non-nil).
+func (t *Transport) Call(ctx context.Context, addr, typ string, body, reply any) error {
+	pc, err := t.peer(addr)
+	if err != nil {
+		return err
+	}
+	env, err := t.envelope(pc, typ, body)
+	if err != nil {
+		return err
+	}
+	w := newWaiter(1)
+	if err := pc.register(env.MsgID, w); err != nil {
+		return err
+	}
+	defer pc.unregister(env.MsgID)
+	if err := pc.send(t.rpcTimeout, env); err != nil {
+		return err
+	}
+	timer := time.NewTimer(t.rpcTimeout)
+	defer timer.Stop()
+	select {
+	case resp := <-w.ch:
+		return decodeReply(resp, reply)
+	case <-pc.dead:
+		pc.mu.Lock()
+		err := pc.err
+		pc.mu.Unlock()
+		return err
+	case <-timer.C:
+		return fmt.Errorf("cluster: %s rpc to %s timed out after %s", typ, addr, t.rpcTimeout)
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// decodeReply maps a response envelope onto reply.
+func decodeReply(resp *Envelope, reply any) error {
+	if resp.Type == msgError {
+		var eb errorBody
+		_ = json.Unmarshal(resp.Body, &eb)
+		return fmt.Errorf("cluster: remote error: %s", eb.Message)
+	}
+	if reply == nil {
+		return nil
+	}
+	return json.Unmarshal(resp.Body, reply)
+}
+
+// streamBuf is the per-stream waiter buffer: large enough to absorb a full
+// flow-control window plus terminators without ever blocking the read loop
+// in practice.
+const streamBuf = 4 * scatterWindow
+
+// RPCStream is one open streaming exchange (SCATTER-JOIN): envelopes of the
+// request's MsgID arrive in order through Recv until the caller closes it.
+type RPCStream struct {
+	t    *Transport
+	pc   *peerConn
+	id   uint64
+	w    *waiter
+	once sync.Once
+}
+
+// OpenStream sends a request whose response is a stream of envelopes.
+func (t *Transport) OpenStream(addr, typ string, body any) (*RPCStream, error) {
+	pc, err := t.peer(addr)
+	if err != nil {
+		return nil, err
+	}
+	env, err := t.envelope(pc, typ, body)
+	if err != nil {
+		return nil, err
+	}
+	w := newWaiter(streamBuf)
+	if err := pc.register(env.MsgID, w); err != nil {
+		return nil, err
+	}
+	if err := pc.send(t.rpcTimeout, env); err != nil {
+		pc.unregister(env.MsgID)
+		return nil, err
+	}
+	return &RPCStream{t: t, pc: pc, id: env.MsgID, w: w}, nil
+}
+
+// Recv waits for the stream's next envelope under the per-RPC timeout: a
+// live stream must produce *something* (a line, a terminator) within it.
+func (s *RPCStream) Recv(ctx context.Context) (*Envelope, error) {
+	timer := time.NewTimer(s.t.rpcTimeout)
+	defer timer.Stop()
+	select {
+	case env := <-s.w.ch:
+		return env, nil
+	case <-s.pc.dead:
+		s.pc.mu.Lock()
+		err := s.pc.err
+		s.pc.mu.Unlock()
+		return nil, err
+	case <-timer.C:
+		return nil, fmt.Errorf("cluster: shard stream from %s stalled past %s", s.pc.addr, s.t.rpcTimeout)
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+}
+
+// Send transmits a mid-stream message (flow-control credit) under the
+// stream's MsgID.
+func (s *RPCStream) Send(typ string, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	return s.pc.send(s.t.rpcTimeout, &Envelope{Type: typ, Node: s.t.self.Name,
+		From: s.t.self.Addr, MsgID: s.id, Body: raw})
+}
+
+// Close abandons the stream: a best-effort cancel tells the shard to stop
+// producing, and the waiter is unregistered so late envelopes are dropped.
+// Idempotent.
+func (s *RPCStream) Close() {
+	s.once.Do(func() {
+		_ = s.pc.send(s.t.rpcTimeout, &Envelope{Type: msgScatterCancel, Node: s.t.self.Name,
+			From: s.t.self.Addr, MsgID: s.id})
+		s.pc.unregister(s.id)
+	})
+}
+
+// Replier writes responses for one server-side connection, sharing its
+// write serialization.
+type Replier struct {
+	c       net.Conn
+	writeMu *sync.Mutex
+	self    Member
+	timeout time.Duration
+}
+
+// Reply sends one envelope of the given type under msgID.
+func (r *Replier) Reply(msgID uint64, typ string, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	return writeFrame(r.c, r.timeout, &Envelope{Type: typ, Node: r.self.Name,
+		From: r.self.Addr, MsgID: msgID, Body: raw})
+}
+
+// ReplyError sends a msgError response.
+func (r *Replier) ReplyError(msgID uint64, err error) {
+	_ = r.Reply(msgID, msgError, errorBody{Message: err.Error()})
+}

@@ -1,0 +1,63 @@
+package graph
+
+import "fmt"
+
+// This file is the deterministic node-range partitioner behind cluster
+// mode: a graph's query-side node space [0, NumNodes) is split into
+// contiguous ranges, one per shard, and a scatter query restricts each
+// shard's P set to its range. Because every range is a pure function of
+// (node count, part count), every node of a cluster computes the identical
+// partition without coordination, and the union of the per-shard restricted
+// joins is exactly the single-node join: the ranges partition the candidate
+// space, and scores are unaffected (each shard walks the full graph).
+
+// Range is one partition's half-open node-id interval [Lo, Hi).
+type Range struct {
+	Lo NodeID `json:"lo"`
+	Hi NodeID `json:"hi"`
+}
+
+// Contains reports whether id falls inside the range.
+func (r Range) Contains(id NodeID) bool { return id >= r.Lo && id < r.Hi }
+
+// Len returns the number of node ids covered.
+func (r Range) Len() int { return int(r.Hi - r.Lo) }
+
+// PartitionRanges splits [0, n) into parts contiguous ranges whose sizes
+// differ by at most one, deterministically: the first n%parts ranges get the
+// extra node. parts > n yields trailing empty ranges (Lo == Hi) rather than
+// an error, so a small graph placed on a large cluster still has exactly one
+// range per shard.
+func PartitionRanges(n, parts int) ([]Range, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: partition over negative node count %d", n)
+	}
+	if parts < 1 {
+		return nil, fmt.Errorf("graph: partition count must be >= 1, got %d", parts)
+	}
+	base, extra := n/parts, n%parts
+	out := make([]Range, parts)
+	lo := 0
+	for i := range out {
+		size := base
+		if i < extra {
+			size++
+		}
+		out[i] = Range{Lo: NodeID(lo), Hi: NodeID(lo + size)}
+		lo += size
+	}
+	return out, nil
+}
+
+// FilterRange returns the members of ids that fall inside r, preserving
+// order. The result is always a fresh slice (never aliasing ids), so callers
+// can retain it across further filtering of the same input.
+func FilterRange(ids []NodeID, r Range) []NodeID {
+	out := make([]NodeID, 0, len(ids))
+	for _, id := range ids {
+		if r.Contains(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package graph
+
+import "testing"
+
+func TestPartitionRangesCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 101, 4096} {
+		for _, parts := range []int{1, 2, 3, 5, 8, 200} {
+			ranges, err := PartitionRanges(n, parts)
+			if err != nil {
+				t.Fatalf("PartitionRanges(%d, %d): %v", n, parts, err)
+			}
+			if len(ranges) != parts {
+				t.Fatalf("PartitionRanges(%d, %d): got %d ranges", n, parts, len(ranges))
+			}
+			next := NodeID(0)
+			for i, r := range ranges {
+				if r.Lo != next {
+					t.Fatalf("n=%d parts=%d: range %d starts at %d, want %d", n, parts, i, r.Lo, next)
+				}
+				if r.Hi < r.Lo {
+					t.Fatalf("n=%d parts=%d: range %d inverted: %+v", n, parts, i, r)
+				}
+				next = r.Hi
+			}
+			if int(next) != n {
+				t.Fatalf("n=%d parts=%d: ranges end at %d", n, parts, next)
+			}
+		}
+	}
+}
+
+func TestPartitionRangesBalanced(t *testing.T) {
+	ranges, err := PartitionRanges(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{ranges[0].Len(), ranges[1].Len(), ranges[2].Len()}
+	want := []int{4, 3, 3} // first n%parts ranges carry the extra node
+	for i := range sizes {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestPartitionRangesDeterministic(t *testing.T) {
+	a, _ := PartitionRanges(997, 7)
+	b, _ := PartitionRanges(997, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("range %d differs across calls: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPartitionRangesErrors(t *testing.T) {
+	if _, err := PartitionRanges(-1, 2); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := PartitionRanges(10, 0); err == nil {
+		t.Fatal("zero parts accepted")
+	}
+}
+
+func TestFilterRange(t *testing.T) {
+	ids := []NodeID{9, 1, 5, 3, 7, 2}
+	got := FilterRange(ids, Range{Lo: 2, Hi: 6})
+	want := []NodeID{5, 3, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v (order must be preserved)", got, want)
+		}
+	}
+	// Filtering across all parts partitions the input.
+	ranges, _ := PartitionRanges(10, 3)
+	total := 0
+	for _, r := range ranges {
+		total += len(FilterRange(ids, r))
+	}
+	if total != len(ids) {
+		t.Fatalf("ranges dropped or duplicated ids: %d of %d survived", total, len(ids))
+	}
+}

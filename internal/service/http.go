@@ -288,6 +288,13 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, info)
 	})
 
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Prometheus text exposition of the same counters /stats serves as
+		// JSON (cluster scatter counters included, when a router is wired).
+		w.Header().Set("Content-Type", metricsContentType)
+		WriteMetrics(w, svc.Stats())
+	})
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// Liveness: the process is up and serving, draining or not.
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{30, 30}, PIn: 0.2, POut: 0.05, Seed: 2, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{})
+	if err := svc.LoadGraph("g", g, sets); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Join2(t.Context(), "g",
+		SetRef{Name: sets[0].Name}, SetRef{Name: sets[1].Name}, 3, Query{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metricsContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE njoind_graphs gauge",
+		"njoind_graphs 1",
+		"# TYPE njoind_join2_requests_total counter",
+		"njoind_join2_requests_total 1",
+		"njoind_plan_picks_total{algo=",
+		"njoind_draining 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output lacks %q:\n%s", want, body)
+		}
+	}
+	// No router configured: the cluster family must be absent, not zeroed.
+	if strings.Contains(body, "njoind_cluster_") {
+		t.Fatalf("cluster metrics rendered without a router:\n%s", body)
+	}
+}
+
+// TestMetricsClusterCounters renders a stats snapshot with a cluster surface
+// attached and checks the scatter counters appear under stable names.
+func TestMetricsClusterCounters(t *testing.T) {
+	var sb strings.Builder
+	WriteMetrics(&sb, Stats{
+		Cluster: &RouterStats{ScatterQueries: 4, ShardEarlyStops: 2, Failovers: 1},
+	})
+	body := sb.String()
+	for _, want := range []string{
+		"njoind_cluster_scatter_queries_total 4",
+		"njoind_cluster_shard_early_stops_total 2",
+		"njoind_cluster_failovers_total 1",
+		"# TYPE njoind_cluster_shard_streams_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output lacks %q:\n%s", want, body)
+		}
+	}
+}

@@ -109,6 +109,11 @@ type Config struct {
 	// graph from memory only (its durable state stays on disk and reloads
 	// transparently on next use) instead of failing the load.
 	Store *store.Store
+
+	// Router, when non-nil, may claim 2-way join requests for cluster
+	// scatter before local resolution (see Router). Requests under a
+	// WithoutRouting context always evaluate locally.
+	Router Router
 }
 
 const (
@@ -335,6 +340,11 @@ type Stats struct {
 	EdgeUpdates int64             `json:"edge_updates,omitempty"`
 	Persistence *store.Counters   `json:"persistence,omitempty"`
 	Generations map[string]uint64 `json:"generations,omitempty"`
+
+	// Cluster surface: present only with a Router configured — scatter
+	// queries coordinated, shard streams opened/early-stopped, failovers,
+	// and placement traffic (see RouterStats).
+	Cluster *RouterStats `json:"cluster,omitempty"`
 }
 
 // relabeledGraph pairs a reordered graph with its id map.
@@ -1115,6 +1125,11 @@ func (s *Join2Stream) Next() (join2.Result, bool, error) {
 		r.Pair.P = s.rl.ToOld(r.Pair.P)
 		r.Pair.Q = s.rl.ToOld(r.Pair.Q)
 	}
+	if s.sess == nil {
+		// Routed (cluster-merged) streams have no session: nothing to record,
+		// no cache to publish to.
+		return r, true, nil
+	}
 	if len(s.drained) < maxCachedPrefix {
 		s.drained = append(s.drained, r)
 	} else {
@@ -1170,7 +1185,7 @@ func (s *Join2Stream) Stop() {
 		// cost-unit estimate of the kernel bucket the stream executed under.
 		s.calib.Observe(s.ctrs.Snapshot(), s.sess.g.NumEdges())
 	}
-	if s.replay == nil && (len(s.drained) > 0 || s.exhausted) {
+	if s.sess != nil && s.replay == nil && (len(s.drained) > 0 || s.exhausted) {
 		cp := make([]join2.Result, len(s.drained))
 		copy(cp, s.drained)
 		// A truncated recording is still a valid prefix, but it is not the
@@ -1187,6 +1202,9 @@ func (s *Service) OpenJoin2(ctx context.Context, graphName string, p, q SetRef, 
 	s.join2Reqs.Add(1)
 	if err := s.admitGate(); err != nil {
 		return nil, err
+	}
+	if st, claimed, err := s.routed(ctx, graphName, p, q, query); claimed {
+		return st, err
 	}
 	rq, err := s.resolveJoin2(graphName, p, q, query)
 	if err != nil {
@@ -1240,6 +1258,17 @@ func (s *Service) Join2Meta(ctx context.Context, graphName string, p, q SetRef, 
 	}
 	if k <= 0 {
 		return nil, meta, fmt.Errorf("service: k must be positive, got %d", k)
+	}
+	if st, claimed, err := s.routed(ctx, graphName, p, q, query); claimed {
+		// A routed join bypasses the local result cache and shed clamping:
+		// the shards apply their own admission and budgets, and the corner
+		// bound already stops their streams at the demanded k.
+		if err != nil {
+			return nil, meta, err
+		}
+		defer st.Stop()
+		res, err := st.NextK(k)
+		return res, meta, err
 	}
 	rq, err := s.resolveJoin2(graphName, p, q, query)
 	if err != nil {
@@ -1768,6 +1797,11 @@ func (s *Service) Stats() Stats {
 	s.picksMu.Unlock()
 	snap := s.counters.Snapshot()
 	free, waiting, rejected := s.adm.snapshot()
+	var cluster *RouterStats
+	if s.cfg.Router != nil {
+		rs := s.cfg.Router.RouterStats()
+		cluster = &rs
+	}
 	var persistence *store.Counters
 	var generations map[string]uint64
 	if s.store != nil {
@@ -1794,6 +1828,7 @@ func (s *Service) Stats() Stats {
 		EdgeUpdates: s.edgeUpdates.Load(),
 		Persistence: persistence,
 		Generations: generations,
+		Cluster:     cluster,
 
 		Join2Requests: s.join2Reqs.Load(),
 		JoinNRequests: s.joinNReqs.Load(),

@@ -1,0 +1,37 @@
+package store
+
+import "repro/internal/graph"
+
+// Shard shipping (cluster mode) reuses the snapshot segment format as its
+// wire representation: a graph placed on a remote peer travels as the exact
+// checksummed bytes a local snapshot would hold, so the receiver gets the
+// same double-checksummed torn/corrupt detection a restart gets, and a
+// received segment can be handed to a node's own durable store unchanged.
+
+// Segment describes one decoded segment image.
+type Segment struct {
+	Name  string
+	Gen   uint64
+	Graph *graph.Graph
+	Sets  []*graph.NodeSet
+}
+
+// EncodeSegment serializes a graph (plus node sets) into the store's
+// checksummed segment format at the given generation — the byte-exact image
+// writeSegment persists. Cluster placement ships these bytes to shard
+// owners.
+func EncodeSegment(name string, gen uint64, g *graph.Graph, sets []*graph.NodeSet) []byte {
+	return encodeSegment(name, gen, g, sets)
+}
+
+// DecodeSegment validates and decodes a segment image produced by
+// EncodeSegment (or read from a store's .seg file). Corruption anywhere —
+// header, payload checksum, structure — returns ErrCorruptSegment;
+// future-version segments return ErrIncompatibleSegment.
+func DecodeSegment(b []byte) (*Segment, error) {
+	sd, err := decodeSegment(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{Name: sd.name, Gen: sd.gen, Graph: sd.g, Sets: sd.sets}, nil
+}
