@@ -539,6 +539,45 @@ func benchSet() []spec {
 			}
 		}
 	}
+	// The measure pair: the same served top-50 workload under the two
+	// non-default kernels. PPR runs the walk machinery with the reach fold
+	// (ServiceJoin2ColdResults is the dht-measure twin); SimRank runs
+	// SR-SCAN on a smaller graph — the dense fixed point is resolved by a
+	// warm-up query outside the timed region, so the number prices the
+	// steady state njoind serves: a heap scan over the cached matrix.
+	measureJoinBench := func(measureName string) func(b *testing.B) {
+		return func(b *testing.B) {
+			var cfg join2.Config
+			if measureName == "simrank" {
+				g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+					Sizes: []int{250, 250}, PIn: 0.02, POut: 0.01, Directed: true, Seed: 3, MinOutLink: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg = join2.Config{Graph: g, P: sets[0].Nodes()[:100], Q: sets[1].Nodes()[:100]}
+			} else {
+				cfg = joinCfg(b)
+			}
+			svc := service.New(service.Config{ResultCacheSize: -1})
+			if err := svc.LoadGraph("g", cfg.Graph, nil); err != nil {
+				b.Fatal(err)
+			}
+			p := service.SetRef{IDs: cfg.P}
+			q := service.SetRef{IDs: cfg.Q}
+			qy := service.Query{MeasureName: measureName}
+			ctx := context.Background()
+			if _, err := svc.Join2(ctx, "g", p, q, 50, qy); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Join2(ctx, "g", p, q, 50, qy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
 	// The cluster scatter bench: the ServiceJoin2 workload through a real
 	// 3-node in-process cluster — three services, three loopback RPC
 	// listeners, the graph sharded 3 ways with 2 replicas — so the number
@@ -634,6 +673,8 @@ func benchSet() []spec {
 		{"FastFBJTop50", fastJoinTop50()},
 		{"FastFig7a", fastFig7a()},
 		{"CertifiedFullRanking", plannerFull("B-BJ-fast")},
+		{"PPRJoinTop50", measureJoinBench("ppr")},
+		{"SimRankJoinTop50", measureJoinBench("simrank")},
 		{"ClusterScatterTop50", clusterScatterBench()},
 	}
 }

@@ -11,11 +11,15 @@
 //	njoin -graph yeast.graph -sets 3-U,5-F,8-D -shape triangle -k 5
 //	njoin -graph yeast.graph -sets 3-U,5-F,8-D -agg SUM -algo pj -m 100
 //	njoin -graph yeast.graph -sets 3-U,8-D -k 10 -explain         # plan only
+//	njoin -graph yeast.graph -sets 3-U,5-F,8-D -measure simrank -k 5
 //
 // By default (-algo auto) the cost-based planner picks the evaluation
 // algorithm from the graph's structural stats and the query shape; -explain
 // prints the chosen plan and the per-candidate cost table without running
-// the join.
+// the join. -measure selects a scoring measure from the registry
+// (internal/measure): walk measures reuse the DHT executors with the
+// kernel's walk kind, while matrix measures such as simrank plan onto
+// their dedicated executors (SR-AP).
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dht"
 	"repro/internal/graph"
+	"repro/internal/measure"
 	"repro/internal/plan"
 	"repro/internal/rankjoin"
 )
@@ -43,6 +48,7 @@ func main() {
 		accuracy  = flag.String("accuracy", "exact", "planner kernel contract: exact | fast (certified fast kernel; identical answers)")
 		explain   = flag.Bool("explain", false, "print the chosen plan and cost table without running the join")
 		aggName   = flag.String("agg", "MIN", "aggregate: SUM | MIN | MAX | AVG")
+		measureID = flag.String("measure", "", "scoring measure from the registry: dht | reach | ppr | simrank (default \"dht\")")
 		lambda    = flag.Float64("lambda", 0.2, "DHTλ decay factor")
 		useDHTE   = flag.Bool("dhte", false, "use the DHTe measure instead of DHTλ")
 		usePPR    = flag.Bool("ppr", false, "join over Personalized PageRank (reach measure) with -lambda as damping factor")
@@ -51,13 +57,13 @@ func main() {
 		quiet     = flag.Bool("q", false, "print answers only, no timing")
 	)
 	flag.Parse()
-	if err := run(*graphPath, *setNames, *shape, *k, *m, *algo, *accuracy, *aggName, *lambda, *useDHTE, *usePPR, *eps, *limit, *quiet, *explain); err != nil {
+	if err := run(*graphPath, *setNames, *shape, *k, *m, *algo, *accuracy, *aggName, *measureID, *lambda, *useDHTE, *usePPR, *eps, *limit, *quiet, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "njoin:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, setNames, shape string, k, m int, algo, accuracy, aggName string, lambda float64, useDHTE, usePPR bool, eps float64, limit int, quiet, explain bool) error {
+func run(graphPath, setNames, shape string, k, m int, algo, accuracy, aggName, measureID string, lambda float64, useDHTE, usePPR bool, eps float64, limit int, quiet, explain bool) error {
 	if graphPath == "" || setNames == "" {
 		return fmt.Errorf("-graph and -sets are required (see -h)")
 	}
@@ -107,8 +113,14 @@ func run(graphPath, setNames, shape string, k, m int, algo, accuracy, aggName st
 	if err != nil {
 		return err
 	}
-	params := dht.DHTLambda(lambda)
-	measure := dht.FirstHit
+	// Resolve the measure kernel first ("" defaults to dht); its registered
+	// defaults apply before the DHTλ fallback, mirroring the serving layer.
+	kern, err := measure.Lookup(measureID)
+	if err != nil {
+		return err
+	}
+	var params dht.Params
+	walkKind := dht.FirstHit
 	switch {
 	case useDHTE && usePPR:
 		return fmt.Errorf("-dhte and -ppr are mutually exclusive")
@@ -116,7 +128,15 @@ func run(graphPath, setNames, shape string, k, m int, algo, accuracy, aggName st
 		params = dht.DHTE()
 	case usePPR:
 		params = dht.PPR(lambda)
-		measure = dht.Reach
+		walkKind = dht.Reach
+	}
+	params = kern.ResolveParams(params)
+	if params == (dht.Params{}) {
+		params = dht.DHTLambda(lambda)
+	}
+	// An explicit -measure wins over the walk kind -ppr implies.
+	if measureID != "" && kern.WalkBased {
+		walkKind = kern.Walk
 	}
 	spec := core.Spec{
 		Graph:   g,
@@ -125,7 +145,7 @@ func run(graphPath, setNames, shape string, k, m int, algo, accuracy, aggName st
 		D:       params.StepsForEpsilon(eps),
 		Agg:     agg,
 		K:       k,
-		Measure: measure,
+		Measure: walkKind,
 	}
 
 	// Resolve the -algo flag to a registered executor name ("" = planner).
@@ -147,7 +167,7 @@ func run(graphPath, setNames, shape string, k, m int, algo, accuracy, aggName st
 	if err != nil {
 		return err
 	}
-	w := plan.Workload{Stats: g.Stats(), K: k, M: m, D: spec.D, Accuracy: acc}
+	w := plan.Workload{Stats: g.Stats(), K: k, M: m, D: spec.D, Accuracy: acc, Measure: kern.PlanMeasure}
 	for _, s := range chosen {
 		w.SetSizes = append(w.SetSizes, s.Len())
 	}

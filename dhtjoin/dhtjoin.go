@@ -61,6 +61,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/graph"
 	"repro/internal/join2"
+	"repro/internal/measure"
 	"repro/internal/rankjoin"
 	"repro/internal/simrank"
 )
@@ -142,8 +143,15 @@ type Options struct {
 	// Measure selects the walk measure: MeasureDHT (first-hit, the paper's
 	// default) or MeasureReach (reach probabilities, for Personalized
 	// PageRank via the PPR params — the extension named in the paper's
-	// conclusion).
+	// conclusion). Ignored when MeasureName is set.
 	Measure Measure
+	// MeasureName selects a registered proximity measure by name ("dht",
+	// "reach", "ppr", "simrank"; Measures lists them). It subsumes Measure:
+	// the kernel fixes the walk kind, the customary parameterization (e.g.
+	// "ppr" defaults zero-value Params to PPR(0.5)), and — for measures with
+	// dedicated executors, like "simrank" — the planner's executor set.
+	// Empty means "dht". Unknown names fail with ErrUnknownMeasure.
+	MeasureName string
 	// Workers enables the worker-pool extensions: per-edge 2-way joins run
 	// concurrently and each backward join spreads its per-target walks over
 	// that many goroutines. 0 (the default) and 1 evaluate serially, as in
@@ -214,16 +222,30 @@ const (
 func PPR(c float64) Params { return dht.PPR(c) }
 
 func (o *Options) resolve() (Params, int, Aggregate, int, error) {
+	_, p, d, agg, m, err := o.resolveMeasure()
+	return p, d, agg, m, err
+}
+
+// resolveMeasure resolves the measure kernel alongside the defaults. The
+// kernel goes first because it owns the customary parameterization: "ppr"
+// defaults zero-value Params to PPR(0.5) before the DHTλ(0.2) fallback.
+// This must stay in lockstep with service.Query.resolve, which serves the
+// same options over the wire.
+func (o *Options) resolveMeasure() (measure.Kernel, Params, int, Aggregate, int, error) {
 	opts := Options{}
 	if o != nil {
 		opts = *o
 	}
-	p := opts.Params
+	kern, err := measure.Lookup(opts.MeasureName)
+	if err != nil {
+		return measure.Kernel{}, Params{}, 0, nil, 0, err
+	}
+	p := kern.ResolveParams(opts.Params)
 	if p == (Params{}) {
 		p = dht.DHTLambda(0.2)
 	}
 	if err := p.Validate(); err != nil {
-		return Params{}, 0, nil, 0, err
+		return measure.Kernel{}, Params{}, 0, nil, 0, err
 	}
 	d := opts.D
 	if d == 0 {
@@ -234,7 +256,7 @@ func (o *Options) resolve() (Params, int, Aggregate, int, error) {
 		d = p.StepsForEpsilon(eps)
 	}
 	if d < 1 {
-		return Params{}, 0, nil, 0, fmt.Errorf("dhtjoin: depth d must be >= 1, got %d", d)
+		return measure.Kernel{}, Params{}, 0, nil, 0, fmt.Errorf("dhtjoin: depth d must be >= 1, got %d", d)
 	}
 	agg := opts.Agg
 	if agg == nil {
@@ -245,10 +267,28 @@ func (o *Options) resolve() (Params, int, Aggregate, int, error) {
 		m = 50
 	}
 	if m < 0 {
-		return Params{}, 0, nil, 0, fmt.Errorf("dhtjoin: m must be >= 0, got %d", m)
+		return measure.Kernel{}, Params{}, 0, nil, 0, fmt.Errorf("dhtjoin: m must be >= 0, got %d", m)
 	}
-	return p, d, agg, m, nil
+	return kern, p, d, agg, m, nil
 }
+
+// walkKind resolves the step-probability kind the walk engines fold: an
+// explicit measure name fixes it from the kernel (so "ppr" folds reach
+// probabilities regardless of the Measure field), otherwise the legacy
+// Measure field applies unchanged.
+func (o *Options) walkKind(kern measure.Kernel) dht.Kind {
+	if o == nil {
+		return MeasureDHT
+	}
+	if o.MeasureName != "" && kern.WalkBased {
+		return kern.Walk
+	}
+	return o.Measure
+}
+
+// Measures lists the registered proximity-measure names — the valid values
+// of Options.MeasureName and Query.WithMeasure.
+func Measures() []string { return measure.Names() }
 
 // TopKPairs runs a top-k 2-way join from P to Q, returning the k pairs with
 // the highest DHT scores in descending order. The evaluation algorithm is
@@ -262,42 +302,63 @@ func TopKPairs(g *Graph, p, q *NodeSet, k int, opts *Options) ([]PairResult, err
 	return NewPairQuery(g, p, q).WithOptions(opts).TopKPairs(context.Background(), k)
 }
 
-// Score computes the truncated DHT score h_d(u, v) directly.
+// Score computes the truncated proximity score of (u, v) directly —
+// h_d(u, v) under the default DHT measure, or whatever Options.MeasureName
+// selects.
 func Score(g *Graph, u, v NodeID, opts *Options) (float64, error) {
-	params, d, _, _, err := opts.resolve()
+	kern, params, d, _, _, err := opts.resolveMeasure()
 	if err != nil {
 		return 0, err
+	}
+	if !kern.WalkBased {
+		ev, err := kern.NewEvaluator(g, params, d)
+		if err != nil {
+			return 0, err
+		}
+		var dst [1]float64
+		if err := ev.ScoresInto(u, []NodeID{v}, d, dst[:]); err != nil {
+			return 0, err
+		}
+		return dst[0], nil
 	}
 	e, err := dht.NewEngine(g, params, d)
 	if err != nil {
 		return 0, err
 	}
-	kind := MeasureDHT
-	if opts != nil {
-		kind = opts.Measure
-	}
-	return e.ForwardScoreKind(kind, u, v, d), nil
+	return e.ForwardScoreKind(opts.walkKind(kern), u, v, d), nil
 }
 
-// ScoresFrom computes h_d(u, v) for every node u at once via one backward
-// walk to v; out must have length g.NumNodes() (or be nil to allocate).
+// ScoresFrom computes the score of (u, v) for every node u at once — one
+// backward walk to v for the walk measures, one evaluated column for the
+// matrix ones (SimRank is symmetric, so its column equals its row). out
+// must have length g.NumNodes() (or be nil to allocate).
 func ScoresFrom(g *Graph, v NodeID, opts *Options, out []float64) ([]float64, error) {
-	params, d, _, _, err := opts.resolve()
-	if err != nil {
-		return nil, err
-	}
-	e, err := dht.NewEngine(g, params, d)
+	kern, params, d, _, _, err := opts.resolveMeasure()
 	if err != nil {
 		return nil, err
 	}
 	if out == nil {
 		out = make([]float64, g.NumNodes())
 	}
-	kind := MeasureDHT
-	if opts != nil {
-		kind = opts.Measure
+	if !kern.WalkBased {
+		ev, err := kern.NewEvaluator(g, params, d)
+		if err != nil {
+			return nil, err
+		}
+		targets := make([]NodeID, g.NumNodes())
+		for i := range targets {
+			targets[i] = NodeID(i)
+		}
+		if err := ev.ScoresInto(v, targets, d, out); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
-	e.BackWalkKind(kind, v, d, out)
+	e, err := dht.NewEngine(g, params, d)
+	if err != nil {
+		return nil, err
+	}
+	e.BackWalkKind(opts.walkKind(kern), v, d, out)
 	return out, nil
 }
 

@@ -3,6 +3,7 @@ package dhtjoin
 import (
 	"errors"
 
+	"repro/internal/measure"
 	"repro/internal/service"
 )
 
@@ -42,10 +43,17 @@ var (
 	ErrUnknownAlgorithm = errors.New("dhtjoin: unknown algorithm hint")
 
 	// ErrHintConflict reports hints that contradict the query: a 2-way
-	// algorithm forced onto an n-way query (or vice versa), or an invalid
-	// relabel mode.
+	// algorithm forced onto an n-way query (or vice versa), an algorithm
+	// dedicated to a different measure, or an invalid relabel mode.
 	ErrHintConflict = errors.New("dhtjoin: hint conflicts with the query")
 )
+
+// ErrUnknownMeasure reports an Options.MeasureName (or Query.WithMeasure
+// argument) naming no registered proximity measure; Measures lists the
+// valid names. It is the registry's own sentinel, re-exported so callers
+// can branch with errors.Is without importing internal packages — njoind
+// maps it to HTTP 400.
+var ErrUnknownMeasure = measure.ErrUnknownMeasure
 
 // Serving-layer sentinels, re-exported so callers of the Service facade can
 // branch with errors.Is without importing internal packages. They are the

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/join2"
+	"repro/internal/measure"
 	"repro/internal/plan"
 )
 
@@ -82,17 +83,35 @@ type PlanEstimate = plan.Estimate
 
 // Algorithms2Way and AlgorithmsNWay list the registered executor names of
 // each query class, in registry (alphabetical) order — the valid values of
-// Hints.Algorithm.
-func Algorithms2Way() []string { return algorithmNames(plan.TwoWay) }
+// Hints.Algorithm for a walk-measure query (the default). Executors
+// dedicated to another measure (SimRank's SR-SCAN / SR-AP) are excluded:
+// forcing one onto a query that does not select their measure is an
+// ErrHintConflict, and AlgorithmsForMeasure lists them instead.
+func Algorithms2Way() []string { return algorithmNames(plan.TwoWay, "") }
 
-// AlgorithmsNWay lists the registered n-way executor names.
-func AlgorithmsNWay() []string { return algorithmNames(plan.NWay) }
+// AlgorithmsNWay lists the registered n-way executor names; see
+// Algorithms2Way.
+func AlgorithmsNWay() []string { return algorithmNames(plan.NWay, "") }
 
-func algorithmNames(class plan.Class) []string {
+// AlgorithmsForMeasure lists the 2-way and n-way executor names a query
+// with the named measure may force via Hints.Algorithm. The empty name
+// selects "dht"; every walk measure shares the walk executor family, while
+// e.g. "simrank" gets its dedicated SR-SCAN / SR-AP.
+func AlgorithmsForMeasure(name string) (twoWay, nWay []string, err error) {
+	kern, err := measure.Lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return algorithmNames(plan.TwoWay, kern.PlanMeasure), algorithmNames(plan.NWay, kern.PlanMeasure), nil
+}
+
+func algorithmNames(class plan.Class, planMeasure string) []string {
 	ds := plan.Executors(class)
-	out := make([]string, len(ds))
-	for i, d := range ds {
-		out[i] = d.Name
+	out := make([]string, 0, len(ds))
+	for _, d := range ds {
+		if d.Measure == planMeasure {
+			out = append(out, d.Name)
+		}
 	}
 	return out
 }
@@ -123,6 +142,35 @@ func (qy *Query) WithOptions(opts *Options) *Query {
 	return &cp
 }
 
+// WithMeasure returns a copy of the query evaluating the named registered
+// proximity measure ("dht", "reach", "ppr", "simrank"; Measures lists
+// them). It is shorthand for setting Options.MeasureName — a later
+// WithOptions replaces it. The empty name selects "dht", the paper's
+// measure; an unknown name fails Validate (and every entry point) with
+// ErrUnknownMeasure.
+func (qy *Query) WithMeasure(name string) *Query {
+	cp := *qy
+	o := Options{}
+	if qy.opts != nil {
+		o = *qy.opts
+	}
+	o.MeasureName = name
+	cp.opts = &o
+	return &cp
+}
+
+// kernel resolves the query's measure kernel. Callers run it only after
+// Validate has accepted the options, so lookup cannot fail here; an unknown
+// name yields the zero kernel, which plans like the walk family.
+func (qy *Query) kernel() measure.Kernel {
+	var name string
+	if qy.opts != nil {
+		name = qy.opts.MeasureName
+	}
+	kern, _ := measure.Lookup(name)
+	return kern
+}
+
 // Validate checks the query's inputs without executing it, returning the
 // package's typed errors (wrapped, so use errors.Is).
 func (qy *Query) Validate() error {
@@ -150,7 +198,9 @@ func (qy *Query) Validate() error {
 		return fmt.Errorf("%w: %v", ErrInvalidQueryGraph, err)
 	}
 	if _, _, _, _, err := qy.opts.resolve(); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		// %w twice keeps the cause inspectable — errors.Is still matches
+		// ErrUnknownMeasure through the ErrInvalidOptions wrapper.
+		return fmt.Errorf("%w: %w", ErrInvalidOptions, err)
 	}
 	if _, err := qy.accuracy(); err != nil {
 		return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
@@ -176,8 +226,8 @@ func (qy *Query) validateHints() error {
 	if qy.hints.Algorithm == "" {
 		return nil
 	}
-	if err := plan.ValidateForced(qy.class(), qy.hints.Algorithm); err != nil {
-		if errors.Is(err, plan.ErrWrongClass) {
+	if err := plan.ValidateForced(qy.class(), qy.hints.Algorithm, qy.kernel().PlanMeasure); err != nil {
+		if errors.Is(err, plan.ErrWrongClass) || errors.Is(err, plan.ErrWrongMeasure) {
 			return fmt.Errorf("%w: %v", ErrHintConflict, err)
 		}
 		return fmt.Errorf("%w: %v", ErrUnknownAlgorithm, err)
@@ -217,6 +267,7 @@ func (qy *Query) knobs() (workers, batchWidth int, relabel RelabelMode) {
 func (qy *Query) workload(d, k, m int) plan.Workload {
 	workers, batchWidth, _ := qy.knobs()
 	w := plan.Workload{Stats: qy.g.Stats(), K: k, M: m, D: d, Workers: workers, BatchWidth: batchWidth}
+	w.Measure = qy.kernel().PlanMeasure
 	// Invalid accuracy spellings were rejected at Validate/open time; a
 	// parse failure here can only leave the conservative Exact default.
 	w.Accuracy, _ = qy.accuracy()
@@ -238,7 +289,7 @@ func (qy *Query) workload(d, k, m int) plan.Workload {
 func (qy *Query) decide(d, k, m int) (*QueryPlan, error) {
 	pl, err := plan.Decide(qy.class(), qy.workload(d, k, m), qy.hints.Algorithm)
 	if err != nil {
-		if errors.Is(err, plan.ErrWrongClass) {
+		if errors.Is(err, plan.ErrWrongClass) || errors.Is(err, plan.ErrWrongMeasure) {
 			return nil, fmt.Errorf("%w: %v", ErrHintConflict, err)
 		}
 		return nil, fmt.Errorf("%w: %v", ErrUnknownAlgorithm, err)
@@ -305,7 +356,7 @@ func (qy *Query) openPairs(ctx context.Context, initial int, batch bool) (*PairS
 	if qy.join != nil {
 		return nil, fmt.Errorf("%w: 2-way stream requested for an n-way query", ErrQueryForm)
 	}
-	params, d, _, m, err := qy.opts.resolve()
+	kern, params, d, _, m, err := qy.opts.resolveMeasure()
 	if err != nil {
 		return nil, err
 	}
@@ -329,9 +380,7 @@ func (qy *Query) openPairs(ctx context.Context, initial int, batch bool) (*PairS
 	// (or an expired budget) stops the join mid-round instead of only
 	// between pulls. context.Cause is nil while the ctx is live.
 	cfg.Cancel = func() error { return context.Cause(ctx) }
-	if qy.opts != nil {
-		cfg.Measure = qy.opts.Measure
-	}
+	cfg.Measure = qy.opts.walkKind(kern)
 	rl := relabelPairConfig(&cfg, relabel)
 	st, err := join2.NewNamedStream(pl.Algorithm, cfg, join2.StreamSpec{Initial: initial}, batch)
 	if err != nil {
@@ -452,7 +501,7 @@ func (qy *Query) openAnswers(ctx context.Context, initial int) (*AnswerStream, e
 	if qy.join == nil {
 		return nil, fmt.Errorf("%w: n-way stream requested for a 2-way query", ErrQueryForm)
 	}
-	params, d, agg, m, err := qy.opts.resolve()
+	kern, params, d, agg, m, err := qy.opts.resolveMeasure()
 	if err != nil {
 		return nil, err
 	}
@@ -473,8 +522,8 @@ func (qy *Query) openAnswers(ctx context.Context, initial int) (*AnswerStream, e
 	spec.BatchWidth = batchWidth
 	if qy.opts != nil {
 		spec.Distinct = qy.opts.Distinct
-		spec.Measure = qy.opts.Measure
 	}
+	spec.Measure = qy.opts.walkKind(kern)
 	ctx, cancel := qy.budgetContext(ctx)
 	spec.Cancel = func() error { return context.Cause(ctx) }
 	rl := relabelSpec(&spec, relabel)

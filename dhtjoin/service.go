@@ -74,18 +74,19 @@ func toQuery(o *Options) service.Query {
 		return service.Query{}
 	}
 	q := service.Query{
-		Params:     o.Params,
-		Epsilon:    o.Epsilon,
-		D:          o.D,
-		Measure:    o.Measure,
-		Agg:        o.Agg,
-		M:          o.M,
-		Distinct:   o.Distinct,
-		Workers:    o.Workers,
-		BatchWidth: o.BatchWidth,
-		Relabel:    o.Relabel,
-		Tenant:     o.Tenant,
-		Budget:     o.Budget,
+		Params:      o.Params,
+		Epsilon:     o.Epsilon,
+		D:           o.D,
+		Measure:     o.Measure,
+		MeasureName: o.MeasureName,
+		Agg:         o.Agg,
+		M:           o.M,
+		Distinct:    o.Distinct,
+		Workers:     o.Workers,
+		BatchWidth:  o.BatchWidth,
+		Relabel:     o.Relabel,
+		Tenant:      o.Tenant,
+		Budget:      o.Budget,
 	}
 	if o.LowPriority {
 		q.Priority = service.PriorityBatch

@@ -2,9 +2,16 @@
 // protein-interaction edges between the two largest Yeast classes, rank the
 // candidate pairs with a 2-way DHT join on the remaining graph, and measure
 // how well the ranking rediscovers the hidden interactions (ROC / AUC).
+//
+// The predictions are served, not computed offline: the test graph is loaded
+// into an embedded serving stack (the same internal/service njoind runs) and
+// the rankings come back through measure-named queries — first under the
+// paper's DHT, then under personalized PageRank for comparison — so repeated
+// queries share the service's engines, memos, and result cache.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,27 +45,53 @@ func main() {
 		fmt.Printf("  %.2f → %.3f\n", fpr, tprAt(res.ROC, fpr))
 	}
 
-	// The actionable output: the top predicted missing interactions.
-	top, err := dhtjoin.TopKPairs(testG, p, q, 200, nil)
+	// Serve the actionable output. The service resolves "measure" through
+	// the registry exactly like njoind's HTTP endpoints do.
+	svc := dhtjoin.NewService(dhtjoin.ServiceConfig{})
+	if err := svc.LoadGraph("yeast-test", testG, p, q); err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fmt.Println("\ntop predicted new interactions (served, measure=dht):")
+	top, err := svc.TopKPairs(ctx, "yeast-test", p, q, 200, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\ntop predicted new interactions (not in the test graph):")
-	shown := 0
+	hidden := printPredictions(yeast, testG, top, 10)
+
+	// The same served query under personalized PageRank: one options field
+	// switches the kernel, the admission/caching path stays identical.
+	pprTop, err := svc.TopKPairs(ctx, "yeast-test", p, q, 200, &dhtjoin.Options{MeasureName: "ppr"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop predicted new interactions (served, measure=ppr):")
+	pprHidden := printPredictions(yeast, testG, pprTop, 10)
+	fmt.Printf("\nhidden edges recovered in the top 10 predictions: dht %d, ppr %d\n",
+		hidden, pprHidden)
+}
+
+// printPredictions lists the first n ranked pairs that are candidate links
+// (absent from the test graph) and reports how many are hidden true edges.
+func printPredictions(full *dataset.Dataset, testG *dhtjoin.Graph, top []dhtjoin.PairResult, n int) int {
+	shown, hits := 0, 0
 	for _, r := range top {
 		if testG.HasEdge(r.Pair.P, r.Pair.Q) || r.Pair.P == r.Pair.Q {
 			continue
 		}
 		verdict := "miss"
-		if yeast.Graph.HasEdge(r.Pair.P, r.Pair.Q) {
+		if full.Graph.HasEdge(r.Pair.P, r.Pair.Q) {
 			verdict = "HIT (hidden edge recovered)"
+			hits++
 		}
 		fmt.Printf("  protein %4d – protein %4d   h=%.4f   %s\n", r.Pair.P, r.Pair.Q, r.Score, verdict)
 		shown++
-		if shown == 10 {
+		if shown == n {
 			break
 		}
 	}
+	return hits
 }
 
 func tprAt(roc []eval.Point, fpr float64) float64 {

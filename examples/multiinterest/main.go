@@ -2,9 +2,16 @@
 // photographer, wants a group with one hobbyist from each of five sports,
 // everyone close to her photography community. A 6-way star join with the
 // photography group at the centre answers it in one query.
+//
+// The query is served: the social graph lives in an embedded serving stack
+// (the same internal/service njoind runs), the star join is a service call,
+// and the scoring measure is named per query through the measure registry —
+// the paper's DHT first, then personalized PageRank over the identical
+// query, so the two rosters are directly comparable.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,16 +40,37 @@ func main() {
 		sets[i] = dhtjoin.NewNodeSet(sports[i], s.Nodes())
 	}
 
+	svc := dhtjoin.NewService(dhtjoin.ServiceConfig{})
+	if err := svc.LoadGraph("youtube", yt.Graph); err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	// Star query: each sports group points at the photography centre; MIN
-	// makes the weakest tie to the centre the ranking criterion.
+	// makes the weakest tie to the centre the ranking criterion. Groups
+	// overlap (a user can like two sports), so ask for distinct users.
 	query := dhtjoin.Star(sets[0], sets[1:]...)
-	// Groups overlap (a user can like two sports), so ask for distinct users.
-	answers, err := dhtjoin.TopK(yt.Graph, query, 5, &dhtjoin.Options{Agg: dhtjoin.Min, M: 30, Distinct: true})
+	opts := dhtjoin.Options{Agg: dhtjoin.Min, M: 30, Distinct: true}
+	answers, err := svc.TopK(ctx, "youtube", query, 5, &opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	printRosters("measure=dht", sports, answers)
 
-	fmt.Println("\ntop-5 multi-interest group rosters (star query, MIN):")
+	// The identical served query under personalized PageRank: naming the
+	// measure is the only change, and the registry resolves the kernel's
+	// own default parameters (damping 0.5).
+	pprOpts := opts
+	pprOpts.MeasureName = "ppr"
+	pprAnswers, err := svc.TopK(ctx, "youtube", query, 5, &pprOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printRosters("measure=ppr", sports, pprAnswers)
+}
+
+func printRosters(measure string, sports []string, answers []dhtjoin.Answer) {
+	fmt.Printf("\ntop-5 multi-interest group rosters (star query, MIN, %s):\n", measure)
 	for i, a := range answers {
 		fmt.Printf("  roster %d (f=%.4f):\n", i+1, a.Score)
 		for j, node := range a.Nodes {

@@ -28,7 +28,10 @@ func main() {
 	}
 
 	dhtOpts := &dhtjoin.Options{Params: dhtjoin.DHTLambda(0.2)}
-	pprOpts := &dhtjoin.Options{Params: dhtjoin.PPR(0.5), Measure: dhtjoin.MeasureReach}
+	// Naming the measure pulls params and walk kind from the registry
+	// (ppr defaults to damping 0.5 over the reach fold) — the registered
+	// spelling of the old {Params: PPR(0.5), Measure: MeasureReach} pair.
+	pprOpts := &dhtjoin.Options{MeasureName: "ppr"}
 
 	dhtPairs, err := dhtjoin.TopKPairs(yeast.Graph, p3u, p8d, 10, dhtOpts)
 	if err != nil {

@@ -1,0 +1,244 @@
+// Package measure is the proximity-measure registry: the generalization
+// that turns "one paper's operator" into a graph-proximity query engine. A
+// measure is a named kernel — a score-column evaluator, a monotone rank-join
+// bound function, and a declared accuracy contract — mirroring the
+// plan.Descriptor idiom for executors. The execution layers resolve a
+// measure name once (dhtjoin.Query.WithMeasure, the service's "measure"
+// wire option, njoin's -measure flag) and thread the kernel's walk kind,
+// default parameters, and planner measure key through the existing planner
+// and executor machinery.
+//
+// Registered measures come in two families:
+//
+//   - Walk-based (dht, reach, ppr): scores are folds over step
+//     probabilities of the truncated random walk, computed by the
+//     internal/dht engines. They share every registered walk executor —
+//     selecting among them changes the Kind and Params threaded into the
+//     engines, never the executor set — which is why "dht" through the
+//     registry is bit-identical to the pre-registry direct path.
+//   - Matrix-based (simrank): scores come from a fixed-point iteration the
+//     walk form cannot express. These declare their own planner measure key
+//     and bring their own executors (SR-SCAN, SR-AP).
+//
+// The rank-join machinery requires exactly one analytic property of a
+// measure: Bound(p, l) must be a monotone non-increasing upper bound on the
+// score mass any pair can still gain past depth l. Every corner-bound early
+// stop and certified-ε band in the join stack is sound for any kernel
+// satisfying it.
+//
+// Import shape: measure sits above the measure implementations (dht, ppr,
+// simrank) and below the execution facades (dhtjoin, internal/service).
+// The operator packages (join2, core) do NOT import it — they stay keyed on
+// the small dht.Kind + Params config they always had, which is what keeps
+// the walk hot paths untouched.
+package measure
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dht"
+	"repro/internal/graph"
+)
+
+// Contract declares how a kernel's scores relate to the measure's exact
+// value.
+type Contract int
+
+const (
+	// Exact kernels compute the measure's defining truncated value with
+	// float64 reference arithmetic — the same numbers the equivalence
+	// suites pin bit-identically.
+	Exact Contract = iota
+	// CertifiedEps kernels compute an approximation with a stated uniform
+	// error bound (Kernel.Eps): every score is within ε of the exact value,
+	// and rankings are certified only up to score gaps larger than 2ε.
+	CertifiedEps
+)
+
+// String names the contract.
+func (c Contract) String() string {
+	if c == CertifiedEps {
+		return "certified-eps"
+	}
+	return "exact"
+}
+
+// MarshalJSON renders the contract as its string form.
+func (c Contract) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", c.String())), nil
+}
+
+// ErrUnknownMeasure reports a measure name no package registered; callers
+// branch with errors.Is (njoind maps it to HTTP 400).
+var ErrUnknownMeasure = errors.New("measure: unknown measure")
+
+// Evaluator computes one measure's score columns. Implementations are not
+// required to be safe for concurrent use; callers own one evaluator per
+// goroutine (the engine-pool discipline the walk joiners already follow).
+type Evaluator interface {
+	// ScoresInto fills dst[i] with the measure score from src to
+	// targets[i], evaluated at depth l (walk measures truncate the series
+	// at l; fixed-point measures resolve depth at construction and ignore
+	// it). dst must have len(targets).
+	ScoresInto(src graph.NodeID, targets []graph.NodeID, l int, dst []float64) error
+}
+
+// Kernel is one registered proximity measure.
+type Kernel struct {
+	// Name is the wire/flag spelling ("dht", "reach", "ppr", "simrank").
+	Name string
+
+	// Contract declares the accuracy contract of the kernel's evaluator.
+	Contract Contract
+
+	// Eps, for CertifiedEps kernels, returns the certified uniform error
+	// bound of the evaluator at depth d. Nil for Exact kernels.
+	Eps func(p dht.Params, d int) float64
+
+	// WalkBased marks the walk family: scores fold step probabilities of
+	// the truncated walk, so the measure executes on the shared walk
+	// executors with Walk and (defaulted) Params threaded into the engines.
+	WalkBased bool
+
+	// Walk is the step-probability kind walk-based kernels fold
+	// (dht.FirstHit or dht.Reach). Meaningless when !WalkBased.
+	Walk dht.Kind
+
+	// PlanMeasure is the planner's Workload/Descriptor measure key for this
+	// kernel: empty for the walk family (they share the walk executors),
+	// the measure name for kernels with dedicated executors.
+	PlanMeasure string
+
+	// DefaultParams resolves zero-value caller params to the measure's
+	// customary parameterization (e.g. ppr → dht.PPR(0.5)). Non-zero caller
+	// params always win. Nil means the caller's resolution applies
+	// unchanged (the dht default, DHTλ(0.2), lives in the facades).
+	DefaultParams func(p dht.Params) dht.Params
+
+	// NewEvaluator builds the kernel's score-column evaluator for a graph
+	// at parameters p and depth d.
+	NewEvaluator func(g *graph.Graph, p dht.Params, d int) (Evaluator, error)
+
+	// NewApprox, when non-nil, builds the kernel's certified approximate
+	// evaluator (e.g. ppr forward push at residual threshold eps),
+	// returning the evaluator and its certified uniform error bound.
+	NewApprox func(g *graph.Graph, p dht.Params, eps float64) (Evaluator, float64, error)
+
+	// Bound returns an upper bound on the score mass any pair can still
+	// gain past depth l. It MUST be monotone non-increasing in l — the
+	// rank-join corner bounds and the iterative deepeners' pruning are
+	// sound only under that property (it is what lets a prefix of the walk
+	// certify a final ranking).
+	Bound func(p dht.Params, l int) float64
+
+	// Doc is the one-line description GET /measures serves.
+	Doc string
+}
+
+// registry holds the kernels by name; registration happens in this
+// package's init (and tests'), mirroring the plan registry idiom.
+var registry = struct {
+	sync.RWMutex
+	byName map[string]Kernel
+}{byName: make(map[string]Kernel)}
+
+// Register publishes a measure kernel. It panics on an empty or duplicate
+// name or missing evaluator/bound — registration is init-time wiring, and a
+// broken registry should fail the process, not a query.
+func Register(k Kernel) {
+	if k.Name == "" {
+		panic("measure: Register with empty measure name")
+	}
+	if k.NewEvaluator == nil {
+		panic(fmt.Sprintf("measure: %q registered without an evaluator", k.Name))
+	}
+	if k.Bound == nil {
+		panic(fmt.Sprintf("measure: %q registered without a bound function", k.Name))
+	}
+	if k.Contract == CertifiedEps && k.Eps == nil {
+		panic(fmt.Sprintf("measure: %q declares certified-eps without an Eps function", k.Name))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[k.Name]; dup {
+		panic(fmt.Sprintf("measure: %q registered twice", k.Name))
+	}
+	registry.byName[k.Name] = k
+}
+
+// Lookup resolves a measure by name; the empty name selects "dht", the
+// paper's measure and the system-wide default. Unknown names return an
+// ErrUnknownMeasure-wrapped error listing the registered spellings.
+func Lookup(name string) (Kernel, error) {
+	if name == "" {
+		name = "dht"
+	}
+	registry.RLock()
+	k, ok := registry.byName[name]
+	registry.RUnlock()
+	if !ok {
+		return Kernel{}, fmt.Errorf("%w: %q (registered: %v)", ErrUnknownMeasure, name, Names())
+	}
+	return k, nil
+}
+
+// Names lists the registered measure names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.byName))
+	for n := range registry.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kernels lists the registered kernels sorted by name.
+func Kernels() []Kernel {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Kernel, 0, len(registry.byName))
+	for _, k := range registry.byName {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Info is the wire form of one registered kernel (GET /measures).
+type Info struct {
+	Name     string   `json:"name"`
+	Contract Contract `json:"contract"`
+	Family   string   `json:"family"` // "walk" or "matrix"
+	Walk     string   `json:"walk,omitempty"`
+	Doc      string   `json:"doc"`
+}
+
+// Describe returns the registered kernels in wire form, sorted by name.
+func Describe() []Info {
+	ks := Kernels()
+	out := make([]Info, len(ks))
+	for i, k := range ks {
+		info := Info{Name: k.Name, Contract: k.Contract, Family: "matrix", Doc: k.Doc}
+		if k.WalkBased {
+			info.Family = "walk"
+			info.Walk = k.Walk.String()
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// ResolveParams applies the kernel's default parameterization to
+// caller-supplied params: zero-value params take the kernel default (when
+// the kernel declares one), anything else is returned unchanged.
+func (k Kernel) ResolveParams(p dht.Params) dht.Params {
+	if k.DefaultParams != nil && p == (dht.Params{}) {
+		return k.DefaultParams(p)
+	}
+	return p
+}

@@ -111,6 +111,11 @@ var (
 	// ErrWrongClass reports a forced algorithm of the other query class —
 	// a 2-way joiner forced onto an n-way query or vice versa.
 	ErrWrongClass = errors.New("plan: executor does not evaluate this query class")
+
+	// ErrWrongMeasure reports a forced algorithm that does not evaluate the
+	// workload's proximity measure — a walk executor forced onto a SimRank
+	// query or vice versa.
+	ErrWrongMeasure = errors.New("plan: executor does not evaluate this measure")
 )
 
 // CostFunc estimates the work of one executor on a workload, in edge
@@ -139,6 +144,15 @@ type Descriptor struct {
 	// unforced Decide only considers them when the workload's Accuracy is
 	// Fast.
 	Certified bool
+
+	// Measure names the proximity measure the executor evaluates. Empty
+	// means the walk family: the executor scores pairs through the dht walk
+	// engines and serves every walk-based measure (dht, reach, ppr — they
+	// differ only in the Kind and Params threaded into the engine, which the
+	// execution config carries). A non-empty Measure (e.g. "simrank") marks
+	// an executor that evaluates exactly that measure and nothing else; it
+	// is considered only when the workload declares the same Measure.
+	Measure string
 
 	// Cost estimates the executor's work on a workload.
 	Cost CostFunc
@@ -228,6 +242,14 @@ type Workload struct {
 	// ranking.
 	Workers    int `json:"workers,omitempty"`
 	BatchWidth int `json:"batch_width,omitempty"`
+
+	// Measure selects the executor family by proximity measure, mirroring
+	// Descriptor.Measure: empty means the walk family (dht, reach, ppr —
+	// same executors, different engine parameters), a non-empty name (e.g.
+	// "simrank") restricts the candidate table to the executors registered
+	// for that measure. The execution layers set it from the resolved
+	// measure kernel.
+	Measure string `json:"measure,omitempty"`
 
 	// Accuracy gates which kernel contracts the cost choice may use: Exact
 	// (default) considers only bit-identical executors, Fast additionally
@@ -345,6 +367,12 @@ func Decide(class Class, w Workload, forced string) (*Plan, error) {
 	}
 	ests := make([]Estimate, 0, len(cands))
 	for _, d := range cands {
+		if d.Measure != w.Measure {
+			// Wrong measure is not a preference like accuracy — the executor
+			// cannot evaluate this query at all, so it stays out of the
+			// candidate table entirely (mirroring the class partition).
+			continue
+		}
 		ests = append(ests, Estimate{
 			Algorithm: d.Name,
 			Cost:      d.Cost(w),
@@ -371,21 +399,16 @@ func Decide(class Class, w Workload, forced string) (*Plan, error) {
 		}
 	}
 	if chosen == "" {
-		// Unreachable with the built-in registry (the bit-identical
-		// executors are never excluded), but a probe registry could exclude
-		// everything.
-		return nil, fmt.Errorf("%w: no %s executor eligible at accuracy %s",
-			ErrUnknownExecutor, class, w.Accuracy)
+		// Reachable when no executor is registered for the workload's
+		// measure in this class (e.g. a measure with a 2-way joiner but no
+		// n-way aggregate), or when a probe registry excludes everything.
+		return nil, fmt.Errorf("%w: no %s executor eligible for measure %q at accuracy %s",
+			ErrUnknownExecutor, class, measureLabel(w.Measure), w.Accuracy)
 	}
 	pl := &Plan{Class: class, Algorithm: chosen, Estimates: ests, Workload: w}
 	if forced != "" {
-		d, ok := Lookup(forced)
-		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrUnknownExecutor, forced)
-		}
-		if d.Class != class {
-			return nil, fmt.Errorf("%w: %q is a %s executor, query is %s",
-				ErrWrongClass, forced, d.Class, class)
+		if err := ValidateForced(class, forced, w.Measure); err != nil {
+			return nil, err
 		}
 		pl.Algorithm = forced
 		pl.Forced = true
@@ -393,15 +416,29 @@ func Decide(class Class, w Workload, forced string) (*Plan, error) {
 	return pl, nil
 }
 
-// ValidateForced checks a forced executor name against a query class without
-// computing a plan — the cheap hint validation the facade runs up front.
-func ValidateForced(class Class, name string) error {
+// measureLabel names a workload/descriptor measure for error messages.
+func measureLabel(m string) string {
+	if m == "" {
+		return "walk"
+	}
+	return m
+}
+
+// ValidateForced checks a forced executor name against a query class and
+// measure without computing a plan — the cheap hint validation the facade
+// runs up front. measure follows the Workload.Measure convention (empty =
+// the walk family).
+func ValidateForced(class Class, name, measure string) error {
 	d, ok := Lookup(name)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownExecutor, name)
 	}
 	if d.Class != class {
 		return fmt.Errorf("%w: %q is a %s executor, query is %s", ErrWrongClass, name, d.Class, class)
+	}
+	if d.Measure != measure {
+		return fmt.Errorf("%w: %q evaluates measure %s, query uses %s",
+			ErrWrongMeasure, name, measureLabel(d.Measure), measureLabel(measure))
 	}
 	return nil
 }
@@ -435,6 +472,9 @@ func (p *Plan) Format() string {
 		}
 		fmt.Fprintf(&sb, "workload: sets=[%s] edges=%d k=%d m=%d d=%d",
 			strings.Join(sizes, ","), len(w.QueryEdges), w.K, w.M, w.D)
+	}
+	if w.Measure != "" {
+		fmt.Fprintf(&sb, "; measure=%s", w.Measure)
 	}
 	fmt.Fprintf(&sb, "; accuracy=%s", w.Accuracy)
 	fmt.Fprintf(&sb, "; graph |V|=%d |E|=%d meanDeg=%.2f walkCost=%.0f\n",

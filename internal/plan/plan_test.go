@@ -25,7 +25,7 @@ func testWorkload(k int) plan.Workload {
 }
 
 func TestRegistryExecutors(t *testing.T) {
-	want2 := []string{"B-BJ", "B-BJ-fast", "B-IDJ-X", "B-IDJ-Y", "F-BJ", "F-BJ-fast", "F-IDJ"}
+	want2 := []string{"B-BJ", "B-BJ-fast", "B-IDJ-X", "B-IDJ-Y", "F-BJ", "F-BJ-fast", "F-IDJ", "SR-SCAN"}
 	got2 := plan.Executors(plan.TwoWay)
 	if len(got2) != len(want2) {
 		t.Fatalf("2-way executors: %d, want %d", len(got2), len(want2))
@@ -38,7 +38,7 @@ func TestRegistryExecutors(t *testing.T) {
 			t.Fatalf("%s registered without factory", d.Name)
 		}
 	}
-	wantN := []string{"AP", "NL", "PJ", "PJ-i"}
+	wantN := []string{"AP", "NL", "PJ", "PJ-i", "SR-AP"}
 	gotN := plan.Executors(plan.NWay)
 	if len(gotN) != len(wantN) {
 		t.Fatalf("n-way executors: %d, want %d", len(gotN), len(wantN))
@@ -119,10 +119,10 @@ func TestDecideForced(t *testing.T) {
 	if _, err := plan.Decide(plan.TwoWay, testWorkload(50), "PJ-i"); !errors.Is(err, plan.ErrWrongClass) {
 		t.Fatalf("wrong-class forced: %v", err)
 	}
-	if err := plan.ValidateForced(plan.NWay, "B-BJ"); !errors.Is(err, plan.ErrWrongClass) {
+	if err := plan.ValidateForced(plan.NWay, "B-BJ", ""); !errors.Is(err, plan.ErrWrongClass) {
 		t.Fatalf("ValidateForced wrong class: %v", err)
 	}
-	if err := plan.ValidateForced(plan.NWay, "PJ"); err != nil {
+	if err := plan.ValidateForced(plan.NWay, "PJ", ""); err != nil {
 		t.Fatalf("ValidateForced valid: %v", err)
 	}
 }
@@ -245,5 +245,58 @@ func TestPlanFormatAndFactory(t *testing.T) {
 	out := pl.Format()
 	if out == "" || pl.Factory() == nil {
 		t.Fatalf("Format=%q Factory=%v", out, pl.Factory())
+	}
+}
+
+// TestDecideMeasureFiltering: the candidate table is measure-keyed — a walk
+// workload never sees SimRank's dedicated executors and vice versa, and
+// forcing across the boundary is an ErrWrongMeasure.
+func TestDecideMeasureFiltering(t *testing.T) {
+	walk, err := plan.Decide(plan.TwoWay, testWorkload(50), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range walk.Estimates {
+		if est.Algorithm == "SR-SCAN" {
+			t.Fatal("walk plan priced SR-SCAN")
+		}
+	}
+
+	w := testWorkload(50)
+	w.Measure = "simrank"
+	sr, err := plan.Decide(plan.TwoWay, w, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Algorithm != "SR-SCAN" {
+		t.Fatalf("simrank 2-way plan picked %q, want SR-SCAN", sr.Algorithm)
+	}
+	if len(sr.Estimates) != 1 {
+		t.Fatalf("simrank plan priced %d candidates, want 1", len(sr.Estimates))
+	}
+
+	wn := w
+	wn.P, wn.Q = 0, 0
+	wn.SetSizes = []int{100, 100, 100}
+	wn.QueryEdges = [][2]int{{0, 1}, {1, 2}}
+	srn, err := plan.Decide(plan.NWay, wn, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srn.Algorithm != "SR-AP" {
+		t.Fatalf("simrank n-way plan picked %q, want SR-AP", srn.Algorithm)
+	}
+
+	if _, err := plan.Decide(plan.TwoWay, testWorkload(50), "SR-SCAN"); !errors.Is(err, plan.ErrWrongMeasure) {
+		t.Fatalf("forcing SR-SCAN on a walk workload: %v, want ErrWrongMeasure", err)
+	}
+	if _, err := plan.Decide(plan.TwoWay, w, "B-IDJ-Y"); !errors.Is(err, plan.ErrWrongMeasure) {
+		t.Fatalf("forcing B-IDJ-Y on a simrank workload: %v, want ErrWrongMeasure", err)
+	}
+	if err := plan.ValidateForced(plan.TwoWay, "SR-SCAN", "simrank"); err != nil {
+		t.Fatalf("ValidateForced matching measure: %v", err)
+	}
+	if err := plan.ValidateForced(plan.TwoWay, "SR-SCAN", ""); !errors.Is(err, plan.ErrWrongMeasure) {
+		t.Fatalf("ValidateForced wrong measure: %v", err)
 	}
 }

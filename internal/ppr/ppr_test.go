@@ -1,0 +1,184 @@
+package ppr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/graph"
+)
+
+// testGraph is a 3-community graph with a few guaranteed dangling nodes so
+// the sink semantics are actually exercised.
+func testGraph(t testing.TB, seed int64) *graph.Graph {
+	t.Helper()
+	g, _, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes: []int{60, 60, 60}, PIn: 0.06, POut: 0.01, Seed: seed, MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild with three extra sink nodes fed from the first community:
+	// walks that enter them die, which is the dangling case both
+	// evaluators must agree on.
+	n := g.NumNodes()
+	b := graph.NewBuilder(n+3, true)
+	for u := 0; u < n; u++ {
+		to, w, _ := g.OutEdges(graph.NodeID(u))
+		for j := range to {
+			b.AddEdge(graph.NodeID(u), to[j], w[j])
+		}
+	}
+	for i := 0; i < 3; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(n+i), 1)
+	}
+	return b.Build()
+}
+
+// TestPowerIterationMatchesReachEngine pins PowerIteration to the dht walk
+// engine under Kind Reach with PPR parameters — the relationship the measure
+// registry relies on when it serves "ppr" through the existing executors.
+func TestPowerIterationMatchesReachEngine(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		g := testGraph(t, seed)
+		for _, c := range []float64{0.2, 0.5, 0.85} {
+			const d = 9
+			e, err := dht.NewEngine(g, dht.PPR(c), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs := []graph.NodeID{0, 1, graph.NodeID(g.NumNodes() / 2), graph.NodeID(g.NumNodes() - 1)}
+			for _, src := range srcs {
+				col, err := PowerIteration(g, c, src, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := 0; v < g.NumNodes(); v += 7 {
+					want := e.ForwardScoreKind(dht.Reach, src, graph.NodeID(v), d)
+					if math.Abs(col[v]-want) > 1e-12 {
+						t.Fatalf("seed=%d c=%g src=%d v=%d: PowerIteration=%.17g engine=%.17g",
+							seed, c, src, v, col[v], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPowerIterationMatchesExactSolve checks the deep-truncation limit
+// against the dense linear solve (which computes the untruncated series).
+func TestPowerIterationMatchesExactSolve(t *testing.T) {
+	g := testGraph(t, 3)
+	const c = 0.5
+	const d = 64 // c^65 ≈ 2.7e-20: truncation far below the tolerance
+	for _, v := range []graph.NodeID{0, 5, graph.NodeID(g.NumNodes() - 1)} {
+		exact, err := dht.ExactReachColumn(g, dht.PPR(c), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range []graph.NodeID{0, 2, 31} {
+			col, err := PowerIteration(g, c, src, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(col[v]-exact[src]) > 1e-12 {
+				t.Fatalf("src=%d v=%d: PowerIteration=%.17g exact=%.17g", src, v, col[v], exact[src])
+			}
+		}
+	}
+}
+
+// TestForwardPushCertificate checks the residual certificate pointwise:
+// the push scores underestimate the (effectively untruncated) reference by
+// at least zero and at most the reported residual.
+func TestForwardPushCertificate(t *testing.T) {
+	for _, seed := range []int64{2, 11} {
+		g := testGraph(t, seed)
+		for _, c := range []float64{0.3, 0.5, 0.8} {
+			// Deep enough that truncation error << the push tolerance.
+			d := 1
+			for Bound(c, d) > 1e-15 {
+				d++
+			}
+			for _, src := range []graph.NodeID{0, 9, 40} {
+				ref, err := PowerIteration(g, c, src, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, eps := range []float64{1e-2, 1e-4, 1e-6} {
+					res, err := ForwardPush(g, c, src, eps)
+					if err != nil {
+						t.Fatal(err)
+					}
+					const slack = 1e-12
+					for v := range ref {
+						diff := ref[v] - res.Scores[v]
+						if diff < -slack || diff > res.Residual+slack {
+							t.Fatalf("seed=%d c=%g src=%d eps=%g v=%d: ref=%.17g push=%.17g residual=%.17g",
+								seed, c, src, eps, v, ref[v], res.Scores[v], res.Residual)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardPushConverges checks that tightening eps actually tightens the
+// certificate (the residual shrinks) and the scores approach the reference.
+func TestForwardPushConverges(t *testing.T) {
+	g := testGraph(t, 5)
+	const c, src = 0.5, graph.NodeID(4)
+	prev := math.Inf(1)
+	for _, eps := range []float64{1e-2, 1e-4, 1e-6} {
+		res, err := ForwardPush(g, c, src, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Residual > prev {
+			t.Fatalf("eps=%g: residual %g grew past %g", eps, res.Residual, prev)
+		}
+		prev = res.Residual
+	}
+	if prev > 1e-3 {
+		t.Fatalf("residual %g did not converge below 1e-3 at eps=1e-6", prev)
+	}
+}
+
+// TestBoundMatchesXBound pins Bound to the generic dht tail bound with PPR
+// parameters and checks the monotonicity the rank-join corner bounds need.
+func TestBoundMatchesXBound(t *testing.T) {
+	for _, c := range []float64{0.2, 0.5, 0.9} {
+		p := dht.PPR(c)
+		for l := 0; l < 12; l++ {
+			want := p.XBound(l)
+			got := Bound(c, l)
+			if math.Abs(got-want) > 1e-15*math.Max(1, want) {
+				t.Fatalf("c=%g l=%d: Bound=%g XBound=%g", c, l, got, want)
+			}
+			if l > 0 && got >= Bound(c, l-1) {
+				t.Fatalf("c=%g l=%d: bound not strictly decreasing", c, l)
+			}
+		}
+	}
+}
+
+// TestValidation covers the error paths.
+func TestValidation(t *testing.T) {
+	g := testGraph(t, 1)
+	if _, err := PowerIteration(nil, 0.5, 0, 4); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := PowerIteration(g, 1.5, 0, 4); err == nil {
+		t.Fatal("c out of range accepted")
+	}
+	if _, err := PowerIteration(g, 0.5, graph.NodeID(g.NumNodes()), 4); err == nil {
+		t.Fatal("source out of range accepted")
+	}
+	if _, err := PowerIteration(g, 0.5, 0, 0); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	if _, err := ForwardPush(g, 0.5, 0, 0); err == nil {
+		t.Fatal("zero eps accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/measure"
 	"repro/internal/rankjoin"
 )
 
@@ -32,7 +33,7 @@ type OptionsJSON struct {
 	Agg        string  `json:"agg,omitempty"`     // SUM | MIN | MAX | AVG (n-way; default MIN)
 	M          int     `json:"m,omitempty"`       // per-edge budget (n-way; default 50)
 	Distinct   bool    `json:"distinct,omitempty"`
-	Measure    string  `json:"measure,omitempty"` // "dht" (default) | "reach"
+	Measure    string  `json:"measure,omitempty"` // registered measure name: "dht" (default) | "reach" | "ppr" | "simrank" (GET /measures lists them)
 	Workers    int     `json:"workers,omitempty"`
 	BatchWidth int     `json:"batch_width,omitempty"`
 	Relabel    string  `json:"relabel,omitempty"`   // off | degree | bfs
@@ -64,16 +65,13 @@ func (o *OptionsJSON) toQuery() (Query, error) {
 	case o.Lambda != 0:
 		q.Params = dht.DHTLambda(o.Lambda)
 	}
-	switch o.Measure {
-	case "":
-		// keep (PPR may have implied Reach)
-	case "dht":
-		q.Measure = dht.FirstHit // explicit choice wins over the PPR implication
-	case "reach":
-		q.Measure = dht.Reach
-	default:
-		return q, fmt.Errorf("options: unknown measure %q (want dht or reach)", o.Measure)
-	}
+	// The measure resolves through the registry (service.Query.resolve calls
+	// measure.Lookup), so every registered kernel — walk-based or not — is
+	// one wire spelling away. An empty name keeps the legacy semantics: the
+	// PPR flag above may have implied the reach kind, and "dht" stays the
+	// default. Unknown names fail at resolve time with ErrUnknownMeasure
+	// (mapped to HTTP 400), listing the registered spellings.
+	q.MeasureName = o.Measure
 	if o.Agg != "" {
 		agg, err := rankjoin.ByName(o.Agg)
 		if err != nil {
@@ -254,7 +252,8 @@ func shapeEdges(shape string, n int) ([][2]int, error) {
 //	POST   /graphs/{name}/edges  apply an atomic edge-update batch ({"add":[{"u":..,"v":..,"w":..}],"del":[{"u":..,"v":..}]})
 //	POST   /join2           top-k 2-way join (planner-picked; force with options.algo)
 //	POST   /joinN           top-k n-way join (planner-picked; force with options.algo)
-//	GET    /score           single pair score (?graph=&u=&v=[&lambda=&d=...])
+//	GET    /measures        registered proximity measures (name, contract, family)
+//	GET    /score           single pair score (?graph=&u=&v=[&lambda=&d=&measure=...])
 //	GET    /explain         dry-run plan over named sets (?graph=&p=&q= or ?graph=&sets=&shape=)
 //	GET    /stats           service counters (incl. planner picks)
 //
@@ -313,6 +312,12 @@ func NewHandler(svc *Service) http.Handler {
 
 	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"graphs": svc.Graphs()})
+	})
+
+	mux.HandleFunc("GET /measures", func(w http.ResponseWriter, r *http.Request) {
+		// The measure registry: every kernel a join request can name in
+		// options.measure, with its accuracy contract and family.
+		writeJSON(w, http.StatusOK, map[string]any{"measures": measure.Describe()})
 	})
 
 	mux.HandleFunc("DELETE /graphs/{name}", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,303 @@
+package service
+
+// HTTP suites for the measure registry: discovery (GET /measures), serving
+// ppr and simrank through both join endpoints, the unknown-measure error
+// envelope, canonical cache keys across the "dht"/"" spellings, and the
+// per-measure counters in /stats and /metrics.
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/dht"
+	"repro/internal/graph"
+	"repro/internal/join2"
+	"repro/internal/simrank"
+)
+
+func TestHTTPMeasuresEndpoint(t *testing.T) {
+	srv, _, _ := startServer(t)
+	var out struct {
+		Measures []struct {
+			Name     string `json:"name"`
+			Contract string `json:"contract"`
+			Family   string `json:"family"`
+			Walk     string `json:"walk"`
+			Doc      string `json:"doc"`
+		} `json:"measures"`
+	}
+	if code := getJSON(t, srv.URL+"/measures", &out); code != http.StatusOK {
+		t.Fatalf("GET /measures = %d", code)
+	}
+	byName := map[string]string{}
+	for _, m := range out.Measures {
+		if m.Doc == "" || m.Contract == "" {
+			t.Fatalf("measure %q served without doc/contract: %+v", m.Name, m)
+		}
+		byName[m.Name] = m.Family
+	}
+	for name, family := range map[string]string{"dht": "walk", "reach": "walk", "ppr": "walk", "simrank": "matrix"} {
+		if byName[name] != family {
+			t.Fatalf("measure %q family %q, want %q (served: %v)", name, byName[name], family, byName)
+		}
+	}
+}
+
+func TestHTTPUnknownMeasure(t *testing.T) {
+	srv, _, sets := startServer(t)
+	var out struct {
+		Error struct {
+			Status  int    `json:"status"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	body := map[string]any{
+		"graph":   "test",
+		"p":       map[string]any{"set": sets[0].Name},
+		"q":       map[string]any{"set": sets[1].Name},
+		"k":       3,
+		"options": map[string]any{"measure": "katz"},
+	}
+	if code := postJSON(t, srv.URL+"/join2", body, &out); code != http.StatusBadRequest {
+		t.Fatalf("POST /join2 with unknown measure: status %d, want 400", code)
+	}
+	if !strings.Contains(out.Error.Message, "katz") || !strings.Contains(out.Error.Message, "simrank") {
+		t.Fatalf("/join2 error %q does not name the bad measure and the registered ones", out.Error.Message)
+	}
+	out.Error.Message = ""
+	if code := getJSON(t, srv.URL+"/score?graph=test&u=0&v=1&measure=katz", &out); code != http.StatusBadRequest {
+		t.Fatalf("GET /score with unknown measure: status %d, want 400", code)
+	}
+	if !strings.Contains(out.Error.Message, "katz") {
+		t.Fatalf("/score error %q does not name the bad measure", out.Error.Message)
+	}
+}
+
+// TestHTTPJoinSimRank serves simrank through both join endpoints — batch and
+// streaming — and pins the results against the dense matrix.
+func TestHTTPJoinSimRank(t *testing.T) {
+	srv, g, sets := startServer(t)
+	m, err := simrank.SharedMatrix(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 12
+	want, err := m.TopKPairs(sets[0].Nodes(), sets[1].Nodes(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := map[string]any{
+		"graph":   "test",
+		"p":       map[string]any{"set": sets[0].Name},
+		"q":       map[string]any{"set": sets[1].Name},
+		"k":       k,
+		"options": map[string]any{"measure": "simrank"},
+	}
+	var out struct {
+		Results []pairJSON `json:"results"`
+	}
+	if code := postJSON(t, srv.URL+"/join2", req, &out); code != http.StatusOK {
+		t.Fatalf("POST /join2 measure=simrank = %d", code)
+	}
+	if len(out.Results) != k {
+		t.Fatalf("join2: %d results, want %d", len(out.Results), k)
+	}
+	for i, r := range out.Results {
+		if r.P != want[i].Pair.P || r.Q != want[i].Pair.Q || r.Score != want[i].Score {
+			t.Fatalf("join2 rank %d: %+v, matrix says %+v", i, r, want[i])
+		}
+	}
+
+	// Streaming returns the identical prefix through the same path.
+	req["stream"] = true
+	lines, _ := ndjsonLines(t, srv.URL+"/join2", req)
+	if len(lines) != k+1 {
+		t.Fatalf("streamed %d lines, want %d + terminator", len(lines), k)
+	}
+	for i, wr := range want {
+		line := lines[i]
+		if graph.NodeID(line["p"].(float64)) != wr.Pair.P ||
+			graph.NodeID(line["q"].(float64)) != wr.Pair.Q ||
+			line["score"].(float64) != wr.Score {
+			t.Fatalf("stream line %d = %v, want %+v", i, line, wr)
+		}
+	}
+
+	// n-way under MIN over a chain: the served score sequence must equal
+	// the brute-forced tuple scores from the matrix.
+	var scores []float64
+	for _, a := range sets[0].Nodes() {
+		for _, b := range sets[1].Nodes() {
+			sAB := m.Score(a, b)
+			for _, c := range sets[2].Nodes() {
+				scores = append(scores, math.Min(sAB, m.Score(b, c)))
+			}
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	const kn = 8
+	reqN := map[string]any{
+		"graph":   "test",
+		"sets":    []map[string]any{{"set": sets[0].Name}, {"set": sets[1].Name}, {"set": sets[2].Name}},
+		"shape":   "chain",
+		"k":       kn,
+		"options": map[string]any{"measure": "simrank"},
+	}
+	var outN struct {
+		Answers []answerJSON `json:"answers"`
+	}
+	if code := postJSON(t, srv.URL+"/joinN", reqN, &outN); code != http.StatusOK {
+		t.Fatalf("POST /joinN measure=simrank = %d", code)
+	}
+	if len(outN.Answers) != kn {
+		t.Fatalf("joinN: %d answers, want %d", len(outN.Answers), kn)
+	}
+	for i, a := range outN.Answers {
+		if a.Score != scores[i] {
+			t.Fatalf("joinN rank %d score %v, brute force says %v", i, a.Score, scores[i])
+		}
+	}
+}
+
+// TestHTTPJoinPPR serves ppr with its default parameterization and pins the
+// ranking against the backward reach fold under dht.PPR(0.5).
+func TestHTTPJoinPPR(t *testing.T) {
+	srv, g, sets := startServer(t)
+	params := dht.PPR(0.5)
+	cfg := join2.Config{
+		Graph: g, Params: params, D: params.StepsForEpsilon(1e-6),
+		P: sets[0].Nodes(), Q: sets[1].Nodes(), Measure: dht.Reach,
+	}
+	j, err := join2.NewBIDJY(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	want, err := j.TopK(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := map[string]any{
+		"graph":   "test",
+		"p":       map[string]any{"set": sets[0].Name},
+		"q":       map[string]any{"set": sets[1].Name},
+		"k":       k,
+		"options": map[string]any{"measure": "ppr"},
+	}
+	var out struct {
+		Results []pairJSON `json:"results"`
+	}
+	if code := postJSON(t, srv.URL+"/join2", req, &out); code != http.StatusOK {
+		t.Fatalf("POST /join2 measure=ppr = %d", code)
+	}
+	if len(out.Results) != k {
+		t.Fatalf("join2: %d results, want %d", len(out.Results), k)
+	}
+	for i, r := range out.Results {
+		if r.P != want[i].Pair.P || r.Q != want[i].Pair.Q || r.Score != want[i].Score {
+			t.Fatalf("join2 rank %d: %+v, reference says %+v", i, r, want[i])
+		}
+	}
+}
+
+// TestHTTPMeasureCanonicalization: "measure":"dht" and no measure at all
+// resolve to the same canonical query, so they share one result-cache entry
+// and return identical bytes.
+func TestHTTPMeasureCanonicalization(t *testing.T) {
+	srv, g, sets := startServer(t)
+	want := refJoin2(t, g, sets[0].Nodes(), sets[1].Nodes(), 5)
+
+	run := func(measure string) []pairJSON {
+		req := map[string]any{
+			"graph": "test",
+			"p":     map[string]any{"set": sets[0].Name},
+			"q":     map[string]any{"set": sets[1].Name},
+			"k":     5,
+		}
+		if measure != "" {
+			req["options"] = map[string]any{"measure": measure}
+		}
+		var out struct {
+			Results []pairJSON `json:"results"`
+		}
+		if code := postJSON(t, srv.URL+"/join2", req, &out); code != http.StatusOK {
+			t.Fatalf("POST /join2 (measure %q) = %d", measure, code)
+		}
+		return out.Results
+	}
+
+	first := run("")
+	var st Stats
+	getJSON(t, srv.URL+"/stats", &st)
+	second := run("dht")
+	var st2 Stats
+	getJSON(t, srv.URL+"/stats", &st2)
+
+	if st2.ResultHits <= st.ResultHits {
+		t.Fatalf("explicit dht spelling missed the result cache (%d -> %d hits)", st.ResultHits, st2.ResultHits)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("rank %d: %+v vs %+v", i, first[i], second[i])
+		}
+		if first[i].P != want[i].Pair.P || first[i].Score != want[i].Score {
+			t.Fatalf("rank %d: %+v, reference says %+v", i, first[i], want[i])
+		}
+	}
+}
+
+// TestHTTPMeasureCounters: per-measure counters reach /stats and /metrics.
+func TestHTTPMeasureCounters(t *testing.T) {
+	srv, _, sets := startServer(t)
+	for _, measure := range []string{"", "simrank", "ppr"} {
+		req := map[string]any{
+			"graph": "test",
+			"p":     map[string]any{"set": sets[0].Name},
+			"q":     map[string]any{"set": sets[1].Name},
+			"k":     3,
+		}
+		if measure != "" {
+			req["options"] = map[string]any{"measure": measure}
+		}
+		var out struct{}
+		if code := postJSON(t, srv.URL+"/join2", req, &out); code != http.StatusOK {
+			t.Fatalf("POST /join2 (measure %q) = %d", measure, code)
+		}
+	}
+
+	var st Stats
+	if code := getJSON(t, srv.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	for _, name := range []string{"dht", "simrank", "ppr"} {
+		if st.MeasureQueries[name] == 0 {
+			t.Fatalf("measure_queries missing %q: %v", name, st.MeasureQueries)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, sample := range []string{
+		`njoind_measure_queries_total{measure="dht"}`,
+		`njoind_measure_queries_total{measure="simrank"}`,
+		`njoind_measure_queries_total{measure="ppr"}`,
+	} {
+		if !strings.Contains(text, sample) {
+			t.Fatalf("/metrics missing %s:\n%s", sample, text)
+		}
+	}
+}

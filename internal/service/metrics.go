@@ -50,6 +50,19 @@ func WriteMetrics(w io.Writer, st Stats) {
 		}
 	}
 
+	if len(st.MeasureQueries) > 0 {
+		const name = "njoind_measure_queries_total"
+		fmt.Fprintf(w, "# HELP %s Queries per resolved proximity measure.\n# TYPE %s counter\n", name, name)
+		names := make([]string, 0, len(st.MeasureQueries))
+		for m := range st.MeasureQueries {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		for _, m := range names {
+			fmt.Fprintf(w, "%s{measure=%s} %d\n", name, strconv.Quote(m), st.MeasureQueries[m])
+		}
+	}
+
 	metric(w, "njoind_walks_total", "counter", "Random walks executed.", st.Walks)
 	metric(w, "njoind_edge_sweeps_total", "counter", "Walk-kernel edge sweeps.", st.EdgeSweeps)
 	metric(w, "njoind_frontier_edges_total", "counter", "Edges crossed by walk frontiers.", st.FrontierEdges)

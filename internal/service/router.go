@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/join2"
+	"repro/internal/measure"
 )
 
 // This file is the service's cluster seam. The service itself knows nothing
@@ -78,6 +79,15 @@ func (s *Service) routed(ctx context.Context, graphName string, p, q SetRef, que
 	} else if ctx.Value(noRouteKey{}) != nil {
 		return nil, false, nil
 	}
+	// Scatter stays walk-only: matrix measures (simrank) score through a
+	// global fixed point no per-shard subgraph can reproduce, so those
+	// queries always evaluate locally. An unknown name falls through to
+	// local resolution, which rejects it with ErrUnknownMeasure.
+	if query.MeasureName != "" {
+		if kern, err := measure.Lookup(query.MeasureName); err != nil || !kern.WalkBased {
+			return nil, false, nil
+		}
+	}
 	st, claimed, err := r.RouteJoin2(ctx, graphName, p, q, query)
 	if err != nil {
 		return nil, true, err
@@ -119,7 +129,7 @@ func (s *Service) GraphData(name string) (*graph.Graph, []*graph.NodeSet, uint64
 // Validate resolves the query's parameters without running anything; the
 // shard side rejects a malformed scatter before opening a stream.
 func (q *Query) Validate() error {
-	if _, _, _, _, err := q.resolve(); err != nil {
+	if _, _, _, _, _, err := q.resolve(); err != nil {
 		return err
 	}
 	_, err := q.accuracy()

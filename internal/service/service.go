@@ -33,6 +33,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/join2"
+	"repro/internal/measure"
 	"repro/internal/plan"
 	"repro/internal/rankjoin"
 	"repro/internal/store"
@@ -173,8 +174,14 @@ type Query struct {
 	Epsilon float64
 	// D forces the truncation depth directly.
 	D int
-	// Measure selects first-hit DHT (zero) or reach probabilities.
+	// Measure selects first-hit DHT (zero) or reach probabilities. When
+	// MeasureName is set it is resolved from the registered kernel instead,
+	// and this field is ignored.
 	Measure dht.Kind
+	// MeasureName selects a registered proximity measure by name ("dht",
+	// "reach", "ppr", "simrank"); empty means "dht", the paper's measure.
+	// An unknown name fails the request with measure.ErrUnknownMeasure.
+	MeasureName string
 	// Agg is the n-way aggregate; nil means Min.
 	Agg rankjoin.Aggregate
 	// M is the initial per-edge budget of the n-way join; zero means 50.
@@ -223,14 +230,20 @@ const (
 
 // resolve applies the defaults; it must stay in lockstep with
 // dhtjoin.Options.resolve so served results are bit-identical to one-shot
-// calls (the integration tests pin this).
-func (q *Query) resolve() (dht.Params, int, rankjoin.Aggregate, int, error) {
-	p := q.Params
+// calls (the integration tests pin this). The measure kernel is resolved
+// first because it owns the customary parameterization (e.g. "ppr" defaults
+// zero-value params to dht.PPR(0.5) before the DHTλ(0.2) fallback applies).
+func (q *Query) resolve() (measure.Kernel, dht.Params, int, rankjoin.Aggregate, int, error) {
+	kern, err := measure.Lookup(q.MeasureName)
+	if err != nil {
+		return measure.Kernel{}, dht.Params{}, 0, nil, 0, err
+	}
+	p := kern.ResolveParams(q.Params)
 	if p == (dht.Params{}) {
 		p = dht.DHTLambda(0.2)
 	}
 	if err := p.Validate(); err != nil {
-		return dht.Params{}, 0, nil, 0, err
+		return measure.Kernel{}, dht.Params{}, 0, nil, 0, err
 	}
 	d := q.D
 	if d == 0 {
@@ -241,7 +254,7 @@ func (q *Query) resolve() (dht.Params, int, rankjoin.Aggregate, int, error) {
 		d = p.StepsForEpsilon(eps)
 	}
 	if d < 1 {
-		return dht.Params{}, 0, nil, 0, fmt.Errorf("service: depth d must be >= 1, got %d", d)
+		return measure.Kernel{}, dht.Params{}, 0, nil, 0, fmt.Errorf("service: depth d must be >= 1, got %d", d)
 	}
 	agg := q.Agg
 	if agg == nil {
@@ -252,9 +265,21 @@ func (q *Query) resolve() (dht.Params, int, rankjoin.Aggregate, int, error) {
 		m = 50
 	}
 	if m < 0 {
-		return dht.Params{}, 0, nil, 0, fmt.Errorf("service: m must be >= 0, got %d", m)
+		return measure.Kernel{}, dht.Params{}, 0, nil, 0, fmt.Errorf("service: m must be >= 0, got %d", m)
 	}
-	return p, d, agg, m, nil
+	return kern, p, d, agg, m, nil
+}
+
+// applyKernel normalizes the query's measure fields from the resolved
+// kernel: an explicit measure name fixes the walk kind (so "ppr" folds reach
+// probabilities regardless of the legacy Measure field, while a zero-valued
+// MeasureName keeps honoring a caller-set Measure kind), and the name is
+// canonicalized so "" and "dht" share cache and session keys.
+func (q *Query) applyKernel(kern measure.Kernel) {
+	if q.MeasureName != "" && kern.WalkBased {
+		q.Measure = kern.Walk
+	}
+	q.MeasureName = kern.Name
 }
 
 // accuracy resolves the planner's kernel-contract knob.
@@ -306,6 +331,11 @@ type Stats struct {
 	PlanRequests  int64            `json:"plan_requests"`
 	PlanCacheHits int64            `json:"plan_cache_hits"`
 	PlanPicks     map[string]int64 `json:"plan_picks,omitempty"`
+
+	// MeasureQueries counts join/score queries per resolved measure name
+	// ("dht", "ppr", "simrank", …) — the serving-side view of the measure
+	// registry.
+	MeasureQueries map[string]int64 `json:"measure_queries,omitempty"`
 
 	Walks         int64 `json:"walks"`
 	EdgeSweeps    int64 `json:"edge_sweeps"`
@@ -387,12 +417,15 @@ func (ge *graphEntry) relabeledFor(mode graph.RelabelMode) *relabeledGraph {
 
 // sessionKey identifies one shared-resource session. The graph pointer (not
 // the registry name) keys it, so reloading a name invalidates naturally and
-// two names sharing a graph share a session.
+// two names sharing a graph share a session. The canonical measure name is a
+// key dimension: a measure's memoized state (result prefixes, plan
+// decisions, calibration) must never serve another measure's queries.
 type sessionKey struct {
 	g       *graph.Graph
 	params  dht.Params
 	d       int
 	relabel graph.RelabelMode
+	measure string
 }
 
 // session owns the shared per-configuration resources.
@@ -446,6 +479,9 @@ type Service struct {
 
 	picksMu sync.Mutex
 	picks   map[string]int64 // executions per chosen executor name
+
+	measureMu      sync.Mutex
+	measureQueries map[string]int64 // queries per resolved measure name
 }
 
 // New returns a Service sized by cfg (zero value = defaults).
@@ -458,6 +494,8 @@ func New(cfg Config) *Service {
 		sessions: make(map[sessionKey]*session),
 		adm:      newAdmission(cfg.MaxConcurrency, cfg.TenantInFlight, cfg.TenantQueue),
 		picks:    make(map[string]int64),
+
+		measureQueries: make(map[string]int64),
 	}
 }
 
@@ -568,6 +606,13 @@ func (s *Service) recordPick(name string) {
 	s.picksMu.Lock()
 	s.picks[name]++
 	s.picksMu.Unlock()
+}
+
+// recordMeasure counts one query against the resolved measure.
+func (s *Service) recordMeasure(name string) {
+	s.measureMu.Lock()
+	s.measureQueries[name]++
+	s.measureMu.Unlock()
 }
 
 // LoadGraph registers g under name with its node sets. Loading an existing
@@ -738,8 +783,8 @@ func (s *Service) graphFor(name string) (*graphEntry, error) {
 
 // sessionFor returns (creating if needed) the shared session for the
 // resolved configuration, refreshing its LRU recency.
-func (s *Service) sessionFor(ge *graphEntry, params dht.Params, d int, mode graph.RelabelMode) (*session, error) {
-	key := sessionKey{g: ge.g, params: params, d: d, relabel: mode}
+func (s *Service) sessionFor(ge *graphEntry, params dht.Params, d int, mode graph.RelabelMode, measureName string) (*session, error) {
+	key := sessionKey{g: ge.g, params: params, d: d, relabel: mode, measure: measureName}
 	s.mu.Lock()
 	if sess, ok := s.sessions[key]; ok {
 		s.touchSessionLocked(key)
@@ -866,7 +911,7 @@ func refKey(sb *strings.Builder, ref SetRef) {
 // request must never be served a plan whose eligibility set included the
 // certified executors (or vice versa).
 func queryKey(sb *strings.Builder, params dht.Params, d int, q *Query, acc plan.Accuracy) {
-	fmt.Fprintf(sb, "|p=%v,%v,%v|d=%d|ms=%d|acc=%s", params.Alpha, params.Beta, params.Lambda, d, q.Measure, acc)
+	fmt.Fprintf(sb, "|p=%v,%v,%v|d=%d|ms=%d|mn=%s|acc=%s", params.Alpha, params.Beta, params.Lambda, d, q.Measure, q.MeasureName, acc)
 }
 
 // join2Req is one resolved 2-way request: registry entry, session, node
@@ -879,6 +924,7 @@ type join2Req struct {
 	d      int
 	m      int // resolved per-edge budget: the default initial stream batch
 	acc    plan.Accuracy
+	kern   measure.Kernel
 	query  Query
 	key    string
 }
@@ -887,16 +933,18 @@ type join2Req struct {
 // algorithm is validated here, before any cache can serve the request —
 // a bad hint must fail even when the ranking itself is already cached.
 func (s *Service) resolveJoin2(graphName string, p, q SetRef, query Query) (*join2Req, error) {
-	params, d, _, m, err := query.resolve()
+	kern, params, d, _, m, err := query.resolve()
 	if err != nil {
 		return nil, err
 	}
+	query.applyKernel(kern)
+	s.recordMeasure(kern.Name)
 	acc, err := query.accuracy()
 	if err != nil {
 		return nil, err
 	}
 	if query.Algorithm != "" {
-		if err := plan.ValidateForced(plan.TwoWay, query.Algorithm); err != nil {
+		if err := plan.ValidateForced(plan.TwoWay, query.Algorithm, kern.PlanMeasure); err != nil {
 			return nil, err
 		}
 	}
@@ -912,7 +960,7 @@ func (s *Service) resolveJoin2(graphName string, p, q SetRef, query Query) (*joi
 	if err != nil {
 		return nil, err
 	}
-	sess, err := s.sessionFor(ge, params, d, query.Relabel)
+	sess, err := s.sessionFor(ge, params, d, query.Relabel, kern.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -925,7 +973,7 @@ func (s *Service) resolveJoin2(graphName string, p, q SetRef, query Query) (*joi
 	sb.WriteByte('|')
 	refKey(&sb, q)
 	queryKey(&sb, params, d, &query, acc)
-	return &join2Req{svc: s, sess: sess, pn: pn, qn: qn, params: params, d: d, m: m, acc: acc, query: query, key: sb.String()}, nil
+	return &join2Req{svc: s, sess: sess, pn: pn, qn: qn, params: params, d: d, m: m, acc: acc, kern: kern, query: query, key: sb.String()}, nil
 }
 
 // open acquires admission (honoring ctx) and starts the pair stream.
@@ -1038,6 +1086,7 @@ func (rq *join2Req) workload(k int) plan.Workload {
 		K:          k,
 		M:          rq.m,
 		D:          rq.d,
+		Measure:    rq.kern.PlanMeasure,
 		Workers:    rq.query.Workers,
 		BatchWidth: rq.query.BatchWidth,
 		Accuracy:   rq.acc,
@@ -1338,6 +1387,7 @@ type joinNReq struct {
 	agg      rankjoin.Aggregate
 	m        int
 	acc      plan.Accuracy
+	kern     measure.Kernel
 	query    Query
 	key      string // empty when the request must bypass the cache
 }
@@ -1345,16 +1395,18 @@ type joinNReq struct {
 // resolveJoinN resolves names, sets, parameters, and the session; forced
 // algorithms are validated before any cache, as in resolveJoin2.
 func (s *Service) resolveJoinN(graphName string, sets []SetRef, edges [][2]int, query Query) (*joinNReq, error) {
-	params, d, agg, m, err := query.resolve()
+	kern, params, d, agg, m, err := query.resolve()
 	if err != nil {
 		return nil, err
 	}
+	query.applyKernel(kern)
+	s.recordMeasure(kern.Name)
 	acc, err := query.accuracy()
 	if err != nil {
 		return nil, err
 	}
 	if query.Algorithm != "" {
-		if err := plan.ValidateForced(plan.NWay, query.Algorithm); err != nil {
+		if err := plan.ValidateForced(plan.NWay, query.Algorithm, kern.PlanMeasure); err != nil {
 			return nil, err
 		}
 	}
@@ -1374,7 +1426,7 @@ func (s *Service) resolveJoinN(graphName string, sets []SetRef, edges [][2]int, 
 		}
 		nodeSets[i] = graph.NewNodeSet(name, ids)
 	}
-	sess, err := s.sessionFor(ge, params, d, query.Relabel)
+	sess, err := s.sessionFor(ge, params, d, query.Relabel, kern.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -1399,7 +1451,7 @@ func (s *Service) resolveJoinN(graphName string, sets []SetRef, edges [][2]int, 
 		key = sb.String()
 	}
 	return &joinNReq{svc: s, sess: sess, nodeSets: nodeSets, edges: edges,
-		params: params, d: d, agg: agg, m: m, acc: acc, query: query, key: key}, nil
+		params: params, d: d, agg: agg, m: m, acc: acc, kern: kern, query: query, key: key}, nil
 }
 
 // open acquires admission (honoring ctx) and starts the answer stream.
@@ -1475,6 +1527,7 @@ func (rq *joinNReq) workload() plan.Workload {
 		K:          rq.m, // stream demand is unknown; plan for the initial batch
 		M:          rq.m,
 		D:          rq.d,
+		Measure:    rq.kern.PlanMeasure,
 		Workers:    rq.query.Workers,
 		BatchWidth: rq.query.BatchWidth,
 		Accuracy:   rq.acc,
@@ -1751,10 +1804,12 @@ func (s *Service) Score(ctx context.Context, graphName string, u, v graph.NodeID
 	if err := s.admitGate(); err != nil {
 		return 0, err
 	}
-	params, d, _, _, err := query.resolve()
+	kern, params, d, _, _, err := query.resolve()
 	if err != nil {
 		return 0, err
 	}
+	query.applyKernel(kern)
+	s.recordMeasure(kern.Name)
 	ge, err := s.graphFor(graphName)
 	if err != nil {
 		return 0, err
@@ -1763,7 +1818,7 @@ func (s *Service) Score(ctx context.Context, graphName string, u, v graph.NodeID
 	if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
 		return 0, fmt.Errorf("service: node pair (%d,%d) out of range [0,%d)", u, v, n)
 	}
-	sess, err := s.sessionFor(ge, params, d, graph.NoRelabel)
+	sess, err := s.sessionFor(ge, params, d, graph.NoRelabel, kern.Name)
 	if err != nil {
 		return 0, err
 	}
@@ -1772,6 +1827,19 @@ func (s *Service) Score(ctx context.Context, graphName string, u, v graph.NodeID
 		return 0, err
 	}
 	defer s.adm.release(g)
+	if !kern.WalkBased {
+		// Matrix measures (simrank) score through the kernel's evaluator; the
+		// session pool holds walk engines these measures never touch.
+		ev, err := kern.NewEvaluator(sess.g, params, d)
+		if err != nil {
+			return 0, err
+		}
+		var dst [1]float64
+		if err := ev.ScoresInto(u, []graph.NodeID{v}, d, dst[:]); err != nil {
+			return 0, err
+		}
+		return dst[0], nil
+	}
 	e := sess.pool.Get()
 	defer sess.pool.Put(e)
 	return e.ForwardScoreKind(query.Measure, u, v, d), nil
@@ -1795,6 +1863,12 @@ func (s *Service) Stats() Stats {
 		picks[name] = n
 	}
 	s.picksMu.Unlock()
+	s.measureMu.Lock()
+	measures := make(map[string]int64, len(s.measureQueries))
+	for name, n := range s.measureQueries {
+		measures[name] = n
+	}
+	s.measureMu.Unlock()
 	snap := s.counters.Snapshot()
 	free, waiting, rejected := s.adm.snapshot()
 	var cluster *RouterStats
@@ -1830,22 +1904,23 @@ func (s *Service) Stats() Stats {
 		Generations: generations,
 		Cluster:     cluster,
 
-		Join2Requests: s.join2Reqs.Load(),
-		JoinNRequests: s.joinNReqs.Load(),
-		ScoreRequests: s.scoreReqs.Load(),
-		ResultHits:    s.resultHits.Load(),
-		ResultMisses:  s.resultMisses.Load(),
-		MemoHits:      memoHits,
-		MemoMisses:    memoMisses,
-		PlanRequests:  s.planReqs.Load(),
-		PlanCacheHits: s.planCacheHits.Load(),
-		PlanPicks:     picks,
-		Walks:         snap.Walks,
-		EdgeSweeps:    snap.EdgeSweeps,
-		FrontierEdges: snap.FrontierEdges,
-		KernelPicks:   snap.KernelPicks,
-		Reverified:    snap.Reverified,
-		FallbackPairs: snap.FallbackPairs,
+		Join2Requests:  s.join2Reqs.Load(),
+		JoinNRequests:  s.joinNReqs.Load(),
+		ScoreRequests:  s.scoreReqs.Load(),
+		ResultHits:     s.resultHits.Load(),
+		ResultMisses:   s.resultMisses.Load(),
+		MemoHits:       memoHits,
+		MemoMisses:     memoMisses,
+		PlanRequests:   s.planReqs.Load(),
+		PlanCacheHits:  s.planCacheHits.Load(),
+		PlanPicks:      picks,
+		MeasureQueries: measures,
+		Walks:          snap.Walks,
+		EdgeSweeps:     snap.EdgeSweeps,
+		FrontierEdges:  snap.FrontierEdges,
+		KernelPicks:    snap.KernelPicks,
+		Reverified:     snap.Reverified,
+		FallbackPairs:  snap.FallbackPairs,
 	}
 }
 

@@ -418,7 +418,7 @@ func TestServiceDropDuringSessionBuild(t *testing.T) {
 	svc.DropGraph("g")
 	// Simulate the in-flight request that resolved ge before the drop.
 	params := dht.DHTLambda(0.2)
-	if _, err := svc.sessionFor(ge, params, 4, graph.NoRelabel); err != nil {
+	if _, err := svc.sessionFor(ge, params, 4, graph.NoRelabel, "dht"); err != nil {
 		t.Fatal(err)
 	}
 	if got := svc.Stats().Sessions; got != 0 {

@@ -1,0 +1,154 @@
+package simrank_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/join2"
+	"repro/internal/simrank"
+)
+
+func joinerGraph(t *testing.T, seed int64) (*graph.Graph, []graph.NodeID, []graph.NodeID) {
+	t.Helper()
+	g, sets, err := graph.GenerateCommunity(graph.CommunityConfig{
+		Sizes:      []int{50, 50},
+		PIn:        0.1,
+		POut:       0.02,
+		Directed:   true,
+		MaxWeight:  2,
+		Seed:       seed,
+		MinOutLink: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, sets[0].Nodes(), sets[1].Nodes()
+}
+
+// TestJoinerMatchesMatrix pins SR-SCAN to the reference ranking the dense
+// matrix computes: same pairs, same float64 scores, same order.
+func TestJoinerMatchesMatrix(t *testing.T) {
+	for _, seed := range []int64{3, 21} {
+		g, p, q := joinerGraph(t, seed)
+		m, err := simrank.SharedMatrix(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := simrank.NewJoiner(join2.Config{Graph: g, P: p, Q: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Name() != "SR-SCAN" {
+			t.Fatalf("joiner name = %q", j.Name())
+		}
+		for _, k := range []int{1, 7, 50, len(p) * len(q)} {
+			want, err := m.TopKPairs(p, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := j.TopK(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed=%d k=%d: %d results, want %d", seed, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed=%d k=%d result %d: %+v, want %+v", seed, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestJoinerStreamPrefix: the rejoin stream over SR-SCAN yields the batch
+// ranking pair by pair — the same prefix property every walk joiner has.
+func TestJoinerStreamPrefix(t *testing.T) {
+	g, p, q := joinerGraph(t, 5)
+	cfg := join2.Config{Graph: g, P: p, Q: q}
+	j, err := simrank.NewJoiner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	want, err := j.TopK(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := join2.NewNamedStream("SR-SCAN", cfg, join2.StreamSpec{Initial: 3}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Release()
+	for i := 0; i < n; i++ {
+		r, ok, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("stream dry at %d, want %d results", i, n)
+		}
+		if r != want[i] {
+			t.Fatalf("stream result %d: %+v, batch says %+v", i, r, want[i])
+		}
+	}
+}
+
+// TestJoinerTieOrder: equal scores break by the canonical (P asc, Q asc)
+// tie key, so the ranking is deterministic across runs and executors.
+func TestJoinerTieOrder(t *testing.T) {
+	// Two isolated 2-cycles: s(0,1) and s(2,3) are structurally identical,
+	// so their pair scores tie and only the tie key orders them.
+	b := graph.NewBuilder(4, true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 0, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 2, 1)
+	g := b.Build()
+	p := []graph.NodeID{0, 1, 2, 3}
+	j, err := simrank.NewJoiner(join2.Config{Graph: g, P: p, Q: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.TopK(len(p) * len(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("scores not descending at %d", i)
+		}
+		if got[i].Score == got[i-1].Score && join2.TieKey(got[i].Pair) <= join2.TieKey(got[i-1].Pair) {
+			t.Fatalf("tie at %d not broken by canonical key: %+v then %+v", i, got[i-1], got[i])
+		}
+	}
+}
+
+// TestJoinerCancel: a cancelled config stops the scan with the cause.
+func TestJoinerCancel(t *testing.T) {
+	g, p, q := joinerGraph(t, 9)
+	boom := errors.New("stop")
+	j, err := simrank.NewJoiner(join2.Config{Graph: g, P: p, Q: q, Cancel: func() error { return boom }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.TopK(5); !errors.Is(err, boom) {
+		t.Fatalf("cancelled TopK returned %v, want the cancel cause", err)
+	}
+}
+
+// TestJoinerValidation: the config contract matches the walk joiners.
+func TestJoinerValidation(t *testing.T) {
+	g, p, q := joinerGraph(t, 9)
+	if _, err := simrank.NewJoiner(join2.Config{Graph: nil, P: p, Q: q}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := simrank.NewJoiner(join2.Config{Graph: g, P: nil, Q: q}); err == nil {
+		t.Fatal("empty P accepted")
+	}
+	if _, err := simrank.NewJoiner(join2.Config{Graph: g, P: p, Q: nil}); err == nil {
+		t.Fatal("empty Q accepted")
+	}
+}

@@ -141,7 +141,7 @@ func (m *Matrix) TopKPairs(p, q []graph.NodeID, k int) ([]join2.Result, error) {
 	for _, a := range p {
 		for _, b := range q {
 			pr := join2.Pair{P: a, Q: b}
-			top.AddTie(pr, m.Score(a, b), int64(pr.P)<<32|int64(uint32(pr.Q)))
+			top.AddTie(pr, m.Score(a, b), join2.TieKey(pr))
 		}
 	}
 	pairs, scores := top.Sorted()

@@ -1,4 +1,4 @@
-package simrank
+package simrank_test
 
 import (
 	"math"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/join2"
 	"repro/internal/rankjoin"
+	"repro/internal/simrank"
 )
 
 // univGraph: Univ → {ProfA, ProfB}, ProfA → StudentA, ProfB → StudentB,
@@ -33,7 +34,7 @@ func TestSimRankHandComputed(t *testing.T) {
 	b := graph.NewBuilder(3, true)
 	b.AddEdge(0, 1, 1)
 	b.AddEdge(0, 2, 1)
-	m, err := Compute(b.Build(), &Options{C: c, Iterations: 30, Tolerance: 1e-12})
+	m, err := simrank.Compute(b.Build(), &simrank.Options{C: c, Iterations: 30, Tolerance: 1e-12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestSimRankHandComputed(t *testing.T) {
 	b.AddEdge(1, 2, 1)
 	b.AddEdge(0, 3, 1)
 	b.AddEdge(1, 3, 1)
-	m, err = Compute(b.Build(), &Options{C: c, Iterations: 30, Tolerance: 1e-12})
+	m, err = simrank.Compute(b.Build(), &simrank.Options{C: c, Iterations: 30, Tolerance: 1e-12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestSimRankHandComputed(t *testing.T) {
 	// (3) Univ example: I(ProfA)=I(ProfB)={Univ} ⇒ s(ProfA,ProfB) = C;
 	// s(StudA,StudB) = C·s(ProfA,ProfB) = C²; and the cycle closes with
 	// s(Univ,Univ) = 1.
-	m, err = Compute(univGraph(t), &Options{C: c, Iterations: 60, Tolerance: 1e-13})
+	m, err = simrank.Compute(univGraph(t), &simrank.Options{C: c, Iterations: 60, Tolerance: 1e-13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestSimRankMatchesNaiveReference(t *testing.T) {
 		t.Fatal(err)
 	}
 	const c, iters = 0.7, 6
-	m, err := Compute(g, &Options{C: c, Iterations: iters, Tolerance: 1e-15})
+	m, err := simrank.Compute(g, &simrank.Options{C: c, Iterations: iters, Tolerance: 1e-15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestSimRankRangeAndMonotoneIterations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Compute(g, nil)
+	m, err := simrank.Compute(g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,11 +166,11 @@ func TestSimRankRangeAndMonotoneIterations(t *testing.T) {
 	}
 	// More iterations must not decrease scores (monotone convergence from
 	// the identity start).
-	one, err := Compute(g, &Options{Iterations: 1, Tolerance: 1e-15})
+	one, err := simrank.Compute(g, &simrank.Options{Iterations: 1, Tolerance: 1e-15})
 	if err != nil {
 		t.Fatal(err)
 	}
-	five, err := Compute(g, &Options{Iterations: 5, Tolerance: 1e-15})
+	five, err := simrank.Compute(g, &simrank.Options{Iterations: 5, Tolerance: 1e-15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,17 +185,17 @@ func TestSimRankRangeAndMonotoneIterations(t *testing.T) {
 
 func TestSimRankOptionsValidation(t *testing.T) {
 	g := univGraph(t)
-	if _, err := Compute(g, &Options{C: 1.5}); err == nil {
+	if _, err := simrank.Compute(g, &simrank.Options{C: 1.5}); err == nil {
 		t.Fatal("C>1 accepted")
 	}
-	if _, err := Compute(g, &Options{Iterations: -1}); err == nil {
+	if _, err := simrank.Compute(g, &simrank.Options{Iterations: -1}); err == nil {
 		t.Fatal("negative iterations accepted")
 	}
-	if _, err := Compute(g, &Options{Tolerance: -1}); err == nil {
+	if _, err := simrank.Compute(g, &simrank.Options{Tolerance: -1}); err == nil {
 		t.Fatal("negative tolerance accepted")
 	}
 	empty := graph.NewBuilder(0, true).Build()
-	if _, err := Compute(empty, nil); err == nil {
+	if _, err := simrank.Compute(empty, nil); err == nil {
 		t.Fatal("empty graph accepted")
 	}
 }
@@ -206,7 +207,7 @@ func TestTopKPairsDescending(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Compute(g, nil)
+	m, err := simrank.Compute(g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestSimRankNWayJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Compute(g, nil)
+	m, err := simrank.Compute(g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
